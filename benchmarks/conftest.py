@@ -1,0 +1,6 @@
+"""Benchmark-harness configuration.
+
+Each benchmark regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index) and attaches the measured rows to
+``benchmark.extra_info`` so the JSON output records paper-vs-measured.
+"""

@@ -1,0 +1,28 @@
+"""E1 — Figure 5: SPECCPU 2006 normalized overhead.
+
+Paper: Fidelius average < 1% (0.88%), Fidelius-enc average 5.38%;
+mcf 17.3% and omnetpp 16.3% are the outliers.
+"""
+
+from repro.eval import average_overheads, run_figure
+from repro.eval.tables import format_figure
+
+PAPER = {"fidelius_avg": 0.88, "fidelius_enc_avg": 5.38,
+         "mcf_enc": 17.3, "omnetpp_enc": 16.3}
+
+
+def test_bench_figure5(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_figure("fig5"), rounds=3, iterations=1)
+    fid_avg, enc_avg = average_overheads(results)
+    rows = {r.name: round(r.fidelius_enc_overhead_pct, 2) for r in results}
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = {
+        "fidelius_avg": round(fid_avg, 2),
+        "fidelius_enc_avg": round(enc_avg, 2),
+        "per_benchmark_enc": rows,
+    }
+    print()
+    print(format_figure(results, "Figure 5: SPECCPU 2006"))
+    assert rows["mcf"] == max(rows.values())
+    assert fid_avg < 1.5

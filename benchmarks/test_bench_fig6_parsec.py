@@ -1,0 +1,28 @@
+"""E2 — Figure 6: PARSEC normalized overhead.
+
+Paper: Fidelius average 0.43%, Fidelius-enc average 1.97%; only canneal
+shows a large overhead (14.27%).
+"""
+
+from repro.eval import average_overheads, run_figure
+from repro.eval.tables import format_figure
+
+PAPER = {"fidelius_avg": 0.43, "fidelius_enc_avg": 1.97,
+         "canneal_enc": 14.27}
+
+
+def test_bench_figure6(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_figure("fig6"), rounds=3, iterations=1)
+    fid_avg, enc_avg = average_overheads(results)
+    rows = {r.name: round(r.fidelius_enc_overhead_pct, 2) for r in results}
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = {
+        "fidelius_avg": round(fid_avg, 2),
+        "fidelius_enc_avg": round(enc_avg, 2),
+        "per_benchmark_enc": rows,
+    }
+    print()
+    print(format_figure(results, "Figure 6: PARSEC"))
+    assert rows["canneal"] == max(rows.values())
+    assert fid_avg < 1.0

@@ -1,0 +1,19 @@
+"""Functional cross-check benchmark: measured cycles through the full
+stack agree with the analytic model's story (not a paper artefact — a
+reproduction self-check)."""
+
+from repro.eval.functional import format_functional, run_functional
+
+
+def test_bench_functional_crosscheck(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_functional(rounds=4, requests=40),
+        rounds=2, iterations=1)
+    benchmark.extra_info["measured"] = {
+        r.workload: round(r.overhead_pct, 2) for r in results}
+    print()
+    print(format_functional(results))
+    compute = next(r for r in results if "compute" in r.workload)
+    server = next(r for r in results if "exit-heavy" in r.workload)
+    assert compute.overhead_pct < 2.0
+    assert server.overhead_pct > compute.overhead_pct

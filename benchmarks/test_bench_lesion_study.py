@@ -1,0 +1,37 @@
+"""Lesion-study benchmark: each Fidelius mechanism is load-bearing.
+
+Not a paper artefact — an ablation DESIGN.md calls for: disabling one
+mechanism at a time re-opens exactly the attack that mechanism stops.
+"""
+
+from repro.attacks import ALL_ATTACKS
+from repro.attacks.lesions import LESION_CATALOG, apply_lesion
+from repro.system import System
+
+_BY_NAME = {fn.attack_name: fn for fn in ALL_ATTACKS}
+
+
+def test_bench_lesion_study(benchmark):
+    def study():
+        outcomes = {}
+        for index, (lesion, (_, attack_name)) in enumerate(
+                sorted(LESION_CATALOG.items())):
+            system = apply_lesion(
+                System.create(fidelius=True, frames=2048,
+                              seed=0xAB5 + index), lesion)
+            result = _BY_NAME[attack_name](system)
+            outcomes[lesion] = {
+                "attack": attack_name,
+                "broke_through": result.succeeded,
+            }
+        return outcomes
+
+    outcomes = benchmark.pedantic(study, rounds=1, iterations=1)
+    benchmark.extra_info["measured"] = outcomes
+    print()
+    print("%-24s %-30s %s" % ("lesion", "attack", "broke through"))
+    print("-" * 68)
+    for lesion, info in outcomes.items():
+        print("%-24s %-30s %s" % (lesion, info["attack"],
+                                  info["broke_through"]))
+    assert all(info["broke_through"] for info in outcomes.values())

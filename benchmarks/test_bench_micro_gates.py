@@ -1,0 +1,34 @@
+"""E4 — micro benchmark 1: gate transition costs.
+
+Paper (Section 7.2): type 1 gate 306 cycles, type 2 gate 16 cycles,
+type 3 gate 339 cycles (of which the TLB entry flush is 128 and the
+page-table write under 2 cycles).
+"""
+
+from repro.eval import gate_cost_benchmark
+from repro.eval.tables import format_gate_costs
+from repro.system import System
+
+PAPER = {"type1": 306, "type2": 16, "type3": 339,
+         "tlb_flush": 128, "cache_write": 2}
+
+
+def test_bench_gate_costs(benchmark):
+    system = System.create(fidelius=True, frames=2048, seed=0x6A7E)
+    costs = benchmark.pedantic(
+        lambda: gate_cost_benchmark(iterations=500, system=system),
+        rounds=3, iterations=1)
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = {
+        "type1": costs.type1_cycles,
+        "type2": costs.type2_cycles,
+        "type3": costs.type3_cycles,
+        "tlb_flush": costs.type3_tlb_flush_cycles,
+        "cache_write": costs.write_into_cache_cycles,
+        "rejected_cr3_switch": costs.cr3_switch_alternative_cycles,
+    }
+    print()
+    print(format_gate_costs(costs))
+    assert costs.type1_cycles == PAPER["type1"]
+    assert costs.type2_cycles == PAPER["type2"]
+    assert costs.type3_cycles == PAPER["type3"]

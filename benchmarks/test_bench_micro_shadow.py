@@ -1,0 +1,25 @@
+"""E5 — micro benchmark 2: shadowing cost.
+
+Paper (Section 7.2): a void hypercall from a guest kernel module shows
+the shadow + check round trip costs 661 cycles on average.
+"""
+
+from repro.eval import shadow_cost_benchmark
+from repro.eval.tables import format_shadow_costs
+
+PAPER = {"shadow_check": 661}
+
+
+def test_bench_shadow_cost(benchmark):
+    costs = benchmark.pedantic(
+        lambda: shadow_cost_benchmark(iterations=200),
+        rounds=3, iterations=1)
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = {
+        "shadow_check": costs.shadow_check_cycles,
+        "protected_roundtrip": costs.protected_roundtrip_cycles,
+        "unprotected_roundtrip": costs.unprotected_roundtrip_cycles,
+    }
+    print()
+    print(format_shadow_costs(costs))
+    assert abs(costs.shadow_check_cycles - PAPER["shadow_check"]) < 2

@@ -1,0 +1,28 @@
+"""Sensitivity sweeps: robustness of the reproduced conclusions to the
+calibration constants (not a paper artefact — a reproduction check)."""
+
+from repro.eval.sensitivity import (
+    encryption_latency_sweep,
+    exit_rate_sweep,
+    format_exit_rate_sweep,
+    format_latency_sweep,
+    shape_is_robust,
+)
+
+
+def test_bench_sensitivity(benchmark):
+    def sweep():
+        return encryption_latency_sweep(), exit_rate_sweep()
+
+    latency, rate = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["measured"] = {
+        "latency_sweep": {
+            name: [(p.x, round(p.overhead_pct, 2)) for p in series]
+            for name, series in latency.items()},
+        "exit_rate_sweep": [(p.x, round(p.overhead_pct, 2)) for p in rate],
+    }
+    print()
+    print(format_latency_sweep(latency))
+    print()
+    print(format_exit_rate_sweep(rate))
+    assert shape_is_robust(latency)

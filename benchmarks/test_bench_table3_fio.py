@@ -1,0 +1,22 @@
+"""E3 — Table 3: fio over the PV block path, Xen vs Fidelius AES-NI.
+
+Paper: rand-read 1.38%, seq-read 22.91%, rand-write 0.70%,
+seq-write 3.61%.
+"""
+
+from repro.eval import run_table3
+from repro.eval.tables import format_table3
+
+PAPER = {"rand-read": 1.38, "seq-read": 22.91,
+         "rand-write": 0.70, "seq-write": 3.61}
+
+
+def test_bench_table3(benchmark):
+    rows = benchmark.pedantic(run_table3, rounds=2, iterations=1)
+    measured = {r.name: round(r.slowdown_pct, 2) for r in rows}
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = measured
+    print()
+    print(format_table3(rows))
+    assert measured["seq-read"] == max(measured.values())
+    assert measured["rand-write"] == min(measured.values())

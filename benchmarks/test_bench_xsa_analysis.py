@@ -1,0 +1,23 @@
+"""E7 — Section 6.2: the XSA quantitative analysis.
+
+Paper: of 235 XSAs, 177 are hypervisor-related; Fidelius thwarts
+31 (17.5%) privilege escalations and 22 (12.4%) information leaks;
+14 (7.9%) are guest-internal flaws; the rest are DoS.
+"""
+
+from repro.attacks import analyze_xsa, build_corpus
+from repro.eval.tables import format_xsa
+
+PAPER = {"total": 235, "hypervisor": 177, "priv_esc": 31, "info_leak": 22,
+         "guest_internal": 14}
+
+
+def test_bench_xsa_analysis(benchmark):
+    stats = benchmark(lambda: analyze_xsa(build_corpus()))
+    benchmark.extra_info["paper"] = PAPER
+    benchmark.extra_info["measured"] = stats
+    print()
+    print(format_xsa(stats))
+    assert stats["hypervisor_related"] == PAPER["hypervisor"]
+    assert stats["privilege_escalation_thwarted"] == PAPER["priv_esc"]
+    assert stats["info_leak_thwarted"] == PAPER["info_leak"]

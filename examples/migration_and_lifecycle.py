@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Full VM life cycle: boot, run, migrate between hosts, shut down.
+
+Demonstrates Section 4.3 end to end:
+
+* boot from an owner-prepared encrypted image (sealed to host A);
+* run and accumulate in-memory state;
+* migrate to host B through the SEND/RECEIVE transport — the package is
+  ciphertext, the target re-encrypts under a fresh K_vek, and live
+  migration is refused by design;
+* shut down: keys uninstalled, context decommissioned, frames scrubbed.
+"""
+
+from repro import GuestOwner, paired_systems
+from repro.common.errors import GateViolation
+from repro.core.migration import migrate_guest, send_guest
+from repro.xen import hypercalls as hc
+
+PAGE = 4096
+
+
+def main():
+    host_a, host_b = paired_systems(frames=2048)
+    owner = GuestOwner(seed=31337)
+
+    print("== boot on host A ==")
+    domain, ctx = host_a.boot_protected_guest(
+        "traveler", owner, payload=b"stateful service", guest_frames=48)
+    ctx.set_page_encrypted(9)
+    ctx.write(9 * PAGE, b"session table: 8147 active sessions")
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    pa_a = host_a.hypervisor.guest_frame_hpfn(domain, 9) * PAGE
+    cipher_a = host_a.machine.memory.read(pa_a, 16)
+    print("   state written; ciphertext on host A: %s..."
+          % cipher_a.hex()[:20])
+
+    print("== migrate to host B ==")
+    new_domain, new_ctx = migrate_guest(
+        host_a.fidelius, domain, host_b.fidelius)
+    state = new_ctx.read(9 * PAGE, 35)
+    print("   state after migration: %r" % state)
+    pa_b = host_b.hypervisor.guest_frame_hpfn(new_domain, 9) * PAGE
+    cipher_b = host_b.machine.memory.read(pa_b, 16)
+    print("   ciphertext on host B:  %s...  (fresh K_vek: %s)"
+          % (cipher_b.hex()[:20], cipher_a != cipher_b))
+    new_ctx.hypercall(hc.HC_SCHED_YIELD)  # give up host B's CPU
+
+    print("== no live migration ==")
+    spare_owner = GuestOwner(seed=4242)
+    spare, spare_ctx = host_b.boot_protected_guest(
+        "doomed", spare_owner, payload=b"x", guest_frames=32)
+    spare_ctx.hypercall(hc.HC_SCHED_YIELD)
+    send_guest(host_b.fidelius, spare,
+               host_a.firmware.platform_public_key)
+    try:
+        spare_ctx.read(0, 4)
+        print("   !! guest ran mid-migration")
+    except GateViolation as exc:
+        print("   VMRUN refused mid-migration: %s" % exc)
+
+    print("== shutdown on host B ==")
+    new_ctx.hypercall(hc.HC_SHUTDOWN)
+    scrubbed = host_b.machine.memory.read(pa_b, 16)
+    print("   frame scrubbed: %s" % (scrubbed == bytes(16)))
+    print("   firmware handles left: %s" % host_b.firmware.handles())
+    print("   audit: %s" % host_b.fidelius.audit_kinds()[-3:])
+
+
+if __name__ == "__main__":
+    main()

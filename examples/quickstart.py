@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: boot a Fidelius-protected guest and watch the host fail
+to see anything.
+
+Walks the full happy path of the paper:
+
+1. the guest owner prepares an encrypted kernel image offline;
+2. the Fidelius host boots the guest from it (RECEIVE APIs), verifying
+   the measurement;
+3. the guest computes on encrypted memory;
+4. the guest does disk I/O through the AES-NI protected path;
+5. we then put on the hypervisor's hat and try to steal the data.
+"""
+
+from repro import GuestOwner, System
+from repro.common.errors import PolicyViolation
+from repro.core.lifecycle import read_embedded_kblk, read_kernel_payload
+
+PAGE = 4096
+
+
+def main():
+    print("== 1. guest owner prepares the image (trusted environment) ==")
+    system = System.create(fidelius=True, frames=4096)
+    owner = GuestOwner(seed=2024)
+    print("   disk key K_blk: %s... (never leaves encrypted memory)"
+          % owner.kblk.hex()[:16])
+
+    print("== 2. boot from the encrypted kernel image ==")
+    domain, ctx = system.boot_protected_guest(
+        "quickstart-vm", owner, payload=b"my application v1.0",
+        guest_frames=64)
+    print("   guest '%s' booted; ASID=%d; Fidelius-protected: %s"
+          % (domain.name, domain.asid,
+             domain in system.fidelius.protected_domains))
+    print("   kernel payload read back inside the guest: %r"
+          % read_kernel_payload(ctx, 19))
+
+    print("== 3. compute on encrypted memory ==")
+    ctx.set_page_encrypted(5)
+    ctx.write(5 * PAGE, b"account balance: $1,000,000")
+    print("   guest sees:      %r" % ctx.read(5 * PAGE, 27))
+    hpa = system.hypervisor.guest_frame_hpfn(domain, 5) * PAGE
+    print("   DRAM bus sees:   %r..." % system.machine.memory.read(hpa, 16))
+
+    print("== 4. protected disk I/O (AES-NI path) ==")
+    encoder = system.aesni_encoder_for(ctx)
+    assert read_embedded_kblk(ctx) == owner.kblk
+    disk, frontend, backend = system.attach_disk(domain, ctx,
+                                                 encoder=encoder)
+    frontend.write(10, b"customer list: alice, bob, carol")
+    data = frontend.read(10, 1)
+    print("   guest reads back: %r" % data[:32])
+    print("   driver domain observed plaintext: %s"
+          % (b"alice" in backend.everything_observed()))
+    print("   disk at rest holds plaintext:     %s"
+          % (b"alice" in disk.raw_sector(10)))
+
+    print("== 5. the hypervisor turns malicious ==")
+    try:
+        system.machine.cpu.load(hpa, 27)
+        print("   !! hypervisor read guest memory")
+    except PolicyViolation as exc:
+        print("   hypervisor read blocked: %s" % exc)
+    print("   audit log: %s" % system.fidelius.audit_kinds()[-3:])
+
+
+if __name__ == "__main__":
+    main()

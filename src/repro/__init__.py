@@ -1,0 +1,41 @@
+"""Fidelius reproduction: comprehensive VM protection against an
+untrusted hypervisor through retrofitted AMD memory encryption
+(Wu et al., HPCA 2018), on a fully simulated AMD-V/SEV/Xen substrate.
+
+Quickstart::
+
+    from repro import System, GuestOwner
+
+    system = System.create(fidelius=True)
+    owner = GuestOwner(seed=7)
+    domain, ctx = system.boot_protected_guest("vm", owner,
+                                              payload=b"app code")
+    ctx.set_page_encrypted(5)
+    ctx.write(5 * 4096, b"secret")          # encrypted with K_vek
+    encoder = system.aesni_encoder_for(ctx)  # K_blk from the kernel image
+    disk, fe, be = system.attach_disk(domain, ctx, encoder=encoder)
+    fe.write(0, b"protected file")           # ciphertext on the wire
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.core import Fidelius
+from repro.core.lifecycle import GuestOwner
+from repro.hw import Machine
+from repro.sev import SevFirmware
+from repro.system import System, paired_systems
+from repro.xen import Hypervisor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "System",
+    "GuestOwner",
+    "paired_systems",
+    "Fidelius",
+    "Machine",
+    "SevFirmware",
+    "Hypervisor",
+    "__version__",
+]

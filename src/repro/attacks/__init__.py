@@ -1,0 +1,24 @@
+"""The security-evaluation attack suite (paper Section 6).
+
+Each module hosts attacks against one surface; ``suite.run_matrix``
+executes all of them against a fresh baseline (SEV-only) host and a
+fresh Fidelius host, and ``xsa`` reproduces the quantitative advisory
+analysis of Section 6.2.
+"""
+
+from repro.attacks.base import SECRET, AttackResult, attack, make_victim
+from repro.attacks.suite import ALL_ATTACKS, MatrixRow, format_matrix, run_matrix
+from repro.attacks.xsa import analyze as analyze_xsa, build_corpus
+
+__all__ = [
+    "SECRET",
+    "AttackResult",
+    "attack",
+    "make_victim",
+    "ALL_ATTACKS",
+    "MatrixRow",
+    "format_matrix",
+    "run_matrix",
+    "analyze_xsa",
+    "build_corpus",
+]

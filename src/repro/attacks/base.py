@@ -1,0 +1,118 @@
+"""Attack-program framework for the security evaluation (Section 6).
+
+Every attack is a function ``attack(system) -> AttackResult`` that runs
+the *same primitive layer* a real malicious hypervisor / driver domain
+would: CPU loads and stores through the host address space, direct
+firmware commands, NPT/grant-table writes, DMA, raw DRAM access for
+physical attacks.  An attack either obtains its goal (``succeeded``) or
+is stopped — by an exception from the isolation machinery or because the
+data it exfiltrated is ciphertext.
+
+The evaluation's claim structure is captured by ``expectation``: each
+attack states how it should fare against the baseline SEV-only host and
+against the Fidelius host.
+"""
+
+import functools
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    AttackFailed,
+    GateViolation,
+    PageFault,
+    PolicyViolation,
+    SevError,
+)
+from repro.hw.iommu import IommuFault
+
+#: A secret the victim guest manipulates; attacks hunt for these bytes.
+SECRET = b"CREDIT-CARD:4242-4242-4242-4242!"
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    name: str
+    paper_ref: str
+    succeeded: bool
+    blocked_by: str = ""
+    detail: str = ""
+
+    @property
+    def blocked(self):
+        return not self.succeeded
+
+
+class attack:  # noqa: N801 - decorator reads like a keyword
+    """Decorator wiring an attack body into the framework.
+
+    The body returns ``(succeeded, detail)`` or raises one of the
+    defence exceptions, which are translated into a blocked result.
+    """
+
+    registry = {}
+
+    def __init__(self, name, paper_ref, baseline_succeeds,
+                 fidelius_blocks=True):
+        self.name = name
+        self.paper_ref = paper_ref
+        self.baseline_succeeds = baseline_succeeds
+        self.fidelius_blocks = fidelius_blocks
+
+    def __call__(self, fn):
+        @functools.wraps(fn)
+        def runner(system, **kwargs):
+            try:
+                succeeded, detail = fn(system, **kwargs)
+            except PolicyViolation as exc:
+                return AttackResult(self.name, self.paper_ref, False,
+                                    blocked_by=type(exc).__name__,
+                                    detail=str(exc))
+            except GateViolation as exc:
+                return AttackResult(self.name, self.paper_ref, False,
+                                    blocked_by="GateViolation",
+                                    detail=str(exc))
+            except PageFault as exc:
+                return AttackResult(self.name, self.paper_ref, False,
+                                    blocked_by="PageFault", detail=str(exc))
+            except SevError as exc:
+                return AttackResult(self.name, self.paper_ref, False,
+                                    blocked_by="SevError", detail=str(exc))
+            except IommuFault as exc:
+                return AttackResult(self.name, self.paper_ref, False,
+                                    blocked_by="IommuFault",
+                                    detail=str(exc))
+            except AttackFailed as exc:
+                return AttackResult(self.name, self.paper_ref, False,
+                                    blocked_by="AttackFailed",
+                                    detail=str(exc))
+            blocked_by = "" if succeeded else "data-is-ciphertext"
+            return AttackResult(self.name, self.paper_ref, succeeded,
+                                blocked_by=blocked_by, detail=detail)
+
+        runner.attack_name = self.name
+        runner.paper_ref = self.paper_ref
+        runner.baseline_succeeds = self.baseline_succeeds
+        runner.fidelius_blocks = self.fidelius_blocks
+        attack.registry[self.name] = runner
+        return runner
+
+
+def make_victim(system, secret=SECRET, owner_seed=0xA11CE):
+    """A victim guest holding ``secret`` in encrypted memory.
+
+    On a Fidelius host: a fully protected guest booted from an encrypted
+    image.  On the baseline: a plain-SEV guest (the best the hardware
+    alone offers).  Returns (domain, ctx, secret_gfn).
+    """
+    from repro.system import GuestOwner
+    secret_gfn = 6
+    if system.protected:
+        owner = GuestOwner(seed=owner_seed)
+        domain, ctx = system.boot_protected_guest(
+            "victim", owner, payload=b"victim app", guest_frames=32)
+    else:
+        domain, ctx = system.create_baseline_sev_guest(
+            "victim", guest_frames=32)
+    ctx.set_page_encrypted(secret_gfn)
+    ctx.write(secret_gfn * 4096, secret)
+    return domain, ctx, secret_gfn

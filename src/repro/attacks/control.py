@@ -1,0 +1,105 @@
+"""Protection-disabling attacks through privileged instructions and
+control-flow hijacking (Sections 4.1.2, 6.2 'Disabling protection')."""
+
+from repro.common.constants import CR0_PG, CR0_WP, EFER_SVME, MSR_EFER, PAGE_SIZE
+from repro.common.types import ExitReason, PrivOp
+from repro.attacks.base import attack, make_victim
+from repro.hw.vmcb import Vmcb
+from repro.xen import hypercalls as hc
+
+
+def _instruction_site(system, op):
+    """Where an attacker would execute ``op``: an unguarded copy in
+    Xen's own text if one exists (the baseline, or a build that skipped
+    the rewrite), else the monopoly copy with its checking loop."""
+    if system.hypervisor.text.has(op):
+        return system.hypervisor.text.va_of(op)
+    return system.fidelius.text_image.va_of(op)
+
+
+def _mov_cr0_site(system):
+    return _instruction_site(system, PrivOp.MOV_CR0)
+
+
+@attack("clear-wp-and-rewrite-npt", "§6.2 'Disabling protection'",
+        baseline_succeeds=True)
+def clear_wp_and_rewrite_npt(system):
+    """Execute MOV CR0 to clear WP (by ROP or directly), then rewrite a
+    victim NPT entry to leak memory into a hypervisor-readable frame."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    cpu = system.machine.cpu
+    cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG, rip=_mov_cr0_site(system))
+    # WP now clear: write-protection is dead, rewrite the NPT directly
+    hypervisor = system.hypervisor
+    spare = system.machine.allocator.alloc()
+    entry_pa = domain.npt.entry_pa(secret_gfn * PAGE_SIZE)
+    from repro.hw.pagetable import make_entry
+    from repro.common.constants import PTE_PRESENT, PTE_USER, PTE_WRITABLE
+    cpu.store_u64(entry_pa, make_entry(spare, PTE_PRESENT | PTE_USER | PTE_WRITABLE))
+    remapped = hypervisor.guest_frame_hpfn(domain, secret_gfn)
+    return remapped == spare, "NPT leaf redirected to attacker frame"
+
+
+@attack("rop-to-monopolized-instruction", "§4.1.2 checking loops",
+        baseline_succeeds=True)
+def rop_to_monopolized_instruction(system):
+    """Jump straight at the privileged instruction (control-flow
+    hijack): the encoding executes, but the checking loop physically
+    after it runs too."""
+    domain, ctx, _ = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    cpu = system.machine.cpu
+    cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG, rip=_mov_cr0_site(system))
+    return not cpu.wp_enabled, "WP cleared via hijacked control flow"
+
+
+@attack("wrmsr-disable-nx", "Table 2: WRMSR may disable NX",
+        baseline_succeeds=True)
+def wrmsr_disable_nx(system):
+    """Clear EFER.NXE so injected data pages become executable."""
+    domain, ctx, _ = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    cpu = system.machine.cpu
+    site = _instruction_site(system, PrivOp.WRMSR)
+    cpu.exec_privileged(PrivOp.WRMSR, (MSR_EFER, EFER_SVME), rip=site)
+    return not cpu.nxe_enabled, "EFER.NXE cleared"
+
+
+@attack("forged-vmcb-vmrun", "§4.1.2 VMRUN unmapped / type 3 gate",
+        baseline_succeeds=True)
+def forged_vmcb_vmrun(system):
+    """VMRUN a forged VMCB that reuses the victim's ASID with an
+    attacker-controlled NPT: the conspirator world decrypts with the
+    victim's key."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    machine = system.machine
+    rogue_npt = machine.allocator.alloc()
+    machine.memory.zero_frame(rogue_npt)
+    forged = Vmcb(asid=domain.asid, nested_cr3=rogue_npt)
+    if system.protected:
+        site = system.fidelius.text_image.va_of(PrivOp.VMRUN)
+    else:
+        site = system.hypervisor.text.va_of(PrivOp.VMRUN)
+    machine.cpu.vmrun(forged, rip=site)
+    entered = machine.cpu.current_asid == domain.asid
+    machine.cpu.vmexit(forged, ExitReason.HLT)
+    return entered, "forged world entered with the victim's ASID"
+
+
+@attack("exec-injected-code", "§6.3 DEP / PIT code-integrity",
+        baseline_succeeds=False)
+def exec_injected_code(system):
+    """Write a privileged-instruction encoding into a data page and
+    execute it there.  NX on data pages (DEP) stops it on both
+    configurations — and under Fidelius the scanner would flag it too."""
+    from repro.common.types import PRIV_OPCODES
+    domain, ctx, _ = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    machine = system.machine
+    pfn = machine.allocator.alloc()
+    va = pfn * PAGE_SIZE
+    machine.memory.write(va, PRIV_OPCODES[PrivOp.MOV_CR0])
+    machine.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG | CR0_WP, rip=va)
+    return True, "injected code executed from a data page"

@@ -1,0 +1,83 @@
+"""Grant-table manipulation attacks (Sections 2.2, 4.3.7).
+
+The grant table is hypervisor-maintained: it "can intentionally
+manipulate the grant references (including the access permissions), and
+map the shared memory to its conspirator VM, or abuse the permission
+systems".
+"""
+
+from repro.common.constants import PAGE_SIZE
+from repro.attacks.base import attack, make_victim
+from repro.attacks.memory import _conspirator
+from repro.xen import hypercalls as hc
+from repro.xen.grant_table import GrantEntry
+
+
+def _sharing_victim(system):
+    """A victim that legitimately shares one read-only page with dom0
+    (declaring it first, as a Fidelius guest would)."""
+    domain, ctx, secret_gfn = make_victim(system)
+    share_gfn = 10
+    ctx.write(share_gfn * PAGE_SIZE, b"read-only bulletin board")
+    ctx.hypercall(hc.HC_PRE_SHARING, 0, share_gfn, 1, 1)  # readonly=1
+    ref = ctx.hypercall(hc.HC_GRANT_CREATE, 0, share_gfn, 1)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    return domain, ctx, share_gfn, ref
+
+
+@attack("grant-permission-widening", "§2.2 grant permission abuse",
+        baseline_succeeds=True)
+def grant_permission_widening(system):
+    """The victim granted read-only; the hypervisor rewrites the entry
+    writable and scribbles over the shared page."""
+    domain, ctx, share_gfn, ref = _sharing_victim(system)
+    hypervisor = system.hypervisor
+    widened = GrantEntry(permit=True, readonly=False,
+                         target_domid=0, gfn=share_gfn)
+    domain.grant_table.write_via(ref, widened, hypervisor.word_writer)
+    # dom0 maps it writable and defaces it
+    status = hypervisor.grant_map(hypervisor.dom0, domain.domid, ref,
+                                  dest_gfn=5, want_write=True)
+    if status != hc.E_OK:
+        return False, "map attempt returned %#x" % status
+    hpa = hypervisor.dom0.npt.hpa_of(5 * PAGE_SIZE, write=True)
+    system.machine.memctrl.write(hpa, b"DEFACED!")
+    tampered = ctx.read(share_gfn * PAGE_SIZE, 8)
+    return tampered == b"DEFACED!", "victim page overwritten via widened grant"
+
+
+@attack("grant-redirect-to-conspirator", "§2.2 grant redirection",
+        baseline_succeeds=True)
+def grant_redirect_to_conspirator(system):
+    """The victim granted a page to dom0; the hypervisor rewrites the
+    entry's target to a conspirator guest which then maps it."""
+    domain, ctx, share_gfn, ref = _sharing_victim(system)
+    conspirator, evil_ctx = _conspirator(system)
+    hypervisor = system.hypervisor
+    redirected = GrantEntry(permit=True, readonly=True,
+                            target_domid=conspirator.domid, gfn=share_gfn)
+    domain.grant_table.write_via(ref, redirected, hypervisor.word_writer)
+    status = hypervisor.grant_map(conspirator, domain.domid, ref,
+                                  dest_gfn=4, want_write=False)
+    if status != hc.E_OK:
+        return False, "conspirator map returned %#x" % status
+    data = evil_ctx.read(4 * PAGE_SIZE, 24)
+    return data == b"read-only bulletin board", \
+        "conspirator mapped the redirected grant"
+
+
+@attack("grant-forgery", "§4.3.7 GIT-checked grant creation",
+        baseline_succeeds=True)
+def grant_forgery(system):
+    """The hypervisor forges a brand-new grant entry for a page the
+    victim never offered (the one holding the secret)."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    hypervisor = system.hypervisor
+    forged = GrantEntry(permit=True, readonly=False,
+                        target_domid=0, gfn=secret_gfn)
+    free_ref = domain.grant_table.find_free_ref()
+    domain.grant_table.write_via(free_ref, forged, hypervisor.word_writer)
+    status = hypervisor.grant_map(hypervisor.dom0, domain.domid, free_ref,
+                                  dest_gfn=6, want_write=False)
+    return status == hc.E_OK, "forged grant mapped with status %#x" % status

@@ -1,0 +1,53 @@
+"""I/O-path attacks (Sections 2.2, 4.3.5, 6.2): the driver domain sits
+on the disk path and sees every byte in the shared buffers and on the
+virtual disk."""
+
+from repro.attacks.base import attack, make_victim
+
+_FILE = b"SECRET FILE: q3 acquisition target"
+
+
+def _blockdev(system, domain, ctx):
+    if system.protected:
+        encoder = system.sev_encoder_for(domain, ctx, pages=2)
+    else:
+        encoder = None  # plain SEV has no I/O protection at all
+    return system.attach_disk(domain, ctx, encoder=encoder, buffer_pages=2)
+
+
+@attack("driver-domain-io-snoop", "§2.2 I/O data exposure",
+        baseline_succeeds=True)
+def driver_domain_io_snoop(system):
+    """The back end records what crosses the shared buffer."""
+    domain, ctx, _ = make_victim(system)
+    disk, frontend, backend = _blockdev(system, domain, ctx)
+    frontend.write(10, _FILE)
+    frontend.read(10, 1)
+    observed = backend.everything_observed()
+    return _FILE[:12] in observed, "driver domain captured I/O bytes"
+
+
+@attack("disk-at-rest-theft", "§6.1 disk data protection",
+        baseline_succeeds=True)
+def disk_at_rest_theft(system):
+    """Steal the disk image after the guest wrote to it."""
+    domain, ctx, _ = make_victim(system)
+    disk, frontend, _ = _blockdev(system, domain, ctx)
+    frontend.write(10, _FILE)
+    return _FILE[:12] in disk.raw_sector(10), "plaintext found on disk"
+
+
+@attack("dma-buffer-snoop", "§2.2 DMA on unencrypted shared pages",
+        baseline_succeeds=True)
+def dma_buffer_snoop(system):
+    """A malicious device DMA-reads the shared I/O buffer right after a
+    transfer: the pages are necessarily unencrypted, so whatever the
+    encoder put there is what the device gets."""
+    from repro.common.constants import PAGE_SIZE
+    domain, ctx, _ = make_victim(system)
+    disk, frontend, _ = _blockdev(system, domain, ctx)
+    frontend.write(10, _FILE)
+    buffer_gfn = frontend.buffer_gfns[0]
+    hpa = system.hypervisor.guest_frame_hpfn(domain, buffer_gfn) * PAGE_SIZE
+    snooped = system.machine.dma.read(hpa, 512)
+    return _FILE[:12] in snooped, "DMA read the in-flight buffer"

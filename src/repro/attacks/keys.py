@@ -1,0 +1,78 @@
+"""Key-management abuse (Section 2.2, "remaining problems even with
+SEV-ES"): the handle-ASID relationship is hypervisor-managed, so the
+victim's K_vek can be handed to a collusive guest."""
+
+from repro.common.constants import PAGE_SIZE
+from repro.attacks.base import SECRET, attack, make_victim
+from repro.attacks.memory import _conspirator
+from repro.xen import hypercalls as hc
+
+
+@attack("handle-asid-keyshare", "§2.2 key sharing abuse",
+        baseline_succeeds=True)
+def handle_asid_keyshare(system):
+    """DEACTIVATE the conspirator, ACTIVATE the *victim's* handle on the
+    conspirator's ASID, remap the victim frame — the conspirator now
+    decrypts with the victim's key."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    conspirator, evil_ctx = _conspirator(system)
+    firmware = system.firmware
+    hypervisor = system.hypervisor
+
+    # the malicious hypervisor issues the commands directly
+    firmware.deactivate(conspirator.sev_handle)
+    firmware.deactivate(domain.sev_handle)
+    firmware.activate(domain.sev_handle, conspirator.asid)
+
+    victim_pfn = hypervisor.guest_frame_hpfn(domain, secret_gfn)
+    dest_gfn = 4
+    hypervisor.unmap_npt(conspirator, dest_gfn)
+    hypervisor.fill_npt(conspirator, dest_gfn, victim_pfn, writable=False)
+    evil_ctx.set_page_encrypted(dest_gfn)
+    system.machine.memctrl.flush_cache()  # defeat the cache channel: key abuse only
+    data = evil_ctx.read(dest_gfn * PAGE_SIZE, len(SECRET))
+    return SECRET in data, "conspirator decrypted with the victim's K_vek"
+
+
+@attack("sev-command-forgery", "§4.2.3 self-maintained SEV metadata",
+        baseline_succeeds=True)
+def sev_command_forgery(system):
+    """Issue raw SEV commands (DEACTIVATE of the victim) straight at the
+    firmware — under Fidelius the command interface is only reachable
+    through the type 3 gate."""
+    domain, ctx, _ = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    system.firmware.deactivate(domain.sev_handle)
+    still_active = system.machine.memctrl.slot_installed(domain.asid)
+    return not still_active, "victim key slot uninstalled by forged command"
+
+
+@attack("dbg-decrypt-abuse", "§4.2.3 gated SEV commands (DBG_DECRYPT)",
+        baseline_succeeds=True)
+def dbg_decrypt_abuse(system):
+    """Abuse the firmware's debug facility to decrypt the victim's
+    memory.  On the baseline, a victim whose owner forgot the NODBG
+    policy bit is an open book; under Fidelius the command interface
+    itself is unreachable outside the gates."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    pa = system.hypervisor.guest_frame_hpfn(domain, secret_gfn) * PAGE_SIZE
+    plaintext = system.firmware.dbg_decrypt(domain.sev_handle, pa,
+                                            len(SECRET))
+    return SECRET in plaintext, "debug facility decrypted guest memory"
+
+
+@attack("sev-metadata-probe", "§4.2.3 SEV metadata unmapped",
+        baseline_succeeds=False)
+def sev_metadata_probe(system):
+    """Read the handle bookkeeping out of memory.  The baseline has no
+    such metadata region (trivially nothing to find); under Fidelius the
+    pages exist but are unmapped — the probe must fault."""
+    domain, ctx, _ = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    if not system.protected:
+        return False, "no metadata region on the baseline"
+    pa = system.fidelius.sev_metadata_pfns[0] * PAGE_SIZE
+    blob = system.machine.cpu.load(pa, 64)
+    return b"handle" in blob, "read SEV metadata bytes"

@@ -1,0 +1,109 @@
+"""Lesion study instrumentation: surgically disable one Fidelius
+mechanism at a time.
+
+Each lesion models a hypothetical deployment that shipped without one
+defence, so the evaluation can show every mechanism is load-bearing:
+with the lesion applied, exactly the attacks that mechanism stops come
+back, and nothing else changes.  (Purely evaluation tooling — nothing
+here is reachable from the production code paths.)
+"""
+
+from repro.common.types import PrivOp
+
+#: lesion name -> (description, attack expected to break through)
+LESION_CATALOG = {
+    "no-shadowing": (
+        "exit boundary keeps baseline Xen register save/restore",
+        "register-steal",
+    ),
+    "no-binary-rewrite": (
+        "Xen text keeps its own unguarded privileged-instruction copies",
+        "clear-wp-and-rewrite-npt",
+    ),
+    "no-npt-policy": (
+        "NPT updates through the gate are not policy-checked",
+        "gate-laundered-remap",
+    ),
+    "no-git-policy": (
+        "grant updates through the gate are not checked against the GIT",
+        "grant-permission-widening",
+    ),
+    "no-guest-unmapping": (
+        "protected guests' RAM stays mapped in the hypervisor",
+        "cpu-ciphertext-replay",
+    ),
+    "no-sev-command-gate": (
+        "the firmware accepts commands from anywhere",
+        "sev-command-forgery",
+    ),
+}
+
+
+def apply_lesion(system, name):
+    """Disable one mechanism on a Fidelius host; returns the system."""
+    fidelius = system.fidelius
+    hypervisor = system.hypervisor
+    if name == "no-shadowing":
+        hypervisor.regs_saver = hypervisor._save_regs_direct
+        hypervisor.regs_restorer = hypervisor._restore_regs_direct
+    elif name == "no-binary-rewrite":
+        _replant_xen_copies(system)
+    elif name == "no-npt-policy":
+        fidelius.write_policy._check_npt = lambda *args: None
+    elif name == "no-git-policy":
+        fidelius.write_policy._check_grant = lambda *args: None
+        fidelius.write_policy._check_cross_domain = lambda *args: None
+    elif name == "no-guest-unmapping":
+        _remap_guest_ram(system)
+    elif name == "no-sev-command-gate":
+        system.firmware.gate_check = None
+    else:
+        raise KeyError("unknown lesion %r" % (name,))
+    fidelius.audit_event("lesion-applied", lesion=name)
+    return system
+
+
+def _replant_xen_copies(system):
+    """Undo the monopoly rewrite: put the encodings back into Xen text
+    (without checking loops — their hook sites stay at the Fidelius
+    copies, which is the whole point of the lesion)."""
+    from repro.xen.image import default_xen_image
+    text = system.hypervisor.text
+    pristine = default_xen_image(text.base_va, pages=text.pages)
+    system.machine.memory.write(text.base_va, pristine.to_bytes())
+    for op in PrivOp:
+        if pristine.has(op):
+            text._placements[op] = pristine.va_of(op) - text.base_va
+
+
+def _remap_guest_ram(system):
+    """Undo Section 4.3.4's unmapping — for guests already enrolled and
+    for any enrolled later (the lesioned build simply never unmaps)."""
+    from repro.common.constants import PTE_NX, PTE_PRESENT, PTE_WRITABLE
+    from repro.common.types import Owner, PageUsage
+    from repro.hw.pagetable import entry_pfn, make_entry
+    fidelius = system.fidelius
+    machine = system.machine
+
+    for domain in fidelius.protected_domains:
+        for _, leaf in domain.npt.leaf_mappings():
+            pfn = entry_pfn(leaf)
+            machine.walker.write_entry(
+                machine.host_root, pfn << 12,
+                make_entry(pfn, PTE_PRESENT | PTE_WRITABLE | PTE_NX))
+    machine.tlb.flush_all("lesion")
+
+    def protect_without_unmapping(domain):
+        fidelius.protected_domains.add(domain)
+        fidelius.audit_event("domain-protected", domid=domain.domid)
+
+    fidelius.protect_domain = protect_without_unmapping
+
+    def classify_only(domain, pfn):
+        fidelius.pit.classify(pfn, Owner.GUEST, PageUsage.GUEST_RAM,
+                              tag=domain.domid)
+
+    hooks = system.hypervisor._hooks["guest_frame_alloc"]
+    for index, hook in enumerate(hooks):
+        if getattr(hook, "__self__", None) is fidelius:
+            hooks[index] = classify_only

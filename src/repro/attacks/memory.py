@@ -1,0 +1,127 @@
+"""Memory-privacy and memory-integrity attacks (paper Sections 2.2, 6.2).
+
+Four attacks on the guest's memory through the hypervisor's control of
+the mapping structures and of the raw frames:
+
+* direct mapping + read of guest RAM;
+* the inter-VM remapping attack, harvesting plaintext from the
+  PA-indexed cache through a conspirator VM;
+* the in-place ciphertext replay of Hetzelt & Buhren via the CPU;
+* the same replay via DMA — which the paper concedes software cannot
+  stop (Section 8's case for hardware integrity).
+"""
+
+from repro.common.constants import PAGE_SIZE
+from repro.attacks.base import SECRET, attack, make_victim
+from repro.xen import hypercalls as hc
+
+
+@attack("hypervisor-direct-read", "§6.2 'Breaking memory privacy' (1)",
+        baseline_succeeds=False)
+def hypervisor_direct_read(system):
+    """The hypervisor maps (or already has mapped) the victim's frame in
+    its own space and reads it.  Against plain SEV the read *lands* but
+    yields ciphertext; under Fidelius the access itself faults."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    hpa = system.hypervisor.guest_frame_hpfn(domain, secret_gfn) * PAGE_SIZE
+    data = system.machine.cpu.load(hpa, len(SECRET))
+    return SECRET in data, "read %d bytes from guest frame" % len(data)
+
+
+@attack("inter-vm-remap-cache-leak", "§6.2 'Breaking memory privacy' (2)",
+        baseline_succeeds=True)
+def inter_vm_remap_cache_leak(system):
+    """Map the victim's hot frame into a conspirator's NPT; the
+    conspirator's encrypted read hits the PA-indexed plaintext cache."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    conspirator, evil_ctx = _conspirator(system)
+    hypervisor = system.hypervisor
+    victim_pfn = hypervisor.guest_frame_hpfn(domain, secret_gfn)
+    dest_gfn = 4
+    hypervisor.unmap_npt(conspirator, dest_gfn)
+    hypervisor.fill_npt(conspirator, dest_gfn, victim_pfn, writable=False)
+    evil_ctx.set_page_encrypted(dest_gfn)  # C-bit read: consult the cache
+    data = evil_ctx.read(dest_gfn * PAGE_SIZE, len(SECRET))
+    return SECRET in data, "conspirator read the victim's line"
+
+
+@attack("cpu-ciphertext-replay", "§2.2 replay attack [Hetzelt-Buhren]",
+        baseline_succeeds=True)
+def cpu_ciphertext_replay(system):
+    """Record the ciphertext of a page holding an *old* value, let the
+    guest update it, then write the stale ciphertext back in place
+    through the CPU: the guest now reads the old value again."""
+    domain, ctx, secret_gfn = make_victim(system, secret=b"password=OLD!" + bytes(19))
+    hpa = system.hypervisor.guest_frame_hpfn(domain, secret_gfn) * PAGE_SIZE
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    stale = system.machine.memory.read(hpa, 32)  # snapshot (any reader)
+    ctx.write(secret_gfn * PAGE_SIZE, b"password=NEW!" + bytes(19))
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    # the write that must fault under Fidelius: guest RAM is unmapped
+    system.machine.cpu.store(hpa, stale)
+    system.machine.memctrl.flush_cache()
+    replayed = ctx.read(secret_gfn * PAGE_SIZE, 13)
+    return replayed == b"password=OLD!", "guest observed %r" % replayed
+
+
+@attack("dma-ciphertext-replay", "§8 integrity gap (Rowhammer / I/O tamper)",
+        baseline_succeeds=True, fidelius_blocks=False)
+def dma_ciphertext_replay(system):
+    """The same replay through the DMA port.  Software isolation cannot
+    intercept device-side writes: the paper's own Section 8 concedes
+    this and proposes hardware integrity (the BMT extension)."""
+    domain, ctx, secret_gfn = make_victim(system, secret=b"password=OLD!" + bytes(19))
+    hpa = system.hypervisor.guest_frame_hpfn(domain, secret_gfn) * PAGE_SIZE
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    # the malicious device works with bus addresses; without an IOMMU
+    # they are the physical addresses themselves
+    stale = system.machine.dma.read(hpa, 32)
+    ctx.write(secret_gfn * PAGE_SIZE, b"password=NEW!" + bytes(19))
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    system.machine.dma.write(hpa, stale)
+    replayed = ctx.read(secret_gfn * PAGE_SIZE, 13)
+    return replayed == b"password=OLD!", "guest observed %r" % replayed
+
+
+def _conspirator(system):
+    """A conspirator guest colluding with the hypervisor.
+
+    It is created through the *legitimate* launch channel (on a
+    Fidelius host, SEV launches run inside Fidelius's gates) — the
+    collusion happens afterwards.
+    """
+    domain = system.hypervisor.create_domain("conspirator", 16, sev=True)
+    if system.protected:
+        fid = system.fidelius
+        handle = fid.firmware_call("launch_start")
+        fid.firmware_call("launch_finish", handle)
+        fid.firmware_call("activate", handle, domain.asid)
+    else:
+        handle = system.firmware.launch_start()
+        system.firmware.launch_finish(handle)
+        system.firmware.activate(handle, domain.asid)
+    domain.sev_handle = handle
+    return domain, domain.context()
+
+
+@attack("gate-laundered-remap", "§4.2.2 NPT write-protection",
+        baseline_succeeds=True)
+def gate_laundered_remap(system):
+    """A cleverer hypervisor routes the malicious NPT update through the
+    legitimate gated path instead of writing the entry raw — the PIT
+    policy inside the gate must catch it anyway."""
+    domain, ctx, secret_gfn = make_victim(system)
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    conspirator, evil_ctx = _conspirator(system)
+    hypervisor = system.hypervisor
+    victim_pfn = hypervisor.guest_frame_hpfn(domain, secret_gfn)
+    dest_gfn = 4
+    hypervisor.unmap_npt(conspirator, dest_gfn)
+    # goes through word_writer: on baseline a plain store, under
+    # Fidelius the type 1 gate with the PIT/GIT policies
+    hypervisor.fill_npt(conspirator, dest_gfn, victim_pfn, writable=True)
+    evil_ctx.set_page_encrypted(dest_gfn)
+    data = evil_ctx.read(dest_gfn * PAGE_SIZE, len(SECRET))
+    return SECRET in data, "gated remap let the conspirator read"

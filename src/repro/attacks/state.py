@@ -1,0 +1,139 @@
+"""Guest runtime-state attacks: the pre-SEV-ES surface (Section 2.2).
+
+The VMCB and the general-purpose registers are exposed across every
+exit on plain SEV; the hypervisor can steal confidential values and
+tamper with control state — "this can lead to arbitrary guest memory
+reads and writes or even disable SEV protection completely".
+"""
+
+from repro.attacks.base import attack, make_victim
+from repro.xen import hypercalls as hc
+
+_SENTINEL = 0x5EC12E7C0DE
+
+
+@attack("register-steal", "§2.2 exposed GPRs on exit",
+        baseline_succeeds=True)
+def register_steal(system):
+    """Harvest a secret the guest holds in a callee-saved register when
+    a hypercall traps out."""
+    domain, ctx, _ = make_victim(system)
+    ctx._ensure_guest()
+    system.machine.cpu.regs["r14"] = _SENTINEL
+    stolen = {}
+
+    def spy(vcpu, *args):
+        stolen["r14"] = vcpu.saved_gprs["r14"]
+        return hc.E_OK
+
+    system.hypervisor.register_hypercall(90, spy)
+    ctx.hypercall(90)
+    return stolen["r14"] == _SENTINEL, "hypervisor saw r14=%#x" % stolen["r14"]
+
+
+@attack("register-tamper", "§2.2 exposed GPRs on exit",
+        baseline_succeeds=True)
+def register_tamper(system):
+    """Overwrite a guest register across an exit: on the baseline the
+    poisoned value flows back into the guest."""
+    domain, ctx, _ = make_victim(system)
+    ctx._ensure_guest()
+    system.machine.cpu.regs["r13"] = 1000
+
+    def poison(vcpu, *args):
+        vcpu.saved_gprs["r13"] = 0xBAD
+        return hc.E_OK
+
+    system.hypervisor.register_hypercall(91, poison)
+    ctx.hypercall(91)
+    value = system.machine.cpu.regs["r13"]
+    return value == 0xBAD, "guest r13 after exit: %#x" % value
+
+
+@attack("vmcb-read-guest-state", "§2.2 unencrypted VMCB",
+        baseline_succeeds=True)
+def vmcb_read_guest_state(system):
+    """Read confidential control state (guest CR3) out of the VMCB
+    while servicing an exit."""
+    domain, ctx, _ = make_victim(system)
+    ctx._ensure_guest()
+    domain.vcpu0.vmcb.write("cr3", 0x1337000)  # guest-owned state
+    seen = {}
+
+    def peek(vcpu, *args):
+        seen["cr3"] = vcpu.vmcb.read("cr3")
+        return hc.E_OK
+
+    system.hypervisor.register_hypercall(92, peek)
+    ctx.hypercall(92)
+    return seen["cr3"] == 0x1337000, "hypervisor saw cr3=%#x" % seen["cr3"]
+
+
+@attack("vmcb-disable-protection", "§2.2 VMCB integrity / [2]",
+        baseline_succeeds=True)
+def vmcb_disable_protection(system):
+    """Tamper with the VMCB's control fields during an exit: redirect
+    the nested CR3 (arbitrary memory remap) — the 'disable SEV
+    protection completely' primitive."""
+    domain, ctx, _ = make_victim(system)
+    ctx._ensure_guest()
+    rogue_npt_root = system.machine.allocator.alloc()
+    system.machine.memory.zero_frame(rogue_npt_root)
+
+    def sabotage(vcpu, *args):
+        vcpu.vmcb.write("nested_cr3", rogue_npt_root)
+        return hc.E_OK
+
+    system.hypervisor.register_hypercall(93, sabotage)
+    ctx.hypercall(93)
+    effective = domain.vcpu0.vmcb.read("nested_cr3")
+    return effective == rogue_npt_root, \
+        "guest re-entered with nested_cr3=%#x" % effective
+
+
+@attack("vmcb-rip-hijack", "§5.1 exit-reason policies (RIP advance)",
+        baseline_succeeds=True)
+def vmcb_rip_hijack(system):
+    """Redirect the guest's instruction pointer through the VMCB while
+    servicing a hypercall: on plain SEV the guest resumes wherever the
+    hypervisor pointed it; Fidelius only accepts instruction-length
+    advances of RIP."""
+    domain, ctx, _ = make_victim(system)
+    ctx._ensure_guest()
+
+    def hijack(vcpu, *args):
+        vcpu.vmcb.write("rip", 0x41414141)  # attacker-chosen gadget
+        return hc.E_OK
+
+    system.hypervisor.register_hypercall(95, hijack)
+    ctx.hypercall(95)
+    landed = domain.vcpu0.vmcb.read("rip")
+    return landed == 0x41414141, "guest resumed at %#x" % landed
+
+
+@attack("iago-return-value", "§6.2 Iago attacks [12]",
+        baseline_succeeds=True)
+def iago_return_value(system):
+    """The hypervisor answers a guest request with a malicious value (a
+    frame number pointing into attacker-readable memory).  Fidelius's
+    return-value policy vets it before VMRUN."""
+    domain, ctx, _ = make_victim(system)
+    nr = 94
+
+    def lying_allocator(vcpu, *args):
+        # "here is your new frame": far outside the guest's memory
+        return 0xDEAD_BEEF
+
+    system.hypervisor.register_hypercall(nr, lying_allocator)
+    if system.protected:
+        from repro.common.errors import PolicyViolation
+
+        def validate_gfn(value, vcpu):
+            if value >= vcpu.domain.guest_frames:
+                raise PolicyViolation(
+                    "iago", "hypercall %d returned absurd gfn %#x"
+                    % (nr, value))
+
+        system.fidelius.register_return_validator(nr, validate_gfn)
+    returned = ctx.hypercall(nr)
+    return returned == 0xDEAD_BEEF, "guest accepted gfn %#x" % returned

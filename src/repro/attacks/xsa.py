@@ -1,0 +1,152 @@
+"""The Xen Security Advisory corpus analysis (paper Section 6.2).
+
+The paper analyzed 235 XSAs: 58 concern QEMU (out of scope), leaving 177
+hypervisor-related.  Of those, Fidelius thwarts the 31 privilege
+escalations and 22 information leaks; 14 stem from flaws inside the
+guest itself and the remaining 110 are denial-of-service — both outside
+the threat model.
+
+We reconstruct a synthetic corpus with that exact composition (the real
+advisory texts are not redistributable), each advisory tagged with the
+subsystem it lives in, and implement the coverage classifier whose
+totals reproduce the paper's quantitative claim: 31/177 = 17.5%
+privilege escalations and 22/177 = 12.4% information leaks thwarted.
+"""
+
+import enum
+import random
+from dataclasses import dataclass
+
+TOTAL_XSAS = 235
+QEMU_XSAS = 58
+HYPERVISOR_XSAS = TOTAL_XSAS - QEMU_XSAS  # 177
+PRIV_ESCALATION_XSAS = 31
+INFO_LEAK_XSAS = 22
+GUEST_INTERNAL_XSAS = 14
+DOS_XSAS = HYPERVISOR_XSAS - PRIV_ESCALATION_XSAS - INFO_LEAK_XSAS \
+    - GUEST_INTERNAL_XSAS  # 110
+
+
+class Component(enum.Enum):
+    HYPERVISOR = "hypervisor"
+    QEMU = "qemu"
+
+
+class Impact(enum.Enum):
+    PRIVILEGE_ESCALATION = "privilege-escalation"
+    INFO_LEAK = "information-leak"
+    GUEST_INTERNAL = "guest-internal-flaw"
+    DENIAL_OF_SERVICE = "denial-of-service"
+
+
+class Coverage(enum.Enum):
+    THWARTED = "thwarted"
+    OUT_OF_SCOPE = "out-of-scope"
+
+
+#: Subsystems a hypervisor advisory can live in; used to attach each
+#: synthetic XSA to the Fidelius mechanism that would interpose on it.
+_SUBSYSTEMS = {
+    Impact.PRIVILEGE_ESCALATION: [
+        ("memory/p2m", "PIT policy on NPT updates"),
+        ("grant tables", "GIT policy on grant updates"),
+        ("page tables", "write-protected page-table-pages"),
+        ("x86 emulation", "shadowed VMCB + exit-reason policies"),
+        ("privileged instructions", "monopoly + checking loops"),
+    ],
+    Impact.INFO_LEAK: [
+        ("hypercall handlers", "register masking on exit"),
+        ("x86 state save", "VMCB shadowing"),
+        ("memory/p2m", "guest RAM unmapped from the hypervisor"),
+        ("grant tables", "GIT policy on grant updates"),
+    ],
+    Impact.GUEST_INTERNAL: [
+        ("guest kernel", "out of scope: flaw inside the guest"),
+    ],
+    Impact.DENIAL_OF_SERVICE: [
+        ("scheduler", "out of scope: availability"),
+        ("interrupt handling", "out of scope: availability"),
+        ("memory accounting", "out of scope: availability"),
+        ("event channels", "out of scope: availability"),
+    ],
+}
+
+
+@dataclass(frozen=True)
+class Advisory:
+    xsa_id: int
+    component: Component
+    impact: Impact
+    subsystem: str
+    mechanism: str
+
+
+def build_corpus(seed=235):
+    """The synthetic 235-advisory corpus with the paper's composition."""
+    rng = random.Random(seed)
+    advisories = []
+    plan = (
+        [(Component.QEMU, Impact.DENIAL_OF_SERVICE)] * QEMU_XSAS
+        + [(Component.HYPERVISOR, Impact.PRIVILEGE_ESCALATION)]
+        * PRIV_ESCALATION_XSAS
+        + [(Component.HYPERVISOR, Impact.INFO_LEAK)] * INFO_LEAK_XSAS
+        + [(Component.HYPERVISOR, Impact.GUEST_INTERNAL)]
+        * GUEST_INTERNAL_XSAS
+        + [(Component.HYPERVISOR, Impact.DENIAL_OF_SERVICE)] * DOS_XSAS
+    )
+    rng.shuffle(plan)
+    for xsa_id, (component, impact) in enumerate(plan, start=1):
+        if component is Component.QEMU:
+            subsystem, mechanism = "qemu device model", \
+                "out of scope: device-model process"
+        else:
+            subsystem, mechanism = rng.choice(_SUBSYSTEMS[impact])
+        advisories.append(Advisory(xsa_id, component, impact, subsystem,
+                                   mechanism))
+    return advisories
+
+
+def classify(advisory):
+    """Fidelius's coverage rule for one advisory (Section 6.2):
+    hypervisor-side privilege escalations and information leaks are
+    thwarted; QEMU, guest-internal and DoS advisories are out of scope."""
+    if advisory.component is Component.QEMU:
+        return Coverage.OUT_OF_SCOPE
+    if advisory.impact in (Impact.PRIVILEGE_ESCALATION, Impact.INFO_LEAK):
+        return Coverage.THWARTED
+    return Coverage.OUT_OF_SCOPE
+
+
+def mechanism_breakdown(corpus=None):
+    """Thwarted advisories grouped by the Fidelius mechanism that
+    interposes on their subsystem — the 'which defence earns its keep'
+    view of the Section 6.2 numbers."""
+    corpus = corpus or build_corpus()
+    breakdown = {}
+    for advisory in corpus:
+        if classify(advisory) is Coverage.THWARTED:
+            breakdown.setdefault(advisory.mechanism, []).append(advisory)
+    return {mechanism: len(items)
+            for mechanism, items in sorted(breakdown.items())}
+
+
+def analyze(corpus=None):
+    """The Section 6.2 headline numbers, computed from the corpus."""
+    corpus = corpus or build_corpus()
+    hypervisor = [a for a in corpus if a.component is Component.HYPERVISOR]
+    thwarted = [a for a in hypervisor if classify(a) is Coverage.THWARTED]
+    priv = [a for a in thwarted
+            if a.impact is Impact.PRIVILEGE_ESCALATION]
+    leak = [a for a in thwarted if a.impact is Impact.INFO_LEAK]
+    guest = [a for a in hypervisor
+             if a.impact is Impact.GUEST_INTERNAL]
+    return {
+        "total": len(corpus),
+        "hypervisor_related": len(hypervisor),
+        "privilege_escalation_thwarted": len(priv),
+        "info_leak_thwarted": len(leak),
+        "guest_internal": len(guest),
+        "dos_out_of_scope": len(hypervisor) - len(thwarted) - len(guest),
+        "privilege_escalation_pct": 100.0 * len(priv) / len(hypervisor),
+        "info_leak_pct": 100.0 * len(leak) / len(hypervisor),
+    }

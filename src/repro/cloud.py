@@ -1,0 +1,153 @@
+"""Fleet orchestration: a multi-host Fidelius cloud.
+
+A thin control plane over :class:`~repro.system.System` that does what a
+tenant-facing cloud of Fidelius hosts would do:
+
+* attest every host before placing anything on it (Section 4.3.1's
+  remote-attestation use of the measurements);
+* place tenants on the least-loaded attested host;
+* migrate tenants between hosts over the SEND/RECEIVE transport;
+* evacuate a host (e.g. for maintenance) by migrating everything off it.
+
+Tenant identity survives migration: the :class:`Tenant` handle tracks
+where its domain currently lives.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.core.attestation import (
+    AttestationAuthority,
+    RemoteVerifier,
+    golden_measurements,
+)
+from repro.core.migration import migrate_guest
+from repro.system import System
+
+
+@dataclass
+class Tenant:
+    """One tenant's running guest, wherever it currently lives."""
+
+    name: str
+    owner: object
+    host_index: int
+    domain: object = field(repr=False)
+    ctx: object = field(repr=False)
+
+
+class Cloud:
+    """A fleet of identically built Fidelius hosts."""
+
+    def __init__(self, hosts=2, frames=4096, seed=0xC10D):
+        if hosts < 1:
+            raise ReproError("a cloud needs at least one host")
+        self.hosts = [System.create(fidelius=True, frames=frames,
+                                    seed=seed + i) for i in range(hosts)]
+        self._authorities = [AttestationAuthority(h.machine)
+                             for h in self.hosts]
+        # All hosts run the same build: host 0's measurements are the
+        # fleet's golden values (the distributor's reference).
+        golden_fid, golden_xen = golden_measurements(self.hosts[0])
+        self._verifiers = [
+            RemoteVerifier(golden_fid, golden_xen,
+                           authority.public_verifier())
+            for authority in self._authorities
+        ]
+        self.tenants = {}
+
+    def __len__(self):
+        return len(self.hosts)
+
+    def host(self, index):
+        return self.hosts[index]
+
+    # -- attestation -------------------------------------------------------------
+
+    def attest_host(self, index):
+        """True if host ``index`` passes remote attestation right now."""
+        host = self.hosts[index]
+        verifier = self._verifiers[index]
+        nonce = verifier.fresh_nonce(host.machine.rng)
+        quote = self._authorities[index].quote(host.fidelius, nonce)
+        try:
+            return verifier.check(quote, nonce)
+        except ReproError:
+            return False
+
+    def attested_hosts(self):
+        return [i for i in range(len(self.hosts)) if self.attest_host(i)]
+
+    # -- placement ----------------------------------------------------------------
+
+    def _load(self, index):
+        return len([t for t in self.tenants.values()
+                    if t.host_index == index])
+
+    def pick_host(self):
+        """The least-loaded host that passes attestation."""
+        candidates = self.attested_hosts()
+        if not candidates:
+            raise ReproError("no host in the fleet passes attestation")
+        return min(candidates, key=self._load)
+
+    def launch_tenant(self, name, owner, payload=b"", guest_frames=48,
+                      host_index=None):
+        """Attest, place, and boot a tenant from its encrypted image."""
+        if name in self.tenants:
+            raise ReproError("tenant %r already exists" % name)
+        index = self.pick_host() if host_index is None else host_index
+        if host_index is not None and not self.attest_host(host_index):
+            raise ReproError("host %d fails attestation" % host_index)
+        host = self.hosts[index]
+        domain, ctx = host.boot_protected_guest(
+            name, owner, payload=payload, guest_frames=guest_frames)
+        tenant = Tenant(name, owner, index, domain, ctx)
+        self.tenants[name] = tenant
+        return tenant
+
+    # -- mobility -------------------------------------------------------------------
+
+    def migrate_tenant(self, name, to_host_index):
+        """Move a tenant; its handle keeps working afterwards."""
+        tenant = self.tenants[name]
+        if to_host_index == tenant.host_index:
+            return tenant
+        if not self.attest_host(to_host_index):
+            raise ReproError("refusing to migrate onto an unattested host")
+        source = self.hosts[tenant.host_index]
+        target = self.hosts[to_host_index]
+        domain, ctx = migrate_guest(source.fidelius, tenant.domain,
+                                    target.fidelius)
+        tenant.host_index = to_host_index
+        tenant.domain = domain
+        tenant.ctx = ctx
+        return tenant
+
+    def evacuate(self, host_index):
+        """Migrate every tenant off one host (maintenance drain)."""
+        others = [i for i in self.attested_hosts() if i != host_index]
+        if not others:
+            raise ReproError("nowhere to evacuate to")
+        moved = []
+        for tenant in list(self.tenants.values()):
+            if tenant.host_index != host_index:
+                continue
+            destination = min(others, key=self._load)
+            self.migrate_tenant(tenant.name, destination)
+            moved.append(tenant.name)
+        return moved
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def shutdown_tenant(self, name):
+        tenant = self.tenants.pop(name)
+        host = self.hosts[tenant.host_index]
+        host.hypervisor.destroy_domain(tenant.domain)
+
+    def inventory(self):
+        """{host_index: [tenant names]} for every host."""
+        out = {i: [] for i in range(len(self.hosts))}
+        for tenant in self.tenants.values():
+            out[tenant.host_index].append(tenant.name)
+        return {i: sorted(names) for i, names in out.items()}

@@ -1,0 +1,36 @@
+"""Shared primitives used by every subsystem of the Fidelius reproduction.
+
+This package deliberately has no dependency on any other ``repro``
+subpackage: it provides the constants, error hierarchy, address helpers,
+simulated cryptography and small data structures that the hardware
+model, the SEV firmware model, the Xen substrate and the Fidelius core
+all build on.
+"""
+
+from repro.common import constants
+from repro.common.errors import (
+    AttackFailed,
+    FirmwareStateError,
+    GateViolation,
+    HypercallError,
+    PageFault,
+    PhysicalMemoryError,
+    PolicyViolation,
+    ReproError,
+    SevError,
+    XenError,
+)
+
+__all__ = [
+    "constants",
+    "ReproError",
+    "PhysicalMemoryError",
+    "PageFault",
+    "SevError",
+    "FirmwareStateError",
+    "XenError",
+    "HypercallError",
+    "PolicyViolation",
+    "GateViolation",
+    "AttackFailed",
+]

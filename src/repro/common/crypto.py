@@ -1,0 +1,136 @@
+"""Simulated cryptography for the reproduction.
+
+The paper's claims never depend on the strength of AES-128: they depend
+on *which principal holds which key* and on the structural properties of
+the SEV memory encryption mode (deterministic, physical-address-tweaked,
+no integrity).  We therefore use a deterministic keyed keystream built
+from SHA-256 in counter mode.  It preserves every property the paper's
+attacks and defences exercise:
+
+* the same (key, tweak) pair always produces the same ciphertext, so an
+  attacker can *replay* stale ciphertext at the same physical address
+  (the Hetzelt-Buhren attack of Section 2.2);
+* ciphertext moved to a different physical address (different tweak)
+  decrypts to garbage;
+* decrypting with the wrong key yields garbage, never an error — SEV has
+  no hardware integrity protection (Section 8 proposes adding a BMT).
+
+Key agreement is classic finite-field Diffie-Hellman over the RFC 3526
+1536-bit MODP group, standing in for the ECDH negotiation between the
+guest owner and the SEV firmware.
+"""
+
+import hashlib
+import hmac as _hmac
+
+from repro.common.constants import KEY_BYTES, MEASUREMENT_BYTES
+
+_DIGEST_BYTES = 32
+
+# RFC 3526 group 5 (1536-bit MODP); generator 2.
+DH_PRIME = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD1"
+    "29024E088A67CC74020BBEA63B139B22514A08798E3404DD"
+    "EF9519B3CD3A431B302B0A6DF25F14374FE1356D6D51C245"
+    "E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3D"
+    "C2007CB8A163BF0598DA48361C55D39A69163FA8FD24CF5F"
+    "83655D23DCA3AD961C62F356208552BB9ED529077096966D"
+    "670C354E4ABC9804F1746C08CA237327FFFFFFFFFFFFFFFF",
+    16,
+)
+DH_GENERATOR = 2
+
+
+def keystream(key, tweak, length, offset=0):
+    """Deterministic keystream bytes for (key, tweak), starting at offset."""
+    out = bytearray()
+    first_block = offset // _DIGEST_BYTES
+    last_block = (offset + length - 1) // _DIGEST_BYTES
+    for block in range(first_block, last_block + 1):
+        h = hashlib.sha256()
+        h.update(key)
+        h.update(b"|")
+        h.update(tweak)
+        h.update(b"|")
+        h.update(block.to_bytes(8, "little"))
+        out.extend(h.digest())
+    skip = offset - first_block * _DIGEST_BYTES
+    return bytes(out[skip:skip + length])
+
+
+def xex_encrypt(key, tweak, data, offset=0):
+    """Encrypt (or decrypt: the operation is an involution) ``data``.
+
+    ``offset`` is the byte position of ``data`` within the tweaked unit,
+    which makes the cipher byte-addressable: partial writes to an
+    encrypted cache line need no read-modify-write in the model.
+    """
+    ks = keystream(key, tweak, len(data), offset)
+    return bytes(a ^ b for a, b in zip(data, ks))
+
+
+xex_decrypt = xex_encrypt
+
+
+def hmac_measure(key, data):
+    """Integrity measurement (the paper's ``M_vm``), HMAC-SHA256."""
+    return _hmac.new(key, data, hashlib.sha256).digest()[:MEASUREMENT_BYTES]
+
+
+def constant_time_equal(a, b):
+    return _hmac.compare_digest(a, b)
+
+
+def derive_key(secret, label):
+    """Derive a 16-byte subkey from a secret for the given label."""
+    h = hashlib.sha256()
+    h.update(secret)
+    h.update(b"|derive|")
+    h.update(label if isinstance(label, bytes) else label.encode())
+    return h.digest()[:KEY_BYTES]
+
+
+class DiffieHellman:
+    """One party of a DH key agreement (guest owner or SEV firmware)."""
+
+    def __init__(self, rng):
+        self._private = rng.randrange(2, DH_PRIME - 2)
+        self.public = pow(DH_GENERATOR, self._private, DH_PRIME)
+
+    def shared_secret(self, peer_public, nonce):
+        """The master secret ``S_m``: DH(shared) mixed with the guest nonce.
+
+        Only the two parties holding a private key can compute it; the
+        hypervisor relaying ``peer_public`` and ``nonce`` in the middle
+        cannot (Section 4.3.2).
+        """
+        if not 2 <= peer_public <= DH_PRIME - 2:
+            raise ValueError("invalid DH public value")
+        z = pow(peer_public, self._private, DH_PRIME)
+        h = hashlib.sha256()
+        h.update(z.to_bytes((DH_PRIME.bit_length() + 7) // 8, "big"))
+        h.update(b"|master|")
+        h.update(nonce)
+        return h.digest()
+
+
+def wrap_key(kek, key):
+    """Wrap ``key`` under ``kek``; returns (ciphertext, tag)."""
+    ct = xex_encrypt(kek, b"key-wrap", key)
+    tag = hmac_measure(kek, b"key-wrap-tag" + ct)
+    return ct, tag
+
+
+def unwrap_key(kek, wrapped):
+    """Unwrap a (ciphertext, tag) pair; raises ValueError on a bad tag."""
+    ct, tag = wrapped
+    expect = hmac_measure(kek, b"key-wrap-tag" + ct)
+    if not constant_time_equal(tag, expect):
+        raise ValueError("key unwrap failed: integrity tag mismatch")
+    return xex_decrypt(kek, b"key-wrap", ct)
+
+
+def random_key(rng):
+    """A fresh 16-byte key drawn from the supplied ``random.Random``."""
+    return bytes(rng.getrandbits(8) for _ in range(KEY_BYTES))

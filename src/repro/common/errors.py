@@ -1,0 +1,114 @@
+"""Exception hierarchy for the Fidelius reproduction.
+
+Faults that real hardware would raise synchronously (page faults) are
+exceptions so that the CPU model can dispatch them to the registered
+fault handler, exactly like a fault vector.  Policy violations detected
+by Fidelius are also exceptions: in the paper the corresponding code
+path aborts the offending operation and logs it for auditing.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class PhysicalMemoryError(ReproError):
+    """Access outside the simulated physical address space."""
+
+
+class PageFault(ReproError):
+    """A translation fault raised by the page-table walker.
+
+    Attributes mirror the x86 page-fault error code: the faulting virtual
+    address, whether the access was a write / instruction fetch / user
+    access, and whether the fault is due to a missing mapping
+    (``present=False``) or a permission violation (``present=True``).
+    """
+
+    def __init__(self, vaddr, write=False, execute=False, user=False,
+                 present=False, message=""):
+        self.vaddr = vaddr
+        self.write = write
+        self.execute = execute
+        self.user = user
+        self.present = present
+        detail = message or (
+            "page fault at va=%#x (write=%s execute=%s user=%s present=%s)"
+            % (vaddr, write, execute, user, present)
+        )
+        super().__init__(detail)
+
+
+class NestedPageFault(ReproError):
+    """A violation in the second-level (GPA -> HPA) translation."""
+
+    def __init__(self, gpa, write=False, message=""):
+        self.gpa = gpa
+        self.write = write
+        super().__init__(message or "nested page fault at gpa=%#x" % gpa)
+
+
+class SevError(ReproError):
+    """An SEV firmware command failed; carries the firmware status code."""
+
+    def __init__(self, status, message=""):
+        self.status = status
+        super().__init__(message or "SEV command failed: %s" % (status,))
+
+
+class FirmwareStateError(SevError):
+    """Command issued against a guest context in the wrong state."""
+
+    def __init__(self, expected, actual):
+        self.expected = expected
+        self.actual = actual
+        super().__init__(
+            "INVALID_GUEST_STATE",
+            "guest context is %s, command requires %s" % (actual, expected),
+        )
+
+
+class XenError(ReproError):
+    """Generic error inside the Xen substrate."""
+
+
+class HypercallError(XenError):
+    """A hypercall returned an error code."""
+
+    def __init__(self, code, message=""):
+        self.code = code
+        super().__init__(message or "hypercall failed: %s" % (code,))
+
+
+class GrantTableError(XenError):
+    """Invalid grant-table operation."""
+
+
+class PolicyViolation(ReproError):
+    """Fidelius detected and aborted an operation violating a policy.
+
+    ``policy`` names the policy (e.g. ``"pit"``, ``"git"``,
+    ``"exit-reason"``, ``"write-once"``), ``detail`` says what was
+    attempted.  Raising this exception models the paper's behaviour of
+    aborting the illegal update and logging it for auditing.
+    """
+
+    def __init__(self, policy, detail=""):
+        self.policy = policy
+        super().__init__("policy '%s' violated: %s" % (policy, detail))
+
+
+class GateViolation(PolicyViolation):
+    """Sanity check inside a gate failed (wrong entry conditions)."""
+
+    def __init__(self, gate, detail=""):
+        self.gate = gate
+        super().__init__("gate-%s" % gate, detail)
+
+
+class AttackFailed(ReproError):
+    """Raised by attack programs when a step they rely on is impossible.
+
+    Attack drivers catch :class:`PolicyViolation`, :class:`PageFault` and
+    this exception to report an attack as *blocked*.
+    """

@@ -1,0 +1,141 @@
+"""Small shared value types: access descriptors, exit reasons, owners."""
+
+import enum
+from dataclasses import dataclass
+
+from repro.common.constants import PAGE_MASK, PAGE_SHIFT
+
+
+def pfn_of(pa):
+    """Physical frame number containing physical address ``pa``."""
+    return pa >> PAGE_SHIFT
+
+
+def page_offset(addr):
+    return addr & PAGE_MASK
+
+
+def page_base(addr):
+    return addr & ~PAGE_MASK
+
+
+def frame_addr(pfn):
+    return pfn << PAGE_SHIFT
+
+
+@dataclass(frozen=True)
+class Access:
+    """One memory access as seen by the page-table walker."""
+
+    write: bool = False
+    execute: bool = False
+    user: bool = False
+
+    @classmethod
+    def read(cls):
+        return cls()
+
+    @classmethod
+    def store(cls):
+        return cls(write=True)
+
+    @classmethod
+    def fetch(cls):
+        return cls(execute=True)
+
+
+class CpuMode(enum.Enum):
+    HOST = "host"
+    GUEST = "guest"
+
+
+class ExitReason(enum.Enum):
+    """VM-exit codes the reproduction dispatches on (paper Section 5.1)."""
+
+    NPF = "nested-page-fault"
+    CPUID = "cpuid"
+    HYPERCALL = "hypercall"
+    IOIO = "ioio"
+    MSR = "msr"
+    HLT = "hlt"
+    SHUTDOWN = "shutdown"
+    INTR = "interrupt"
+
+
+class PrivOp(enum.Enum):
+    """Privileged instructions restricted by Fidelius (paper Table 2)."""
+
+    MOV_CR0 = "mov-cr0"
+    MOV_CR3 = "mov-cr3"
+    MOV_CR4 = "mov-cr4"
+    WRMSR = "wrmsr"
+    VMRUN = "vmrun"
+    LGDT = "lgdt"
+    LIDT = "lidt"
+
+
+#: Byte encodings of the restricted instructions (real x86 opcodes), used
+#: by the binary scanner to enforce the monopoly rule even for sequences
+#: not aligned to instruction boundaries (paper Section 4.1.2).
+PRIV_OPCODES = {
+    PrivOp.MOV_CR0: b"\x0f\x22\xc0",
+    PrivOp.MOV_CR3: b"\x0f\x22\xd8",
+    PrivOp.MOV_CR4: b"\x0f\x22\xe0",
+    PrivOp.WRMSR: b"\x0f\x30",
+    PrivOp.VMRUN: b"\x0f\x01\xd8",
+    PrivOp.LGDT: b"\x0f\x01\x10",
+    PrivOp.LIDT: b"\x0f\x01\x18",
+}
+
+
+class Owner(enum.Enum):
+    """Frame ownership classes tracked by the page information table."""
+
+    FREE = 0
+    XEN = 1
+    FIDELIUS = 2
+    GUEST = 3
+    DOM0 = 4
+    FIRMWARE = 5
+
+
+class PageUsage(enum.Enum):
+    """Frame usage classes tracked by the page information table."""
+
+    NONE = 0
+    DATA = 1
+    CODE = 2
+    PAGE_TABLE_L4 = 3
+    PAGE_TABLE_L3 = 4
+    PAGE_TABLE_L2 = 5
+    PAGE_TABLE_L1 = 6
+    NPT_PAGE = 7
+    GRANT_TABLE = 8
+    PIT_PAGE = 9
+    GIT_PAGE = 10
+    SHADOW_AREA = 11
+    SEV_METADATA = 12
+    GUEST_RAM = 13
+    IO_BUFFER = 14
+    START_INFO = 15
+    SHARED_INFO = 16
+    IOMMU_PAGE = 17
+
+    @property
+    def is_page_table(self):
+        return self in (
+            PageUsage.PAGE_TABLE_L4,
+            PageUsage.PAGE_TABLE_L3,
+            PageUsage.PAGE_TABLE_L2,
+            PageUsage.PAGE_TABLE_L1,
+        )
+
+
+def page_table_usage_for_level(level):
+    """PIT usage class for a page-table-page at walker level 4..1."""
+    return {
+        4: PageUsage.PAGE_TABLE_L4,
+        3: PageUsage.PAGE_TABLE_L3,
+        2: PageUsage.PAGE_TABLE_L2,
+        1: PageUsage.PAGE_TABLE_L1,
+    }[level]

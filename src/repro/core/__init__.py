@@ -1,0 +1,53 @@
+"""Fidelius — the paper's primary contribution.
+
+``Fidelius`` retrofits a booted Xen host with sibling-based protection:
+non-bypassable memory isolation behind three gate types, VMCB/register
+shadowing with exit-reason policies, PIT/GIT-checked updates of every
+memory-mapping structure, a sealed SEV firmware interface, and the full
+VM life cycle (encrypted-image boot, protected disk I/O, migration,
+memory sharing, shutdown).
+"""
+
+from repro.core.fidelius import Fidelius
+from repro.core.gates import GateKeeper
+from repro.core.git import GitEntry, GrantInfoTable
+from repro.core.hwext import BonsaiMerkleTree, CustomKeyEngine
+from repro.core.io_protect import (
+    AesNiIoEncoder,
+    SevApiIoEncoder,
+    SoftwareIoEncoder,
+)
+from repro.core.lifecycle import (
+    EncryptedGuestImage,
+    GuestOwner,
+    boot_protected_guest,
+    read_embedded_kblk,
+)
+from repro.core.migration import MigrationPackage, migrate_guest
+from repro.core.pit import PageInfoTable, PitEntry
+from repro.core.policies import EXIT_POLICIES, ExitPolicy, WritePolicyEngine
+from repro.core.shadow import ShadowKeeper
+
+__all__ = [
+    "Fidelius",
+    "GateKeeper",
+    "GitEntry",
+    "GrantInfoTable",
+    "BonsaiMerkleTree",
+    "CustomKeyEngine",
+    "AesNiIoEncoder",
+    "SevApiIoEncoder",
+    "SoftwareIoEncoder",
+    "EncryptedGuestImage",
+    "GuestOwner",
+    "boot_protected_guest",
+    "read_embedded_kblk",
+    "MigrationPackage",
+    "migrate_guest",
+    "PageInfoTable",
+    "PitEntry",
+    "EXIT_POLICIES",
+    "ExitPolicy",
+    "WritePolicyEngine",
+    "ShadowKeeper",
+]

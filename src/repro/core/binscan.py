@@ -1,0 +1,77 @@
+"""The binary scanner (paper Section 4.1.2).
+
+Fidelius's monopoly rule says each restricted privileged instruction may
+exist exactly once, in Fidelius's own text.  A byte-pattern scan over
+every executable page enforces it — crucially at *any* byte offset, not
+just instruction boundaries, because x86 can jump into the middle of an
+innocent instruction whose tail bytes happen to encode ``mov cr0``.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import PRIV_OPCODES
+
+
+@dataclass(frozen=True)
+class ScanHit:
+    op: object          # PrivOp
+    va: int
+
+
+def scan_bytes(blob, base_va, ops=None):
+    """All occurrences of restricted encodings in ``blob`` (any offset)."""
+    targets = ops or list(PRIV_OPCODES)
+    hits = []
+    for op in targets:
+        encoding = PRIV_OPCODES[op]
+        start = 0
+        while True:
+            index = blob.find(encoding, start)
+            if index < 0:
+                break
+            hits.append(ScanHit(op, base_va + index))
+            start = index + 1
+    return hits
+
+
+def scan_executable_pages(machine, root_pfn):
+    """Scan every executable page of an address space.
+
+    Pages are read *raw* from physical memory — the scanner runs in
+    Fidelius's context before protection is sealed, on the very bytes
+    the CPU would fetch.
+    """
+    walker = machine.walker
+    hits = []
+    for va, entry in walker.leaf_mappings(root_pfn):
+        from repro.common.constants import PTE_NX
+        from repro.hw.pagetable import entry_pfn
+        if entry & PTE_NX:
+            continue
+        blob = machine.memory.read_frame(entry_pfn(entry))
+        hits.extend(scan_bytes(blob, va))
+    return hits
+
+
+def verify_monopoly(machine, root_pfn, allowed_vas):
+    """Check the monopoly rule; returns the list of violating hits.
+
+    ``allowed_vas`` maps each PrivOp to the VA of its single sanctioned
+    instance (Fidelius's copy).  Any other occurrence — including an
+    unaligned one hiding inside other bytes — is a violation.
+    """
+    violations = []
+    for hit in scan_executable_pages(machine, root_pfn):
+        if allowed_vas.get(hit.op) != hit.va:
+            violations.append(hit)
+    return violations
+
+
+def measure_text(machine, image):
+    """Integrity measurement of a text image as loaded in memory."""
+    import hashlib
+    digest = hashlib.sha256()
+    for va in image.page_vas():
+        digest.update(machine.memory.read(va, PAGE_SIZE))
+    return digest.digest()

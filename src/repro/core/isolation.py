@@ -1,0 +1,142 @@
+"""Non-bypassable memory isolation: the install-time mechanics
+(paper Section 4.1).
+
+These functions run in Fidelius's trusted context during late launch:
+they classify every physical frame into the PIT, write-protect the
+memory-mapping structures and grant tables in the hypervisor's address
+space, unmap the private Fidelius resources, and rewrite the
+hypervisor's binary so each restricted privileged instruction exists
+exactly once — in Fidelius's text.
+"""
+
+from repro.common.constants import PTE_NX, PTE_WRITABLE
+from repro.common.errors import PolicyViolation
+from repro.common.types import Owner, PageUsage, PrivOp, page_table_usage_for_level
+from repro.core.binscan import verify_monopoly
+from repro.hw.pagetable import entry_pfn
+
+
+def classify_world(fidelius):
+    """Populate the PIT with the ownership of every frame in use.
+
+    'It also updates the PIT to track the used physical pages, e.g.,
+    whether they are used as page-table-pages, Xen pages, or Fidelius
+    pages.' (Section 4.3.1)
+    """
+    machine = fidelius.machine
+    hypervisor = fidelius.hypervisor
+    pit = fidelius.pit
+
+    for level, pfn in machine.host_table_pages():
+        pit.classify(pfn, Owner.XEN, page_table_usage_for_level(level))
+    for va in hypervisor.text.page_vas():
+        pit.classify(va >> 12, Owner.XEN, PageUsage.CODE)
+    for pfn in fidelius.text_pfns:
+        pit.classify(pfn, Owner.FIDELIUS, PageUsage.CODE)
+    pit.classify_many(fidelius.shadow_area_pfns, Owner.FIDELIUS,
+                      PageUsage.SHADOW_AREA)
+    pit.classify_many(fidelius.sev_metadata_pfns, Owner.FIDELIUS,
+                      PageUsage.SEV_METADATA)
+    pit.classify_many(fidelius.git.table_pfns, Owner.FIDELIUS,
+                      PageUsage.GIT_PAGE)
+
+    for domain in hypervisor.domains.values():
+        classify_domain(fidelius, domain)
+
+    if hypervisor.iommu is not None:
+        pit.classify_many(hypervisor.iommu.table.all_table_pfns(),
+                          Owner.XEN, PageUsage.IOMMU_PAGE)
+
+    # Everything else that is allocated belongs to plain Xen data.
+    for pfn in range(machine.frames):
+        if not pit.lookup(pfn).valid and (
+                machine.allocator.is_allocated(pfn)
+                or pfn < machine.allocator.reserved):
+            pit.classify(pfn, Owner.XEN, PageUsage.DATA)
+
+    # The PIT grows lazily while classifying; fold its own pages in last
+    # (repeat once: classifying a PIT page may allocate another leaf).
+    for _ in range(3):
+        unclassified = [pfn for pfn in pit.table_pfns
+                        if pit.lookup(pfn).usage is not PageUsage.PIT_PAGE]
+        if not unclassified:
+            break
+        pit.classify_many(unclassified, Owner.FIDELIUS, PageUsage.PIT_PAGE)
+
+
+def classify_domain(fidelius, domain):
+    """PIT entries for one domain's NPT pages, grant table and RAM."""
+    pit = fidelius.pit
+    for pfn in domain.npt.all_table_pfns():
+        pit.classify(pfn, Owner.XEN, PageUsage.NPT_PAGE, tag=domain.domid)
+    pit.classify(domain.grant_table.frame_pfn, Owner.XEN,
+                 PageUsage.GRANT_TABLE, tag=domain.domid)
+    for _, entry in domain.npt.leaf_mappings():
+        pit.classify(entry_pfn(entry), Owner.GUEST, PageUsage.GUEST_RAM,
+                     tag=domain.domid)
+
+
+def write_protect_world(fidelius):
+    """Remap the critical structures read-only in the hypervisor
+    (Table 1): its page-table-pages, every NPT page, every grant table,
+    and the PIT/GIT pages."""
+    machine = fidelius.machine
+    hypervisor = fidelius.hypervisor
+    targets = set()
+    targets.update(pfn for _, pfn in machine.host_table_pages())
+    for domain in hypervisor.domains.values():
+        targets.update(domain.npt.all_table_pfns())
+        targets.add(domain.grant_table.frame_pfn)
+    targets.update(fidelius.pit.table_pfns)
+    targets.update(fidelius.git.table_pfns)
+    if hypervisor.iommu is not None:
+        targets.update(hypervisor.iommu.table.all_table_pfns())
+    for pfn in sorted(targets):
+        write_protect_frame(machine, pfn)
+    machine.tlb.flush_all("fidelius-install")
+
+
+def write_protect_frame(machine, pfn):
+    """Clear the WRITABLE bit on the identity mapping of ``pfn``."""
+    machine.walker.set_flags(machine.host_root, pfn << 12,
+                             clear_mask=PTE_WRITABLE)
+    machine.tlb.flush_page(machine.host_root, pfn)
+
+
+def unmap_frame(machine, pfn):
+    """Remove ``pfn`` from the hypervisor's address space entirely."""
+    machine.walker.write_entry(machine.host_root, pfn << 12, 0)
+    machine.tlb.flush_page(machine.host_root, pfn)
+
+
+def rewrite_hypervisor_binary(fidelius):
+    """Erase every restricted-instruction encoding from Xen's text and
+    verify the monopoly rule with the binary scanner (Section 4.1.2)."""
+    machine = fidelius.machine
+    xen_image = fidelius.hypervisor.text
+    for op in list(PrivOp):
+        if xen_image.has(op):
+            xen_image.erase(op)
+    machine.memory.write(xen_image.base_va, xen_image.to_bytes())
+
+    allowed = {op: fidelius.text_image.va_of(op) for op in PrivOp}
+    violations = verify_monopoly(machine, machine.host_root, allowed)
+    if violations:
+        raise PolicyViolation(
+            "monopoly", "stray privileged encodings remain: %s"
+            % [(hit.op.value, hex(hit.va)) for hit in violations])
+    return allowed
+
+
+def map_fidelius_text(fidelius):
+    """Map Fidelius text page 0 executable/read-only in the shared
+    space; leave page 1 (VMRUN / mov CR3) unmapped — type 3 gates remap
+    it transiently."""
+    machine = fidelius.machine
+    image = fidelius.text_image
+    page0_va = image.page_vas()[0]
+    machine.walker.set_flags(machine.host_root, page0_va,
+                             clear_mask=PTE_NX | PTE_WRITABLE)
+    for va in image.page_vas()[1:]:
+        unmap_frame(machine, va >> 12)
+    machine.tlb.flush_all("fidelius-text")

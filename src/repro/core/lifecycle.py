@@ -1,0 +1,202 @@
+"""Full VM life-cycle protection (paper Section 4.3).
+
+The guest owner prepares, in a trusted environment, an *encrypted kernel
+image* by running the SEV SEND APIs against a scratch machine, plus a
+disk image encrypted under ``K_blk`` (which is embedded inside the
+kernel image, so it never reaches the host in the clear).  Booting on
+the Fidelius host is then a RECEIVE: the firmware re-encrypts the image
+in place under a fresh ``K_vek`` and verifies the measurement, so the
+hypervisor that loaded the bytes cannot have tampered with them.
+
+The paper's Section 8 complaint is reproduced faithfully: the image is
+sealed to one pre-identified target machine, because the SEND key
+agreement needs the target's platform key in advance.
+"""
+
+from dataclasses import dataclass
+
+from repro.common import crypto
+from repro.common.constants import KEY_BYTES, PAGE_SIZE
+from repro.common.errors import ReproError, SevError
+from repro.hw.machine import Machine
+from repro.sev.firmware import SevFirmware
+
+KERNEL_MAGIC = b"FIDELIUS-KERNEL!"
+KBLK_OFFSET = len(KERNEL_MAGIC)
+PAYLOAD_OFFSET = 64
+
+
+def sector_tweak(sector):
+    return b"sector|" + sector.to_bytes(8, "little")
+
+
+def page_tweak(index):
+    return b"page|" + index.to_bytes(8, "little")
+
+
+@dataclass(frozen=True)
+class EncryptedGuestImage:
+    """The deliverables of Section 4.3.2, bundled."""
+
+    records: tuple          # ((page_index, transport_bytes), ...)
+    kwrap: object           # WrappedKeys for the *target* machine
+    measurement: bytes      # M_vm
+    origin_public: int      # trusted environment's platform DH public
+    nonce: bytes            # N_vm
+    pages: int
+    policy: int = 0         # SEV launch-policy bits (NODBG/NOSEND/...)
+
+
+@dataclass
+class GuestOwner:
+    """The guest owner's trusted offline tooling."""
+
+    seed: int = 0x0511E12
+    #: SEV launch-policy bits the owner demands (see repro.sev.state).
+    policy: int = 0
+
+    def __post_init__(self):
+        import random
+        self.rng = random.Random(self.seed)
+        self.dh = crypto.DiffieHellman(self.rng)
+        self.nonce = bytes(self.rng.getrandbits(8) for _ in range(16))
+        #: The disk encryption key, pre-defined by the owner (§4.3.2).
+        self.kblk = crypto.random_key(self.rng)
+
+    # -- kernel image ------------------------------------------------------------
+
+    def build_kernel(self, payload):
+        """Lay out the kernel image: magic, embedded K_blk, payload."""
+        if len(payload) > 64 * PAGE_SIZE:
+            raise ReproError("kernel payload too large for this layout")
+        image = bytearray(KERNEL_MAGIC)
+        image += self.kblk
+        image += bytes(PAYLOAD_OFFSET - len(image))
+        image += payload
+        if len(image) % PAGE_SIZE:
+            image += bytes(PAGE_SIZE - len(image) % PAGE_SIZE)
+        return bytes(image)
+
+    def prepare_encrypted_image(self, payload, target_public):
+        """Generate the encrypted kernel image in a trusted environment.
+
+        Runs LAUNCH + SEND against a scratch SEV machine.  The SEND key
+        agreement uses ``target_public`` — the pre-identified target
+        machine's platform key (the Section 8 limitation).
+        """
+        kernel = self.build_kernel(payload)
+        pages = len(kernel) // PAGE_SIZE
+        env = Machine(frames=pages + 8, seed=self.rng.getrandbits(32))
+        firmware = SevFirmware(env)
+        origin_public = firmware.init()
+        # the trusted environment must SEND once to produce the image,
+        # so the NOSEND bit is applied only at the receiving target
+        from repro.sev.state import POLICY_NOSEND
+        handle = firmware.launch_start(policy=self.policy & ~POLICY_NOSEND)
+        base_pa = 4 * PAGE_SIZE
+        for index in range(pages):
+            firmware.launch_update_data(
+                handle, base_pa + index * PAGE_SIZE,
+                kernel[index * PAGE_SIZE:(index + 1) * PAGE_SIZE])
+        firmware.launch_finish(handle)
+        kwrap = firmware.send_start(handle, target_public, self.nonce)
+        records = tuple(
+            (index, firmware.send_update(
+                handle, base_pa + index * PAGE_SIZE, PAGE_SIZE,
+                tweak=page_tweak(index)))
+            for index in range(pages)
+        )
+        measurement = firmware.send_finish(handle)
+        return EncryptedGuestImage(
+            records=records, kwrap=kwrap, measurement=measurement,
+            origin_public=origin_public, nonce=self.nonce, pages=pages,
+            policy=self.policy)
+
+    # -- disk image -------------------------------------------------------------------
+
+    def encrypt_disk_image(self, plaintext):
+        """Encrypt a disk image under K_blk, sector by sector."""
+        from repro.common.constants import SECTOR_SIZE
+        if len(plaintext) % SECTOR_SIZE:
+            plaintext = plaintext + bytes(
+                SECTOR_SIZE - len(plaintext) % SECTOR_SIZE)
+        out = bytearray()
+        for sector in range(len(plaintext) // SECTOR_SIZE):
+            chunk = plaintext[sector * SECTOR_SIZE:(sector + 1) * SECTOR_SIZE]
+            out += crypto.xex_encrypt(self.kblk, sector_tweak(sector), chunk)
+        return bytes(out)
+
+
+def boot_protected_guest(fidelius, name, image, guest_frames, tamper=None,
+                         vcpus=1):
+    """VM bootup (paper Section 4.3.3).
+
+    1. RECEIVE_START with K_wrap, N_vm and the origin's public key;
+    2. the *hypervisor* loads the encrypted image into guest memory —
+       its one window of write permission;
+    3. RECEIVE_UPDATE re-encrypts each page in place under K_vek;
+    4. RECEIVE_FINISH verifies the measurement (so step 2 tampering is
+       caught — ``tamper`` lets tests exercise exactly that);
+    5. ACTIVATE installs the key, the domain is enrolled for protection.
+
+    Returns ``(domain, ctx)`` with the guest ready to run.
+    """
+    if guest_frames < image.pages:
+        raise ReproError("guest smaller than its kernel image")
+    hypervisor = fidelius.hypervisor
+    machine = fidelius.machine
+    domain = hypervisor.create_domain(name, guest_frames, sev=True,
+                                      vcpus=vcpus)
+
+    handle = fidelius.firmware_call(
+        "receive_start", image.kwrap, image.origin_public, image.nonce,
+        policy=image.policy)
+    domain.sev_handle = handle
+    fidelius.record_sev_metadata(
+        domain, handle=handle, asid=domain.asid, nonce=image.nonce.hex())
+
+    # The hypervisor loads the transport bytes (still mapped: the domain
+    # is not yet protected, so it temporarily has write permission).
+    loaded = []
+    for index, transport in image.records:
+        pa = hypervisor.guest_frame_hpfn(domain, index) * PAGE_SIZE
+        machine.cpu.store(pa, transport)
+        loaded.append((index, pa))
+    if tamper is not None:
+        tamper(machine, domain)
+
+    for index, pa in loaded:
+        transport = machine.memctrl.dma_read(pa, PAGE_SIZE)
+        fidelius.firmware_call(
+            "receive_update", handle, transport, page_tweak(index), pa)
+    try:
+        fidelius.firmware_call(
+            "receive_finish", handle, image.measurement)
+    except SevError:
+        fidelius.audit_event("boot-integrity-failure", domid=domain.domid)
+        fidelius.firmware_call("decommission", handle)
+        domain.sev_handle = None
+        hypervisor.destroy_domain(domain)
+        raise
+
+    fidelius.firmware_call("activate", handle, domain.asid)
+    # The guest kernel boots with its image pages marked encrypted in
+    # its own page tables (C-bits).
+    domain.encrypted_gfns.update(range(image.pages))
+    fidelius.protect_domain(domain)
+    fidelius.audit_event("guest-booted", domid=domain.domid,
+                         pages=image.pages)
+    return domain, domain.context()
+
+
+def read_embedded_kblk(ctx):
+    """The front-end driver reads K_blk out of the (decrypted) kernel
+    image during disk initialization (Section 4.3.3 step 4)."""
+    magic = ctx.read(0, len(KERNEL_MAGIC))
+    if magic != KERNEL_MAGIC:
+        raise ReproError("kernel image not booted or corrupted")
+    return ctx.read(KBLK_OFFSET, KEY_BYTES)
+
+
+def read_kernel_payload(ctx, length):
+    return ctx.read(PAYLOAD_OFFSET, length)

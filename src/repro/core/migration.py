@@ -1,0 +1,146 @@
+"""VM migration (paper Section 4.3.6).
+
+Snapshot/restore/migration reuse the SEND and RECEIVE APIs: the source
+firmware decrypts each guest page with K_vek and re-encrypts it with a
+transport key; the target firmware reverses the process under its own
+fresh K_vek, verifying the transport-integrity measurement.  The key to
+unwrap TEK/TIK is agreed between the two *platforms* (their DH keys), so
+neither hypervisor in the middle learns it.
+
+Live migration is not supported: SEND_START moves the guest context out
+of the RUNNING state, which stops execution — Fidelius's VMRUN gate
+refuses to re-enter a guest that is not RUNNING.
+
+One modelling note: SEV transport only makes sense for the pages the
+guest encrypts with K_vek.  Pages the guest deliberately keeps
+*unencrypted* (the shared I/O buffers) carry no secrets by construction
+and are copied verbatim by the hypervisor, exactly as on unprotected
+hosts.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import ReproError
+from repro.core.lifecycle import page_tweak
+
+
+@dataclass(frozen=True)
+class MigrationPackage:
+    """What travels from the source host to the target host."""
+
+    name: str
+    guest_frames: int
+    encrypted_records: tuple   # ((gfn, transport_bytes), ...)
+    plain_records: tuple       # ((gfn, raw_bytes), ...)
+    kwrap: object
+    measurement: bytes
+    origin_public: int
+    nonce: bytes
+    encrypted_gfns: frozenset
+    policy: int = 0
+
+
+def send_guest(source_fidelius, domain, target_public):
+    """Source half: stop the guest and produce a migration package."""
+    if domain.sev_handle is None:
+        raise ReproError("domain has no SEV context to migrate")
+    machine = source_fidelius.machine
+    hypervisor = source_fidelius.hypervisor
+    nonce = bytes(machine.rng.getrandbits(8) for _ in range(16))
+    handle = domain.sev_handle
+
+    kwrap = source_fidelius.firmware_call(
+        "send_start", handle, target_public, nonce)
+
+    encrypted_records = []
+    plain_records = []
+    for gfn in range(domain.guest_frames):
+        pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
+        if gfn in domain.encrypted_gfns:
+            transport = source_fidelius.firmware_call(
+                "send_update", handle, pa, PAGE_SIZE, tweak=page_tweak(gfn))
+            encrypted_records.append((gfn, transport))
+        else:
+            plain_records.append((gfn, machine.memctrl.dma_read(pa, PAGE_SIZE)))
+    measurement = source_fidelius.firmware_call("send_finish", handle)
+
+    origin_public = source_fidelius.firmware.platform_public_key
+    policy = source_fidelius.firmware.guest_policy(handle)
+    package = MigrationPackage(
+        name=domain.name,
+        guest_frames=domain.guest_frames,
+        encrypted_records=tuple(encrypted_records),
+        plain_records=tuple(plain_records),
+        kwrap=kwrap,
+        measurement=measurement,
+        origin_public=origin_public,
+        nonce=nonce,
+        encrypted_gfns=frozenset(domain.encrypted_gfns),
+        policy=policy,
+    )
+    source_fidelius.audit_event("migration-sent", domid=domain.domid,
+                                pages=domain.guest_frames)
+    return package
+
+
+def receive_guest(target_fidelius, package):
+    """Target half: rebuild the guest from a migration package."""
+    hypervisor = target_fidelius.hypervisor
+    machine = target_fidelius.machine
+    domain = hypervisor.create_domain(
+        package.name, package.guest_frames, sev=True)
+
+    handle = target_fidelius.firmware_call(
+        "receive_start", package.kwrap, package.origin_public,
+        package.nonce, policy=package.policy)
+    domain.sev_handle = handle
+    target_fidelius.record_sev_metadata(
+        domain, handle=handle, asid=domain.asid)
+
+    for gfn, transport in package.encrypted_records:
+        pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
+        target_fidelius.firmware_call(
+            "receive_update", handle, transport, page_tweak(gfn), pa)
+    target_fidelius.firmware_call(
+        "receive_finish", handle, package.measurement)
+    for gfn, raw in package.plain_records:
+        pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
+        machine.memctrl.dma_write(pa, raw)
+
+    target_fidelius.firmware_call("activate", handle, domain.asid)
+    domain.encrypted_gfns.update(package.encrypted_gfns)
+    target_fidelius.protect_domain(domain)
+    target_fidelius.audit_event("migration-received", domid=domain.domid)
+    return domain, domain.context()
+
+
+def migrate_guest(source_fidelius, domain, target_fidelius):
+    """Full migration: send, tear down the source, receive on the target."""
+    package = send_guest(
+        source_fidelius, domain,
+        target_fidelius.firmware.platform_public_key)
+    source_fidelius.hypervisor.destroy_domain(domain)
+    return receive_guest(target_fidelius, package)
+
+
+def snapshot_guest(fidelius, domain):
+    """VM snapshot (Section 4.3.6): the SEND flow targeted at the local
+    platform itself.  Like migration, taking a snapshot stops the guest
+    (SEND_START leaves the RUNNING state); the snapshot package can be
+    restored later on this host with :func:`restore_guest`."""
+    package = send_guest(fidelius, domain,
+                         fidelius.firmware.platform_public_key)
+    fidelius.audit_event("snapshot-taken", domid=domain.domid)
+    return package
+
+
+def restore_guest(fidelius, package, name=None):
+    """VM restore: RECEIVE the snapshot back as a fresh domain (new
+    handle, new ASID, fresh K_vek) on the same host."""
+    if name is not None:
+        import dataclasses
+        package = dataclasses.replace(package, name=name)
+    domain, ctx = receive_guest(fidelius, package)
+    fidelius.audit_event("snapshot-restored", domid=domain.domid)
+    return domain, ctx

@@ -1,0 +1,133 @@
+"""The page information table (paper Section 5.2).
+
+A three-level radix tree over physical frame numbers, stored in real
+frames owned by Fidelius (mapped read-only in the hypervisor).  Each
+last-level page holds 1024 PFNs' worth of 32-bit entries recording the
+owner, usage, domain tag and validity of the corresponding frame —
+everything the PIT-based policies need to decide whether a page-table,
+NPT or grant-table update is legal.
+
+Entry layout (32 bits):
+  [0:3)   owner  (Owner enum)
+  [3:8)   usage  (PageUsage enum)
+  [8:24)  tag    (owning domain id for guest/NPT/grant frames; the paper
+                  stores the ASID — domain ids are our stand-in because
+                  they stay unique for non-SEV domains too)
+  [24]    valid
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import ReproError
+from repro.common.types import Owner, PageUsage, frame_addr
+
+ENTRY_SIZE = 4
+ENTRIES_PER_LEAF = PAGE_SIZE // ENTRY_SIZE  # 1024, as in the paper
+FANOUT = PAGE_SIZE // 8  # interior levels store 8-byte pointers
+
+_VALID = 1 << 24
+
+
+@dataclass(frozen=True)
+class PitEntry:
+    owner: Owner
+    usage: PageUsage
+    tag: int
+    valid: bool
+
+    def pack(self):
+        value = (self.owner.value & 0x7) | ((self.usage.value & 0x1F) << 3) \
+            | ((self.tag & 0xFFFF) << 8)
+        if self.valid:
+            value |= _VALID
+        return value
+
+    @classmethod
+    def unpack(cls, value):
+        return cls(
+            owner=Owner(value & 0x7),
+            usage=PageUsage((value >> 3) & 0x1F),
+            tag=(value >> 8) & 0xFFFF,
+            valid=bool(value & _VALID),
+        )
+
+
+FREE_ENTRY = PitEntry(Owner.FREE, PageUsage.NONE, 0, False)
+
+
+class PageInfoTable:
+    """The PIT: Fidelius's authoritative map of frame ownership."""
+
+    def __init__(self, machine, alloc_frame):
+        self._memory = machine.memory
+        self._alloc = alloc_frame
+        #: Every frame backing the PIT itself (root + interior + leaves);
+        #: Fidelius maps these read-only in the hypervisor.
+        self.table_pfns = set()
+        self._root = self._new_table()
+
+    def _new_table(self):
+        pfn = self._alloc()
+        self._memory.zero_frame(pfn)
+        self.table_pfns.add(pfn)
+        return pfn
+
+    @staticmethod
+    def _indices(pfn):
+        if pfn < 0:
+            raise ReproError("negative pfn")
+        leaf_index = pfn % ENTRIES_PER_LEAF
+        mid = pfn // ENTRIES_PER_LEAF
+        return mid // FANOUT, mid % FANOUT, leaf_index
+
+    def _pointer(self, table_pfn, index, create):
+        slot_pa = frame_addr(table_pfn) + index * 8
+        value = self._memory.read_u64(slot_pa)
+        if value:
+            return value - 1  # stored as pfn+1 so 0 means empty
+        if not create:
+            return None
+        child = self._new_table()
+        self._memory.write_u64(slot_pa, child + 1)
+        return child
+
+    def entry_pa(self, pfn, create=False):
+        """Physical address of the 32-bit entry for ``pfn``."""
+        top, mid, leaf = self._indices(pfn)
+        level2 = self._pointer(self._root, top, create)
+        if level2 is None:
+            return None
+        level1 = self._pointer(level2, mid, create)
+        if level1 is None:
+            return None
+        return frame_addr(level1) + leaf * ENTRY_SIZE
+
+    def lookup(self, pfn):
+        pa = self.entry_pa(pfn)
+        if pa is None:
+            return FREE_ENTRY
+        raw = int.from_bytes(self._memory.read(pa, ENTRY_SIZE), "little")
+        if not raw & _VALID:
+            return FREE_ENTRY
+        return PitEntry.unpack(raw)
+
+    def classify(self, pfn, owner, usage, tag=0):
+        """Record frame ownership (Fidelius-context write, raw path)."""
+        entry = PitEntry(owner, usage, tag, valid=True)
+        pa = self.entry_pa(pfn, create=True)
+        self._memory.write(pa, entry.pack().to_bytes(ENTRY_SIZE, "little"))
+        return entry
+
+    def invalidate(self, pfn):
+        pa = self.entry_pa(pfn)
+        if pa is not None:
+            self._memory.write(pa, bytes(ENTRY_SIZE))
+
+    def classify_many(self, pfns, owner, usage, tag=0):
+        for pfn in pfns:
+            self.classify(pfn, owner, usage, tag)
+
+    def frames_with(self, predicate, limit_pfn):
+        """Scan [0, limit_pfn) for frames whose entry satisfies ``predicate``."""
+        return [pfn for pfn in range(limit_pfn) if predicate(self.lookup(pfn))]

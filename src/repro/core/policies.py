@@ -1,0 +1,305 @@
+"""Policy definitions and the gated-write policy engine (paper Section 5).
+
+Three policy families:
+
+* **Exit-reason policies** (Section 5.1) drive the VMCB/register
+  shadowing: per exit reason, which registers the hypervisor may see,
+  which it may legitimately update, and which VMCB fields it may write.
+* **PIT-based policies** (Section 5.2) validate every hypervisor update
+  of memory-mapping structures — its own page tables and guest NPTs.
+* **GIT-based policies** (Sections 4.3.7, 5.2) validate grant-table
+  updates against the initiating guest's declared sharing context.
+
+Plus the write-once / execute-once / write-forbidding policies of
+Section 5.3.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    PTE_PRESENT,
+    PTE_WRITABLE,
+)
+from repro.common.errors import PolicyViolation
+from repro.common.types import ExitReason, Owner, PageUsage, pfn_of
+from repro.hw.pagetable import entry_pfn
+from repro.xen.grant_table import ENTRY_SIZE as GRANT_ENTRY_SIZE, GrantEntry
+
+# ---------------------------------------------------------------------------
+# Exit-reason policies (Section 5.1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExitPolicy:
+    """What the hypervisor may see and change for one exit reason."""
+
+    visible_regs: frozenset = frozenset()
+    writable_regs: frozenset = frozenset()
+    writable_vmcb: frozenset = frozenset()
+
+
+def _fs(*names):
+    return frozenset(names)
+
+
+#: Control/exit-information VMCB fields are never masked: the hypervisor
+#: needs them to dispatch (e.g. the NPF fault address in exitinfo2).
+ALWAYS_VISIBLE_VMCB = _fs(
+    "exitcode", "exitinfo1", "exitinfo2", "asid", "np_enable",
+    "nested_cr3", "intercepts", "event_injection",
+)
+
+#: Interrupt injection is a legitimate hypervisor duty on any exit.
+ALWAYS_WRITABLE_VMCB = _fs("event_injection")
+
+EXIT_POLICIES = {
+    # "if the exit reason is CPUID, then all states are masked except
+    # for specific four registers" (Section 5.1)
+    ExitReason.CPUID: ExitPolicy(
+        visible_regs=_fs("rax", "rcx"),
+        writable_regs=_fs("rax", "rbx", "rcx", "rdx"),
+        writable_vmcb=_fs("rip"),
+    ),
+    ExitReason.HYPERCALL: ExitPolicy(
+        visible_regs=_fs("rax", "rdi", "rsi", "rdx", "r10", "r8"),
+        writable_regs=_fs("rax"),
+        writable_vmcb=_fs("rip"),
+    ),
+    # "if it is due to a nested page fault, Fidelius will mask all guest
+    # states since the fault address ... is in the exitinfo field"
+    ExitReason.NPF: ExitPolicy(),
+    ExitReason.MSR: ExitPolicy(
+        visible_regs=_fs("rcx"),
+        writable_regs=_fs("rax", "rdx"),
+        writable_vmcb=_fs("rip"),
+    ),
+    ExitReason.IOIO: ExitPolicy(
+        visible_regs=_fs("rax", "rdx"),
+        writable_regs=_fs("rax"),
+        writable_vmcb=_fs("rip"),
+    ),
+    ExitReason.HLT: ExitPolicy(),
+    ExitReason.INTR: ExitPolicy(),
+    ExitReason.SHUTDOWN: ExitPolicy(),
+}
+
+
+def exit_policy(reason):
+    policy = EXIT_POLICIES.get(reason)
+    if policy is None:
+        # Unknown exits expose nothing and allow nothing: fail closed.
+        return ExitPolicy()
+    return policy
+
+
+# ---------------------------------------------------------------------------
+# PIT / GIT based write policies (Section 5.2)
+# ---------------------------------------------------------------------------
+
+#: Frame usages that must never become writable (or mapped at all) in
+#: the hypervisor through a page-table update it performs itself.
+PROTECTED_USAGES = frozenset({
+    PageUsage.PAGE_TABLE_L4, PageUsage.PAGE_TABLE_L3,
+    PageUsage.PAGE_TABLE_L2, PageUsage.PAGE_TABLE_L1,
+    PageUsage.NPT_PAGE, PageUsage.GRANT_TABLE,
+    PageUsage.PIT_PAGE, PageUsage.GIT_PAGE, PageUsage.CODE,
+    PageUsage.SHADOW_AREA, PageUsage.SEV_METADATA,
+    PageUsage.IOMMU_PAGE,
+})
+
+
+class WritePolicyEngine:
+    """Validates writes arriving through the type 1 gate.
+
+    One instance per Fidelius; consults the PIT, the GIT, the set of
+    protected domains and the hypervisor's domain table.
+    """
+
+    def __init__(self, fidelius):
+        self._fid = fidelius
+
+    # -- entry point -------------------------------------------------------------
+
+    def check(self, va, data):
+        """Raise :class:`PolicyViolation` if the gated write is illegal."""
+        pit = self._fid.pit
+        info = pit.lookup(pfn_of(va))
+        usage = info.usage
+        if usage.is_page_table:
+            self._check_host_pte(info, va, data)
+        elif usage is PageUsage.NPT_PAGE:
+            self._check_npt(info, va, data)
+        elif usage is PageUsage.IOMMU_PAGE:
+            self._check_iommu(info, va, data)
+        elif usage is PageUsage.GRANT_TABLE:
+            self._check_grant(info, va, data)
+        elif usage in (PageUsage.PIT_PAGE, PageUsage.GIT_PAGE,
+                       PageUsage.SHADOW_AREA, PageUsage.SEV_METADATA):
+            raise PolicyViolation("pit", "hypervisor write to Fidelius "
+                                  "structure (%s)" % usage.name)
+        elif usage is PageUsage.CODE:
+            # Write-forbidding policy for code pages (Section 5.3).
+            raise PolicyViolation("write-forbidding",
+                                  "attempt to modify code page at %#x" % va)
+        elif usage in (PageUsage.START_INFO, PageUsage.SHARED_INFO):
+            self._fid.check_write_once(va, len(data))
+        # Anything else is ordinary data the hypervisor owns.
+
+    # -- host page tables ----------------------------------------------------------
+
+    @staticmethod
+    def _as_entry(data):
+        if len(data) != 8:
+            raise PolicyViolation("pit", "page-table writes must be one PTE")
+        return int.from_bytes(data, "little")
+
+    def _check_host_pte(self, info, va, data):
+        if info.owner is not Owner.XEN:
+            raise PolicyViolation("pit", "page-table-page not owned by Xen")
+        value = self._as_entry(data)
+        if not value & PTE_PRESENT:
+            return  # unmapping is availability, not confidentiality
+        target = self._fid.pit.lookup(entry_pfn(value))
+        if target.owner is Owner.FIDELIUS:
+            raise PolicyViolation(
+                "pit", "mapping a Fidelius frame (%s) into the hypervisor"
+                % target.usage.name)
+        if target.owner is Owner.GUEST and \
+                target.tag in self._fid.protected_domids():
+            raise PolicyViolation(
+                "pit", "mapping protected guest memory (dom %d) into the "
+                "hypervisor" % target.tag)
+        if value & PTE_WRITABLE and target.usage in PROTECTED_USAGES:
+            raise PolicyViolation(
+                "pit", "making a protected %s frame writable"
+                % target.usage.name)
+
+    # -- nested page tables -----------------------------------------------------------
+
+    def _check_npt(self, info, va, data):
+        value = self._as_entry(data)
+        if not value & PTE_PRESENT:
+            return
+        domid = info.tag
+        target = self._fid.pit.lookup(entry_pfn(value))
+        if target.owner is Owner.FIDELIUS:
+            raise PolicyViolation("pit", "NPT maps a Fidelius frame")
+        if target.owner is Owner.XEN:
+            if target.usage is PageUsage.NPT_PAGE and target.tag == domid:
+                return  # interior entry pointing at this guest's own table
+            raise PolicyViolation(
+                "pit", "NPT of dom %d maps hypervisor frame (%s)"
+                % (domid, target.usage.name))
+        if target.owner is Owner.GUEST:
+            if target.tag == domid:
+                self._check_npt_replay(info, va, value, domid)
+                return
+            self._check_cross_domain(domid, value, target)
+            return
+        if target.owner is Owner.FREE:
+            raise PolicyViolation(
+                "pit", "NPT maps an unclassified free frame %#x"
+                % entry_pfn(value))
+        raise PolicyViolation("pit", "NPT maps %s-owned frame"
+                              % target.owner.name)
+
+    def _check_npt_replay(self, info, va, value, domid):
+        """Replay defence: a present leaf of a *protected* guest may not
+        be silently redirected to a different frame, and a frame may not
+        be double-mapped at two guest-physical addresses (Section 4.2.2,
+        defeating the attacks of [Hetzelt & Buhren 2017])."""
+        if domid not in self._fid.protected_domids():
+            return
+        memory = self._fid.machine.memory
+        old = memory.read_u64(va)
+        new_pfn = entry_pfn(value)
+        if old & PTE_PRESENT:
+            if entry_pfn(old) != new_pfn:
+                raise PolicyViolation(
+                    "pit", "redirecting a present NPT leaf of protected "
+                    "dom %d (replay attack)" % domid)
+            return
+        domain = self._fid.hypervisor.domains.get(domid)
+        if domain is not None:
+            for _, leaf in domain.npt.leaf_mappings():
+                if leaf & PTE_PRESENT and entry_pfn(leaf) == new_pfn:
+                    raise PolicyViolation(
+                        "pit", "double-mapping frame %#x in protected "
+                        "dom %d (replay attack)" % (new_pfn, domid))
+
+    def _check_cross_domain(self, mapper_domid, value, target):
+        """Cross-domain NPT mapping needs a GIT-declared grant when the
+        granter is protected (the inter-VM remapping defence)."""
+        granter_domid = target.tag
+        if granter_domid not in self._fid.protected_domids():
+            return  # unprotected granter: baseline Xen semantics
+        granter = self._fid.hypervisor.domains.get(granter_domid)
+        gfn = None
+        if granter is not None:
+            wanted = entry_pfn(value)
+            for g_va, leaf in granter.npt.leaf_mappings():
+                if leaf & PTE_PRESENT and entry_pfn(leaf) == wanted:
+                    gfn = pfn_of(g_va)
+                    break
+        declaration = None
+        if gfn is not None:
+            declaration = self._fid.git.find_match(
+                granter_domid, mapper_domid, gfn)
+        if declaration is None:
+            raise PolicyViolation(
+                "git", "mapping protected dom %d memory into dom %d "
+                "without a declared sharing context"
+                % (granter_domid, mapper_domid))
+        if declaration.readonly and value & PTE_WRITABLE:
+            raise PolicyViolation(
+                "git", "mapping a read-only share writable")
+
+    # -- IOMMU device tables (extension) ---------------------------------------------
+
+    def _check_iommu(self, info, va, data):
+        """Devices act for the driver domain: an IOMMU mapping of a
+        protected guest's frame is only legal when the guest declared a
+        sharing context with dom0 covering that frame (its I/O buffers)
+        — which is what closes the DMA replay/snoop window."""
+        value = self._as_entry(data)
+        if not value & PTE_PRESENT:
+            return
+        target = self._fid.pit.lookup(entry_pfn(value))
+        if target.owner is Owner.FIDELIUS:
+            raise PolicyViolation("pit", "IOMMU maps a Fidelius frame")
+        if target.owner is Owner.XEN:
+            if target.usage is PageUsage.IOMMU_PAGE:
+                return  # interior entry
+            if target.usage in PROTECTED_USAGES:
+                raise PolicyViolation(
+                    "pit", "IOMMU maps a protected %s frame"
+                    % target.usage.name)
+            return
+        if target.owner is Owner.GUEST and \
+                target.tag in self._fid.protected_domids():
+            dom0_id = self._fid.hypervisor.dom0.domid
+            self._check_cross_domain(dom0_id, value, target)
+
+    # -- grant tables -------------------------------------------------------------------
+
+    def _check_grant(self, info, va, data):
+        if len(data) != GRANT_ENTRY_SIZE:
+            raise PolicyViolation("git", "grant writes must be one entry")
+        granter_domid = info.tag
+        entry = GrantEntry.unpack(data)
+        if not entry.permit:
+            return  # revocation narrows access; always fine
+        if granter_domid not in self._fid.protected_domids():
+            return
+        declaration = self._fid.git.find_match(
+            granter_domid, entry.target_domid, entry.gfn)
+        if declaration is None:
+            raise PolicyViolation(
+                "git", "grant by protected dom %d to dom %d for gfn %d "
+                "has no declared sharing context"
+                % (granter_domid, entry.target_domid, entry.gfn))
+        if declaration.readonly and not entry.readonly:
+            raise PolicyViolation(
+                "git", "grant widens a declared read-only share to "
+                "writable")

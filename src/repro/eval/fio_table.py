@@ -1,0 +1,46 @@
+"""Table 3: fio over the PV block path, Xen vs Fidelius + AES-NI."""
+
+from dataclasses import dataclass
+
+from repro.system import GuestOwner, System
+from repro.workloads.fio import FioRunner, TABLE3_SPECS
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    name: str
+    xen_throughput: float        # bytes per kilocycle
+    fidelius_throughput: float
+
+    @property
+    def slowdown_pct(self):
+        return 100.0 * (1.0 - self.fidelius_throughput / self.xen_throughput)
+
+
+def _baseline_runner(frames, seed):
+    system = System.create(fidelius=False, frames=frames, seed=seed)
+    domain, ctx = system.create_plain_guest("fio", guest_frames=96)
+    return FioRunner(system, domain, ctx, encoder=None, seed=seed)
+
+
+def _fidelius_runner(frames, seed):
+    system = System.create(fidelius=True, frames=frames, seed=seed)
+    owner = GuestOwner(seed=seed)
+    domain, ctx = system.boot_protected_guest(
+        "fio", owner, payload=b"fio guest", guest_frames=96)
+    encoder = system.aesni_encoder_for(ctx)
+    return FioRunner(system, domain, ctx, encoder=encoder, seed=seed)
+
+
+def run_table3(frames=4096, seed=0xF10):
+    """All four rows, each on fresh hosts with matching RNG streams."""
+    rows = []
+    for spec in TABLE3_SPECS:
+        baseline = _baseline_runner(frames, seed)
+        fidelius = _fidelius_runner(frames, seed)
+        rows.append(Table3Row(
+            name=spec.name,
+            xen_throughput=baseline.throughput(spec),
+            fidelius_throughput=fidelius.throughput(spec),
+        ))
+    return rows

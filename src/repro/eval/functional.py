@@ -1,0 +1,83 @@
+"""Functional (measured, not modelled) overhead comparison.
+
+The macro model of ``repro.eval.macro`` derives Figure 5/6 from traces
+and the calibrated cost model.  This module is its cross-check: it runs
+*real guest programs* (``repro.workloads.guestprogs``) through the full
+functional stack on a baseline host and a Fidelius host and compares
+the cycle counters the simulation actually charged.  The two approaches
+must agree on the story: compute-bound work pays almost nothing, and
+the per-exit shadow tax only shows on exit-heavy work.
+"""
+
+from dataclasses import dataclass
+
+from repro.system import GuestOwner, System
+from repro.workloads.guestprogs import CryptoWorker, SessionServer
+
+
+@dataclass(frozen=True)
+class FunctionalResult:
+    workload: str
+    baseline_cycles: int
+    fidelius_cycles: int
+
+    @property
+    def overhead_pct(self):
+        return 100.0 * (self.fidelius_cycles / self.baseline_cycles - 1.0)
+
+
+def _run_worker(system, ctx, rounds):
+    cycles = system.machine.cycles
+    worker = CryptoWorker(ctx, pages=8)
+    snapshot = cycles.snapshot()
+    worker.run(rounds)
+    return cycles.since(snapshot)
+
+
+def _run_server(system, ctx, requests):
+    cycles = system.machine.cycles
+    server = SessionServer(ctx)
+    snapshot = cycles.snapshot()
+    server.serve(requests)
+    return cycles.since(snapshot)
+
+
+def _hosts(seed):
+    baseline = System.create(fidelius=False, frames=2048, seed=seed)
+    base_domain, base_ctx = baseline.create_baseline_sev_guest(
+        "func", guest_frames=48)
+    protected = System.create(fidelius=True, frames=2048, seed=seed)
+    owner = GuestOwner(seed=seed)
+    prot_domain, prot_ctx = protected.boot_protected_guest(
+        "func", owner, payload=b"bench", guest_frames=48)
+    return (baseline, base_ctx), (protected, prot_ctx)
+
+
+def run_functional(rounds=6, requests=60, seed=0xF17C):
+    """Both workloads on both hosts; returns FunctionalResults."""
+    (baseline, base_ctx), (protected, prot_ctx) = _hosts(seed)
+    results = [
+        FunctionalResult(
+            "compute-bound (CryptoWorker)",
+            _run_worker(baseline, base_ctx, rounds),
+            _run_worker(protected, prot_ctx, rounds),
+        ),
+        FunctionalResult(
+            "exit-heavy (SessionServer)",
+            _run_server(baseline, base_ctx, requests),
+            _run_server(protected, prot_ctx, requests),
+        ),
+    ]
+    return results
+
+
+def format_functional(results):
+    lines = ["Functional cross-check (measured cycles, full stack)",
+             "%-30s %14s %14s %10s" % ("workload", "Xen", "Fidelius",
+                                       "overhead")]
+    lines.append("-" * 72)
+    for r in results:
+        lines.append("%-30s %14d %14d %9.2f%%" % (
+            r.workload, r.baseline_cycles, r.fidelius_cycles,
+            r.overhead_pct))
+    return "\n".join(lines)

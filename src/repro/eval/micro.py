@@ -1,0 +1,154 @@
+"""Micro benchmarks (Section 7.2): the three questions.
+
+1. *What is the overhead of runtime transition between Xen and
+   Fidelius?*  Measure the per-entry cost of each gate type.
+2. *What is the overhead of shadowing critical resources?*  A void
+   hypercall from a guest kernel module, protected vs unprotected.
+3. *What is the overhead of I/O protection using AES-NI, the SEV API
+   and software-emulated encryption?*  An in-guest copy under the three
+   engines, against a plain copy.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    AESNI_EXTRA_CPB,
+    COPY_BASE_CPB,
+    CR0_PG,
+    CR0_WP,
+    SEV_ENGINE_EXTRA_CPB,
+    SEV_IO_COMMAND_CYCLES,
+    SOFTWARE_AES_CPB,
+)
+from repro.common.types import PrivOp
+from repro.system import GuestOwner, System
+from repro.xen import hypercalls as hc
+
+
+@dataclass(frozen=True)
+class GateCosts:
+    type1_cycles: float
+    type2_cycles: float
+    type3_cycles: float
+    type3_tlb_flush_cycles: float
+    write_into_cache_cycles: float
+    cr3_switch_alternative_cycles: float
+
+
+def gate_cost_benchmark(iterations=1000, system=None):
+    """Average cycles per transition for each gate type."""
+    system = system or System.create(fidelius=True, frames=2048, seed=0x6A7E)
+    fid = system.fidelius
+    cycles = system.machine.cycles
+
+    snap = cycles.snapshot()
+    for _ in range(iterations):
+        with fid.gates.type1():
+            pass
+    type1 = snap.delta(cycles)["gate1"] / iterations
+
+    snap = cycles.snapshot()
+    for _ in range(iterations):
+        fid.exec_monopolized(PrivOp.MOV_CR0, CR0_PG | CR0_WP)
+    type2 = snap.delta(cycles)["gate2"] / iterations
+
+    snap = cycles.snapshot()
+    for _ in range(iterations):
+        with fid.gates.type3(fid.text_pfns[1]):
+            pass
+    delta = snap.delta(cycles)
+    flush = delta.get("tlb-flush-entry", 0) / iterations
+    type3 = delta.get("gate3", 0) / iterations + flush
+
+    # the "write the new PTE" component, measured through a benign
+    # guarded write of an ordinary data mapping
+    machine = system.machine
+    data_pfn = machine.allocator.alloc()
+    from repro.common.types import Owner, PageUsage
+    fid.pit.classify(data_pfn, Owner.XEN, PageUsage.DATA)
+    entry_pa = machine.walker.entry_pa(machine.host_root, data_pfn << 12)
+    from repro.hw.pagetable import make_entry
+    from repro.common.constants import PTE_PRESENT, PTE_WRITABLE
+    snap = cycles.snapshot()
+    fid.gates.guarded_write(
+        entry_pa,
+        make_entry(data_pfn, PTE_PRESENT | PTE_WRITABLE).to_bytes(8, "little"))
+    cache_write = snap.delta(cycles).get("gate1-write", 0)
+
+    snap = cycles.snapshot()
+    for _ in range(iterations):
+        with fid.gates.cr3_switch_transition():
+            pass
+    cr3_alt = snap.delta(cycles)["cr3-switch-gate"] / iterations
+
+    return GateCosts(type1, type2, type3, flush, cache_write, cr3_alt)
+
+
+@dataclass(frozen=True)
+class ShadowCosts:
+    shadow_check_cycles: float     # the paper's 661
+    protected_roundtrip_cycles: float
+    unprotected_roundtrip_cycles: float
+
+    @property
+    def added_cycles(self):
+        return self.protected_roundtrip_cycles \
+            - self.unprotected_roundtrip_cycles
+
+
+def shadow_cost_benchmark(iterations=500, system=None):
+    """Void-hypercall round trips, protected vs unprotected guest."""
+    system = system or System.create(fidelius=True, frames=2048, seed=0x5AD)
+    cycles = system.machine.cycles
+
+    plain_domain, plain_ctx = system.create_plain_guest(
+        "plain", guest_frames=16)
+    plain_ctx._ensure_guest()
+    snap = cycles.snapshot()
+    for _ in range(iterations):
+        plain_ctx.hypercall(hc.HC_VOID)
+    unprotected = cycles.since(snap) / iterations
+    plain_ctx.hypercall(hc.HC_SCHED_YIELD)
+
+    owner = GuestOwner(seed=0x5AD0)
+    domain, ctx = system.boot_protected_guest(
+        "shadowed", owner, payload=b"bench", guest_frames=32)
+    ctx._ensure_guest()
+    snap = cycles.snapshot()
+    for _ in range(iterations):
+        ctx.hypercall(hc.HC_VOID)
+    delta = snap.delta(cycles)
+    protected = cycles.since(snap) / iterations
+    shadow = (delta.get("shadow-exit", 0)
+              + delta.get("shadow-verify", 0)) / iterations
+    return ShadowCosts(shadow, protected, unprotected)
+
+
+@dataclass(frozen=True)
+class CryptoCopyCosts:
+    plain_cycles: float
+    aesni_slowdown_pct: float
+    sev_engine_slowdown_pct: float
+    software_slowdown_x: float
+
+
+def crypto_copy_benchmark(megabytes=64):
+    """In-guest memory copy under the three encryption engines.
+
+    The copy itself costs ``COPY_BASE_CPB`` per byte; each engine adds
+    its per-byte cost (plus, for the SEV path, the per-batch firmware
+    command).  Matches the paper's 512 MB experiment at any size.
+    """
+    size = megabytes * 1024 * 1024
+    plain = size * COPY_BASE_CPB
+    aesni = plain + size * AESNI_EXTRA_CPB
+    batches = size // (4 * 4096)
+    sev = plain + size * SEV_ENGINE_EXTRA_CPB \
+        + batches * SEV_IO_COMMAND_CYCLES / 1000.0
+    software = plain + size * SOFTWARE_AES_CPB
+    return CryptoCopyCosts(
+        plain_cycles=plain,
+        aesni_slowdown_pct=100.0 * (aesni / plain - 1.0),
+        sev_engine_slowdown_pct=100.0 * (sev / plain - 1.0),
+        software_slowdown_x=software / plain,
+    )

@@ -1,0 +1,109 @@
+"""Plain-text renderers printing the same rows/series the paper reports."""
+
+from repro.eval.macro import average_overheads
+
+
+def _bar(value, scale, width=24):
+    filled = 0 if scale <= 0 else min(width, round(width * value / scale))
+    return "#" * filled
+
+
+def format_figure(results, title):
+    """Figure 5/6 as a text chart: one bar per benchmark, like the
+    paper's normalized-overhead plots."""
+    scale = max(r.fidelius_enc_overhead_pct for r in results)
+    lines = ["%s" % title,
+             "%-15s %12s %14s  %s" % ("benchmark", "Fidelius(%)",
+                                      "Fidelius-enc(%)", "enc overhead")]
+    lines.append("-" * 72)
+    for r in results:
+        lines.append("%-15s %12.2f %14.2f  %s" % (
+            r.name, r.fidelius_overhead_pct, r.fidelius_enc_overhead_pct,
+            _bar(r.fidelius_enc_overhead_pct, scale)))
+    fid_avg, enc_avg = average_overheads(results)
+    lines.append("-" * 72)
+    lines.append("%-15s %12.2f %14.2f  %s" % ("average", fid_avg, enc_avg,
+                                              _bar(enc_avg, scale)))
+    return "\n".join(lines)
+
+
+def format_table3(rows):
+    lines = ["Table 3: fio, Xen vs Fidelius AES-NI",
+             "%-12s %16s %16s %10s" % ("operation", "Xen (B/kcyc)",
+                                       "Fidelius", "slowdown")]
+    lines.append("-" * 58)
+    for row in rows:
+        lines.append("%-12s %16.1f %16.1f %9.2f%%" % (
+            row.name, row.xen_throughput, row.fidelius_throughput,
+            row.slowdown_pct))
+    return "\n".join(lines)
+
+
+def format_gate_costs(costs):
+    return "\n".join([
+        "Micro benchmark 1: gate transition costs (cycles)",
+        "  type 1 (disable WP):     %7.1f" % costs.type1_cycles,
+        "  type 2 (checking loop):  %7.1f" % costs.type2_cycles,
+        "  type 3 (add mapping):    %7.1f" % costs.type3_cycles,
+        "    of which TLB flush:    %7.1f" % costs.type3_tlb_flush_cycles,
+        "    write into cache:      %7.1f" % costs.write_into_cache_cycles,
+        "  rejected CR3 switch:     %7.1f" % costs.cr3_switch_alternative_cycles,
+    ])
+
+
+def format_shadow_costs(costs):
+    return "\n".join([
+        "Micro benchmark 2: shadowing critical resources (cycles)",
+        "  shadow + check per round trip: %7.1f" % costs.shadow_check_cycles,
+        "  void hypercall, protected:     %7.1f"
+        % costs.protected_roundtrip_cycles,
+        "  void hypercall, unprotected:   %7.1f"
+        % costs.unprotected_roundtrip_cycles,
+        "  added by Fidelius:             %7.1f" % costs.added_cycles,
+    ])
+
+
+def format_crypto_costs(costs):
+    return "\n".join([
+        "Micro benchmark 3: in-guest encrypted copy",
+        "  AES-NI slowdown:     %6.2f%%" % costs.aesni_slowdown_pct,
+        "  SEV engine slowdown: %6.2f%%" % costs.sev_engine_slowdown_pct,
+        "  software emulation:  %6.2fx" % costs.software_slowdown_x,
+    ])
+
+
+def format_xsa(stats):
+    return "\n".join([
+        "XSA quantitative analysis (Section 6.2)",
+        "  advisories analyzed:            %4d" % stats["total"],
+        "  hypervisor-related:             %4d" % stats["hypervisor_related"],
+        "  privilege escalations thwarted: %4d (%.1f%%)" % (
+            stats["privilege_escalation_thwarted"],
+            stats["privilege_escalation_pct"]),
+        "  information leaks thwarted:     %4d (%.1f%%)" % (
+            stats["info_leak_thwarted"], stats["info_leak_pct"]),
+        "  guest-internal flaws:           %4d" % stats["guest_internal"],
+        "  DoS (out of scope):             %4d" % stats["dos_out_of_scope"],
+    ])
+
+
+def format_permission_matrix(rows):
+    lines = ["Table 1: permissions and policies (observed)",
+             "%-20s %-12s %s" % ("resource", "Xen perm", "policy")]
+    lines.append("-" * 58)
+    for row in rows:
+        lines.append("%-20s %-12s %s" % (row.resource, row.xen_permission,
+                                         row.policy))
+    return "\n".join(lines)
+
+
+def format_instruction_matrix(rows):
+    lines = ["Table 2: privileged instructions (observed)",
+             "%-10s %-28s %-26s %s" % ("instr", "description", "gate",
+                                       "observed")]
+    lines.append("-" * 100)
+    for row in rows:
+        lines.append("%-10s %-28s %-26s %s | %s" % (
+            row.instruction, row.description, row.gate, row.observed,
+            row.policy))
+    return "\n".join(lines)

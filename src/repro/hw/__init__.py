@@ -1,0 +1,44 @@
+"""Simulated AMD-like hardware substrate.
+
+This package stands in for the paper's testbed hardware (8-core AMD
+Ryzen with AMD-V and the SME/SEV memory-controller encryption engine).
+It provides:
+
+* :class:`~repro.hw.memory.PhysicalMemory` — paged physical memory with a
+  raw "cold boot" dump surface;
+* :class:`~repro.hw.memctrl.MemoryController` — the on-die AES engine
+  with per-ASID key slots, the C-bit data path, a physical-address
+  indexed *plaintext* cache (the leak channel of the inter-VM remapping
+  attack), and a DMA port that bypasses the keys;
+* :class:`~repro.hw.pagetable.PageTableWalker` — a 4-level x86-style
+  walker honouring WRITABLE / USER / NX / C-bit and ``CR0.WP``;
+* :class:`~repro.hw.cpu.Cpu` — host/guest modes, control registers,
+  privileged-instruction execution with fetch checks, fault dispatch and
+  VMRUN/VMEXIT world switches against a :class:`~repro.hw.vmcb.Vmcb`;
+* :class:`~repro.hw.machine.Machine` — the assembled board.
+"""
+
+from repro.hw.cpu import Cpu, RegisterFile
+from repro.hw.cycles import CycleCounter
+from repro.hw.dma import DmaEngine
+from repro.hw.machine import Machine
+from repro.hw.memctrl import MemoryController
+from repro.hw.memory import FrameAllocator, PhysicalMemory
+from repro.hw.pagetable import PageTableWalker, Translation
+from repro.hw.tlb import Tlb
+from repro.hw.vmcb import Vmcb
+
+__all__ = [
+    "Cpu",
+    "RegisterFile",
+    "CycleCounter",
+    "DmaEngine",
+    "Machine",
+    "MemoryController",
+    "FrameAllocator",
+    "PhysicalMemory",
+    "PageTableWalker",
+    "Translation",
+    "Tlb",
+    "Vmcb",
+]

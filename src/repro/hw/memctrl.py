@@ -1,0 +1,202 @@
+"""The memory controller with the SME/SEV AES engine.
+
+Faithful structural properties (paper Sections 2.1, 2.2, 6.1, 6.2):
+
+* Keys live in *slots* indexed by ASID (slot 0 is the host SME key).
+  They are installed only by the SEV firmware's ACTIVATE command; no
+  software ever reads a slot back.
+* Encryption is deterministic and tweaked by the physical cache-line
+  address.  Ciphertext replayed at the same physical address decrypts to
+  the stale plaintext (the replay attack works at this layer);
+  ciphertext moved elsewhere decrypts to garbage.
+* There is **no integrity**: a wrong key or corrupted ciphertext just
+  yields garbage plaintext (Section 8 suggests a Bonsai Merkle Tree).
+* The cache holds *plaintext* lines indexed purely by physical address.
+  An encrypted read that hits the cache is served the plaintext even if
+  the reader's ASID (and hence key) differs — this is the cache channel
+  behind the inter-VM remapping attack of Section 6.2.
+* The DMA port moves raw bus bytes and never touches the keys, so DMA
+  from the driver domain sees ciphertext of protected pages (and this is
+  why the PV I/O path needs the Fidelius I/O encoding of Section 4.3.5).
+"""
+
+from collections import OrderedDict
+
+from repro.common import crypto
+from repro.common.constants import (
+    CACHE_LINE,
+    CACHE_LINE_SHIFT,
+    ENC_LINE_EXTRA_CYCLES,
+    HOST_ASID,
+    L1_HIT_CYCLES,
+    LINE_TRANSFER_CYCLES,
+    MAX_ASID,
+)
+from repro.common.errors import ReproError
+
+
+class KeySlotError(ReproError):
+    """Access with an ASID whose key slot is empty."""
+
+
+def line_tweak(line_pa):
+    """The position tweak: the physical address of the cache line."""
+    return line_pa.to_bytes(8, "little")
+
+
+def split_lines(pa, length):
+    """Split [pa, pa+length) into (line_pa, offset_in_line, chunk_len)."""
+    pieces = []
+    cursor = pa
+    remaining = length
+    while remaining:
+        line_pa = (cursor >> CACHE_LINE_SHIFT) << CACHE_LINE_SHIFT
+        off = cursor - line_pa
+        take = min(remaining, CACHE_LINE - off)
+        pieces.append((line_pa, off, take))
+        cursor += take
+        remaining -= take
+    return pieces
+
+
+def encrypt_region(key, pa, plaintext):
+    """Ciphertext bytes as they would sit on DRAM at ``pa`` under ``key``.
+
+    Shared by the memory controller and the SEV firmware (which holds
+    guest keys directly and transforms memory images in place).
+    """
+    out = bytearray()
+    view = memoryview(plaintext)
+    for line_pa, off, take in split_lines(pa, len(plaintext)):
+        chunk = bytes(view[:take])
+        view = view[take:]
+        out.extend(crypto.xex_encrypt(key, line_tweak(line_pa), chunk, offset=off))
+    return bytes(out)
+
+
+#: The keystream construction is an involution, so decryption is identical.
+decrypt_region = encrypt_region
+
+
+class MemoryController:
+    """Byte-addressable front end of :class:`PhysicalMemory` with crypto."""
+
+    def __init__(self, memory, cycles, cache_lines=4096):
+        self.memory = memory
+        self.cycles = cycles
+        self._slots = {}
+        self._cache = OrderedDict()
+        self._cache_lines = cache_lines
+
+    # -- key slot management (issued by the SEV firmware only) -------------
+
+    def install_key(self, asid, key):
+        if not 0 <= asid <= MAX_ASID:
+            raise KeySlotError("ASID %d out of range" % asid)
+        self._slots[asid] = bytes(key)
+
+    def uninstall_key(self, asid):
+        self._slots.pop(asid, None)
+
+    def slot_installed(self, asid):
+        return asid in self._slots
+
+    def _key(self, asid):
+        key = self._slots.get(asid)
+        if key is None:
+            raise KeySlotError("no key installed for ASID %d" % asid)
+        return key
+
+    # -- plaintext cache ----------------------------------------------------
+
+    def _cache_fill(self, line_pa, plaintext):
+        self._cache[line_pa] = bytes(plaintext)
+        self._cache.move_to_end(line_pa)
+        while len(self._cache) > self._cache_lines:
+            self._cache.popitem(last=False)
+
+    def _cache_lookup(self, line_pa):
+        line = self._cache.get(line_pa)
+        if line is not None:
+            self._cache.move_to_end(line_pa)
+        return line
+
+    def _cache_invalidate(self, pa, length):
+        first = pa >> CACHE_LINE_SHIFT
+        last = (pa + max(length, 1) - 1) >> CACHE_LINE_SHIFT
+        for line in range(first, last + 1):
+            self._cache.pop(line << CACHE_LINE_SHIFT, None)
+
+    def flush_cache(self):
+        """WBINVD equivalent: drop all plaintext lines."""
+        self._cache.clear()
+
+    def cached_lines(self):
+        return set(self._cache)
+
+    # -- encrypted data path --------------------------------------------------
+
+    def _charge_transfer(self, length, encrypted, reason):
+        lines = max(1, (length + CACHE_LINE - 1) // CACHE_LINE)
+        per_line = LINE_TRANSFER_CYCLES
+        if encrypted:
+            per_line += ENC_LINE_EXTRA_CYCLES
+        self.cycles.charge(lines * per_line, reason)
+
+    def read(self, pa, length, c_bit=False, asid=HOST_ASID):
+        """A CPU-side read; decrypts when the C-bit is set."""
+        if not c_bit:
+            self._charge_transfer(length, False, "mem-read")
+            return self.memory.read(pa, length)
+        key = self._key(asid)
+        out = bytearray()
+        for line_pa, off, take in split_lines(pa, length):
+            cached = self._cache_lookup(line_pa)
+            if cached is not None:
+                # Plaintext hit regardless of who asks: the leak channel.
+                self.cycles.charge(L1_HIT_CYCLES, "mem-read-cached")
+                out.extend(cached[off:off + take])
+                continue
+            self._charge_transfer(CACHE_LINE, True, "mem-read-enc")
+            raw_line = self.memory.read(line_pa, CACHE_LINE)
+            plain_line = crypto.xex_decrypt(key, line_tweak(line_pa), raw_line)
+            self._cache_fill(line_pa, plain_line)
+            out.extend(plain_line[off:off + take])
+        return bytes(out)
+
+    def write(self, pa, data, c_bit=False, asid=HOST_ASID):
+        """A CPU-side write; encrypts when the C-bit is set."""
+        if not c_bit:
+            self._charge_transfer(len(data), False, "mem-write")
+            self._cache_invalidate(pa, len(data))
+            self.memory.write(pa, data)
+            return
+        key = self._key(asid)
+        view = memoryview(data)
+        for line_pa, off, take in split_lines(pa, len(data)):
+            chunk = bytes(view[:take])
+            view = view[take:]
+            self._charge_transfer(CACHE_LINE, True, "mem-write-enc")
+            ct = crypto.xex_encrypt(key, line_tweak(line_pa), chunk, offset=off)
+            self.memory.write(line_pa + off, ct)
+            cached = self._cache_lookup(line_pa)
+            if cached is None:
+                # Write-allocate: fetch and decrypt the rest of the line.
+                raw_line = self.memory.read(line_pa, CACHE_LINE)
+                cached = crypto.xex_decrypt(key, line_tweak(line_pa), raw_line)
+            patched = bytearray(cached)
+            patched[off:off + take] = chunk
+            self._cache_fill(line_pa, patched)
+
+    # -- DMA port -------------------------------------------------------------
+
+    def dma_read(self, pa, length):
+        """Device-initiated read: raw bus bytes, never decrypted."""
+        self._charge_transfer(length, False, "dma-read")
+        return self.memory.read(pa, length)
+
+    def dma_write(self, pa, data):
+        """Device-initiated write: raw bus bytes; snoops (invalidates) cache."""
+        self._charge_transfer(len(data), False, "dma-write")
+        self._cache_invalidate(pa, len(data))
+        self.memory.write(pa, data)

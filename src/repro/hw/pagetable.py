@@ -1,0 +1,225 @@
+"""Four-level page tables and the hardware walker.
+
+Used in three places, with different word-access callbacks:
+
+* the host address space (Xen + Fidelius): raw physical reads, because
+  host page tables are not encrypted in our configurations;
+* the guest's own page tables (GVA -> GPA): accesses composed by the
+  domain layer through the NPT and the guest's memory-encryption key;
+* the nested page tables (GPA -> HPA): raw physical reads.
+
+The walker itself is pure hardware: it enforces PRESENT / WRITABLE /
+USER / NX plus the ``CR0.WP`` and ``CR4.SMEP`` semantics, and reports
+the leaf C-bit.  It does **not** enforce any Fidelius policy — policies
+act on who may *write* the page-table-pages, which is exactly the
+paper's non-bypassable isolation design.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    ENTRIES_PER_TABLE,
+    PAGE_SHIFT,
+    PAGE_SIZE,
+    PTE_C_BIT,
+    PTE_NX,
+    PTE_PFN_MASK,
+    PTE_PRESENT,
+    PTE_SIZE,
+    PTE_USER,
+    PTE_WRITABLE,
+    PT_LEVELS,
+    VA_BITS,
+)
+from repro.common.errors import PageFault
+from repro.common.types import Access, frame_addr
+
+
+def _index(va, level):
+    return (va >> (PAGE_SHIFT + 9 * (level - 1))) & (ENTRIES_PER_TABLE - 1)
+
+
+def entry_pfn(entry):
+    return (entry & PTE_PFN_MASK) >> PAGE_SHIFT
+
+
+def make_entry(pfn, flags):
+    return (pfn << PAGE_SHIFT) | flags
+
+
+@dataclass(frozen=True)
+class Translation:
+    """Result of a successful walk."""
+
+    pa: int
+    writable: bool
+    user: bool
+    nx: bool
+    c_bit: bool
+
+
+class PageTableWalker:
+    """Walks and edits page tables rooted at a given frame."""
+
+    def __init__(self, memory, alloc_frame=None, read_word=None, write_word=None):
+        self._memory = memory
+        self._alloc_frame = alloc_frame
+        self._read_word = read_word or memory.read_u64
+        self._write_word = write_word or memory.write_u64
+
+    # -- translation ---------------------------------------------------------
+
+    def translate(self, root_pfn, va, access=Access.read(),
+                  wp=True, smep=False, nxe=True):
+        """Translate ``va``; raises :class:`PageFault` like the hardware."""
+        if not 0 <= va < (1 << VA_BITS):
+            raise PageFault(va, access.write, access.execute, access.user,
+                            message="non-canonical virtual address %#x" % va)
+        table_pfn = root_pfn
+        writable = True
+        user = True
+        nx = False
+        entry = 0
+        for level in range(PT_LEVELS, 0, -1):
+            entry_pa = frame_addr(table_pfn) + _index(va, level) * PTE_SIZE
+            entry = self._read_word(entry_pa)
+            if not entry & PTE_PRESENT:
+                raise PageFault(va, access.write, access.execute, access.user,
+                                present=False)
+            writable = writable and bool(entry & PTE_WRITABLE)
+            user = user and bool(entry & PTE_USER)
+            nx = nx or bool(entry & PTE_NX)
+            table_pfn = entry_pfn(entry)
+        c_bit = bool(entry & PTE_C_BIT)
+        self._check_permissions(va, access, writable, user, nx, wp, smep, nxe)
+        pa = frame_addr(table_pfn) | (va & (PAGE_SIZE - 1))
+        return Translation(pa, writable, user, nx, c_bit)
+
+    @staticmethod
+    def _check_permissions(va, access, writable, user, nx, wp, smep, nxe):
+        if access.user and not user:
+            raise PageFault(va, access.write, access.execute, True, present=True)
+        if access.write and not writable:
+            if access.user or wp:
+                raise PageFault(va, True, False, access.user, present=True)
+        if access.execute:
+            if nx and nxe:
+                raise PageFault(va, False, True, access.user, present=True)
+            if smep and user and not access.user:
+                raise PageFault(va, False, True, False, present=True,
+                                message="SMEP: supervisor fetch of user page")
+
+    def permissions(self, root_pfn, va):
+        """Translation without any permission check (inspection helper)."""
+        return self.translate(root_pfn, va, Access.read(), wp=False)
+
+    # -- construction and edits ------------------------------------------------
+
+    def map(self, root_pfn, va, pfn, flags):
+        """Install a leaf mapping, allocating intermediate tables as needed.
+
+        Returns the list of newly allocated page-table-page PFNs so the
+        caller (boot code or Fidelius) can classify them in the PIT.
+        """
+        new_tables = []
+        table_pfn = root_pfn
+        for level in range(PT_LEVELS, 1, -1):
+            entry_pa = frame_addr(table_pfn) + _index(va, level) * PTE_SIZE
+            entry = self._read_word(entry_pa)
+            if not entry & PTE_PRESENT:
+                if self._alloc_frame is None:
+                    raise PageFault(va, message="no allocator to grow tables")
+                child = self._alloc_frame()
+                self._memory.zero_frame(child)
+                new_tables.append((level - 1, child))
+                self._write_word(
+                    entry_pa, make_entry(child, PTE_PRESENT | PTE_WRITABLE | PTE_USER)
+                )
+                table_pfn = child
+            else:
+                table_pfn = entry_pfn(entry)
+        leaf_pa = frame_addr(table_pfn) + _index(va, 1) * PTE_SIZE
+        self._write_word(leaf_pa, make_entry(pfn, flags | PTE_PRESENT))
+        return new_tables
+
+    def unmap(self, root_pfn, va):
+        leaf_pa = self.entry_pa(root_pfn, va)
+        entry = self._read_word(leaf_pa)
+        self._write_word(leaf_pa, 0)
+        return entry
+
+    def entry_pa(self, root_pfn, va, level=1):
+        """Physical address of the entry for ``va`` at ``level``.
+
+        This is what lets *software* edit an entry through its own mapped
+        view of the page-table-page — and what lets Fidelius fault such
+        edits when the page-table-pages are write-protected.
+        """
+        table_pfn = root_pfn
+        for cur in range(PT_LEVELS, level, -1):
+            entry_pa = frame_addr(table_pfn) + _index(va, cur) * PTE_SIZE
+            entry = self._read_word(entry_pa)
+            if not entry & PTE_PRESENT:
+                raise PageFault(va, present=False,
+                                message="no level-%d table for %#x" % (cur - 1, va))
+            table_pfn = entry_pfn(entry)
+        return frame_addr(table_pfn) + _index(va, level) * PTE_SIZE
+
+    def read_entry(self, root_pfn, va, level=1):
+        return self._read_word(self.entry_pa(root_pfn, va, level))
+
+    def write_entry(self, root_pfn, va, value, level=1):
+        """Raw (hardware/boot-time) entry write — not subject to WP."""
+        self._write_word(self.entry_pa(root_pfn, va, level), value)
+
+    def set_flags(self, root_pfn, va, set_mask=0, clear_mask=0):
+        leaf_pa = self.entry_pa(root_pfn, va)
+        entry = self._read_word(leaf_pa)
+        if not entry & PTE_PRESENT:
+            raise PageFault(va, present=False)
+        self._write_word(leaf_pa, (entry | set_mask) & ~clear_mask)
+
+    def is_mapped(self, root_pfn, va):
+        try:
+            self.translate(root_pfn, va, Access.read(), wp=False)
+            return True
+        except PageFault:
+            return False
+
+    # -- enumeration ------------------------------------------------------------
+
+    def table_pages(self, root_pfn):
+        """All page-table-page PFNs reachable from ``root_pfn``, with levels.
+
+        Fidelius write-protects every one of these at boot (Section 4.1.1).
+        Yields (level, pfn) pairs, the root included at level 4.
+        """
+        yield PT_LEVELS, root_pfn
+        yield from self._table_pages_below(root_pfn, PT_LEVELS)
+
+    def _table_pages_below(self, table_pfn, level):
+        if level == 1:
+            return
+        for i in range(ENTRIES_PER_TABLE):
+            entry = self._read_word(frame_addr(table_pfn) + i * PTE_SIZE)
+            if not entry & PTE_PRESENT:
+                continue
+            child = entry_pfn(entry)
+            yield level - 1, child
+            yield from self._table_pages_below(child, level - 1)
+
+    def leaf_mappings(self, root_pfn):
+        """Yield (va, entry) for every present leaf mapping."""
+        yield from self._leaves(root_pfn, PT_LEVELS, 0)
+
+    def _leaves(self, table_pfn, level, va_prefix):
+        shift = PAGE_SHIFT + 9 * (level - 1)
+        for i in range(ENTRIES_PER_TABLE):
+            entry = self._read_word(frame_addr(table_pfn) + i * PTE_SIZE)
+            if not entry & PTE_PRESENT:
+                continue
+            va = va_prefix | (i << shift)
+            if level == 1:
+                yield va, entry
+            else:
+                yield from self._leaves(entry_pfn(entry), level - 1, va)

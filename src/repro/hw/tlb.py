@@ -1,0 +1,59 @@
+"""A simple software model of the translation lookaside buffer.
+
+The TLB matters to the paper in two ways:
+
+* the cost argument for the gate designs (Section 4.1.3): a CR3 switch
+  flushes the whole TLB (AMD, no PCID in Xen 4.5), while the type 3 gate
+  flushes exactly one entry (128 cycles) and the type 1 gate flushes
+  nothing at all (``CR0.WP`` is consulted at access time, not cached);
+* mapping freshness: after a type 3 gate withdraws its transient
+  mapping, the stale entry must be flushed or the "unmapped" page would
+  still be reachable.
+
+Entries cache (vpn -> pfn, writable, user, nx, c_bit) per address-space
+root.  ``CR0.WP`` is deliberately *not* part of the cached state.
+"""
+
+from repro.common.constants import TLB_ENTRY_FLUSH_CYCLES
+
+
+class Tlb:
+    def __init__(self, cycles, capacity=1024):
+        self.cycles = cycles
+        self.capacity = capacity
+        self._entries = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, root_pfn, vpn):
+        entry = self._entries.get((root_pfn, vpn))
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def insert(self, root_pfn, vpn, translation):
+        if len(self._entries) >= self.capacity:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[(root_pfn, vpn)] = translation
+
+    def flush_page(self, root_pfn, vpn):
+        """INVLPG: drop one entry; costs the measured 128 cycles."""
+        self.cycles.charge(TLB_ENTRY_FLUSH_CYCLES, "tlb-flush-entry")
+        self._entries.pop((root_pfn, vpn), None)
+
+    def flush_root(self, root_pfn):
+        stale = [key for key in self._entries if key[0] == root_pfn]
+        for key in stale:
+            del self._entries[key]
+
+    def flush_all(self, reason="tlb-flush-all"):
+        """MOV CR3 semantics: everything goes; cost scales with occupancy."""
+        self.cycles.charge(
+            TLB_ENTRY_FLUSH_CYCLES * max(1, len(self._entries) // 8), reason
+        )
+        self._entries.clear()
+
+    def __len__(self):
+        return len(self._entries)

@@ -1,0 +1,20 @@
+"""The AMD secure-processor (PSP) firmware model for SEV.
+
+Implements the command groups the paper relies on (Sections 2.1, 4.3):
+platform INIT/SHUTDOWN, guest LAUNCH_* / ACTIVATE / DEACTIVATE /
+DECOMMISSION, and the SEND_* / RECEIVE_* groups that Fidelius
+retrofits for encrypted-image boot, SEV-based I/O encryption and
+migration.  Guest keys (``K_vek``) never leave the firmware; they are
+installed into the memory controller's ASID slots by ACTIVATE.
+"""
+
+from repro.sev.firmware import SevFirmware, WrappedKeys
+from repro.sev.state import GuestSevContext, GuestState, PlatformState
+
+__all__ = [
+    "SevFirmware",
+    "WrappedKeys",
+    "GuestSevContext",
+    "GuestState",
+    "PlatformState",
+]

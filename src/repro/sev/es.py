@@ -1,0 +1,86 @@
+"""SEV-ES: hardware encryption of guest runtime state (paper §2.2).
+
+AMD's Encrypted State extension seals the guest's save area (the VMSA)
+and register file across VM exits: the hypervisor sees only what the
+guest explicitly exposes through the GHCB protocol, and its writes to
+guest state are ineffective — on VMRUN the hardware reloads the real
+state from the encrypted VMSA.
+
+We model the boundary exactly like Fidelius's shadow keeper (the paper
+calls shadowing "a software version of SEV-ES") with two deliberate
+differences that reproduce the paper's analysis:
+
+* there is **no tamper detection** — hypervisor writes to protected
+  state are silently discarded rather than aborting the entry;
+* only the *save area* is protected.  The control area (nested CR3,
+  ASID, intercepts) stays hypervisor-owned, and the NPT, grant tables
+  and handle↔ASID binding stay hypervisor-managed — which is precisely
+  why the paper's Section 2.2 lists replay, key-sharing abuse and the
+  I/O path as "remaining problems even with SEV-ES enabled".
+"""
+
+from repro.hw.vmcb import SAVE_FIELDS
+
+
+class SevEsBoundary:
+    """The hardware exit/entry state protection for ES-enabled guests.
+
+    Installed as the hypervisor's register saver/restorer on SEV-ES
+    hosts.  The exit-reason exposure sets are shared with Fidelius's
+    policy table: they describe what the GHCB protocol hands the
+    hypervisor for each exit class.
+    """
+
+    def __init__(self, hypervisor):
+        self._hypervisor = hypervisor
+        self._machine = hypervisor.machine
+        self._vmsas = {}
+
+    @staticmethod
+    def _es_guest(vcpu):
+        return getattr(vcpu.domain, "sev_es", False)
+
+    def on_exit(self, vcpu):
+        if not self._es_guest(vcpu):
+            self._hypervisor._save_regs_direct(vcpu)
+            return
+        from repro.core.policies import exit_policy
+        cpu = self._machine.cpu
+        self._vmsas[vcpu] = (vcpu.vmcb.copy(), cpu.regs.copy())
+        policy = exit_policy(vcpu.vmcb.exit_reason)
+        # the GHCB exposes exactly the exit class's ABI registers;
+        # everything else leaves the CPU as zeros
+        cpu.regs.mask_except(policy.visible_regs)
+        vcpu.vmcb.mask_fields(SAVE_FIELDS)
+        vcpu.saved_gprs = cpu.regs.copy()
+
+    def pre_entry(self, vcpu):
+        if not self._es_guest(vcpu):
+            self._hypervisor._restore_regs_direct(vcpu)
+            return
+        vmsa = self._vmsas.get(vcpu)
+        if vmsa is None:
+            self._hypervisor._restore_regs_direct(vcpu)
+            return
+        from repro.core.policies import exit_policy
+        cpu = self._machine.cpu
+        vmsa_vmcb, vmsa_regs = vmsa
+        policy = exit_policy(vmsa_vmcb.exit_reason)
+        # No verification: hardware just reloads the encrypted VMSA.
+        # Hypervisor edits to save-area fields silently evaporate...
+        vcpu.vmcb.restore_from(vmsa_vmcb, fields=SAVE_FIELDS)
+        hypervisor_regs = vcpu.saved_gprs
+        cpu.regs.load_from(vmsa_regs)
+        # ...while the GHCB return registers flow back to the guest.
+        for name in policy.writable_regs:
+            cpu.regs[name] = hypervisor_regs[name]
+        vcpu.vmcb.write("rax", cpu.regs["rax"])
+        vcpu.vmcb.write("rsp", cpu.regs["rsp"])
+
+
+def enable_sev_es(hypervisor):
+    """Switch a (baseline) host's exit boundary to SEV-ES hardware."""
+    boundary = SevEsBoundary(hypervisor)
+    hypervisor.regs_saver = boundary.on_exit
+    hypervisor.regs_restorer = boundary.pre_entry
+    return boundary

@@ -1,0 +1,348 @@
+"""The SEV firmware command interface.
+
+Design notes mirroring the real hardware's (in)securities — the model
+must be *faithfully weak* so the paper's attacks have something to beat:
+
+* ``ACTIVATE(handle, asid)`` is policy-free: whoever can issue commands
+  can bind any handle to any free ASID.  The handle↔ASID relationship is
+  *not* protected (Section 2.2, "remaining problems even with SEV-ES"),
+  which enables the key-sharing abuse attack.  Fidelius closes this by
+  self-maintaining the SEV metadata and gating command submission
+  (Section 4.2.3), modelled by the optional ``gate_check`` hook.
+* SEND/RECEIVE transport crypto is keyed by a wrapped TEK/TIK pair whose
+  unwrap key comes from a Diffie-Hellman agreement between the guest
+  owner and this firmware — the relaying hypervisor cannot recover it
+  (Section 4.3.2).
+* Transport ciphertext is tweaked by an explicit caller-chosen value
+  (record index for migration, sector number for the SEV I/O path), so
+  both ends agree without sharing the position-bound memory tweak.
+"""
+
+from dataclasses import dataclass
+
+from repro.common import crypto
+from repro.common.constants import HOST_ASID, MAX_ASID
+from repro.common.errors import SevError
+from repro.hw.memctrl import decrypt_region, encrypt_region
+from repro.sev.state import GuestSevContext, GuestState, PlatformState
+
+
+@dataclass(frozen=True)
+class WrappedKeys:
+    """The ``K_wrap`` bundle returned by SEND_START (paper Section 4.3.2)."""
+
+    tek: tuple
+    tik: tuple
+
+
+class SevFirmware:
+    """The secure processor, attached to one machine's memory controller."""
+
+    def __init__(self, machine):
+        self._machine = machine
+        self._memctrl = machine.memctrl
+        self._rng = machine.rng
+        self.platform_state = PlatformState.UNINIT
+        self._contexts = {}
+        self._next_handle = 1
+        self._dh = None
+        self._host_key = None
+        #: Installed by Fidelius: called before every command; raises to
+        #: model that the command-issuing code is reachable only through
+        #: a type 3 gate once Fidelius is active.
+        self.gate_check = None
+
+    # -- internals ---------------------------------------------------------------
+
+    def _check_gate(self, command):
+        if self.gate_check is not None:
+            self.gate_check(command)
+
+    def _require_init(self):
+        if self.platform_state is not PlatformState.INIT:
+            raise SevError("PLATFORM_UNINIT", "platform not initialized")
+
+    def _context(self, handle):
+        ctx = self._contexts.get(handle)
+        if ctx is None:
+            raise SevError("INVALID_HANDLE", "no guest context %r" % handle)
+        return ctx
+
+    def _asid_in_use(self, asid):
+        return any(c.asid == asid for c in self._contexts.values())
+
+    # -- platform commands ----------------------------------------------------------
+
+    def init(self, enable_sme=True):
+        """INIT: bring up the platform; generate and install the SME key."""
+        self._check_gate("INIT")
+        if self.platform_state is PlatformState.INIT:
+            raise SevError("PLATFORM_STATE", "platform already initialized")
+        self.platform_state = PlatformState.INIT
+        self._dh = crypto.DiffieHellman(self._rng)
+        if enable_sme:
+            self._host_key = crypto.random_key(self._rng)
+            self._memctrl.install_key(HOST_ASID, self._host_key)
+        return self._dh.public
+
+    def shutdown(self):
+        self._check_gate("SHUTDOWN")
+        for handle in list(self._contexts):
+            self.decommission(handle)
+        self._memctrl.uninstall_key(HOST_ASID)
+        self.platform_state = PlatformState.UNINIT
+
+    @property
+    def platform_public_key(self):
+        """The platform's DH public value (part of the platform cert chain)."""
+        self._require_init()
+        return self._dh.public
+
+    # -- guest launch group -------------------------------------------------------------
+
+    def launch_start(self, policy=0, share_kvek_with=None):
+        """LAUNCH_START: create a guest context; returns its handle.
+
+        ``share_kvek_with`` creates a context sharing an existing guest's
+        ``K_vek`` — the mechanism behind the *s-dom* helper domain of the
+        SEV-based I/O path (Section 4.3.5).
+        """
+        self._check_gate("LAUNCH_START")
+        self._require_init()
+        if share_kvek_with is not None:
+            kvek = self._context(share_kvek_with).kvek
+        else:
+            kvek = crypto.random_key(self._rng)
+        handle = self._next_handle
+        self._next_handle += 1
+        self._contexts[handle] = GuestSevContext(handle, kvek, policy)
+        return handle
+
+    def launch_update_data(self, handle, pa, plaintext):
+        """LAUNCH_UPDATE_DATA: encrypt ``plaintext`` in place at ``pa``."""
+        self._check_gate("LAUNCH_UPDATE_DATA")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.LAUNCHING)
+        self._memctrl.dma_write(pa, encrypt_region(ctx.kvek, pa, plaintext))
+        ctx.extend_measurement(plaintext)
+
+    def launch_measure(self, handle):
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.LAUNCHING)
+        return ctx.measurement()
+
+    def launch_finish(self, handle):
+        self._check_gate("LAUNCH_FINISH")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.LAUNCHING)
+        ctx.state = GuestState.RUNNING
+        return ctx.measurement()
+
+    # -- activation group ------------------------------------------------------------------
+
+    def activate(self, handle, asid):
+        """ACTIVATE: install the guest's key into the ASID slot.
+
+        Hardware-faithfully policy-free apart from requiring a free ASID:
+        the *binding* between handle and ASID is chosen by the caller.
+        """
+        self._check_gate("ACTIVATE")
+        ctx = self._context(handle)
+        if not 1 <= asid <= MAX_ASID:
+            raise SevError("INVALID_ASID", "asid %r out of range" % (asid,))
+        if self._asid_in_use(asid):
+            raise SevError("ASID_IN_USE", "asid %d already active" % asid)
+        ctx.asid = asid
+        self._memctrl.install_key(asid, ctx.kvek)
+
+    def deactivate(self, handle):
+        """DEACTIVATE: uninstall the key and free the ASID."""
+        self._check_gate("DEACTIVATE")
+        ctx = self._context(handle)
+        if ctx.asid is not None:
+            self._memctrl.uninstall_key(ctx.asid)
+            ctx.asid = None
+
+    def decommission(self, handle):
+        """DECOMMISSION: erase the guest context (and key) for good."""
+        self._check_gate("DECOMMISSION")
+        ctx = self._context(handle)
+        if ctx.asid is not None:
+            self._memctrl.uninstall_key(ctx.asid)
+        del self._contexts[handle]
+
+    def dbg_decrypt(self, handle, pa, length):
+        """DBG_DECRYPT: decrypt guest memory for a debugger.
+
+        A legitimate operator facility — and exactly why owners set the
+        NODBG policy bit: with it, the firmware refuses forever."""
+        from repro.sev.state import POLICY_NODBG
+        self._check_gate("DBG_DECRYPT")
+        ctx = self._context(handle)
+        if ctx.policy & POLICY_NODBG:
+            raise SevError("POLICY_FAILURE",
+                           "guest policy forbids debug decryption (NODBG)")
+        raw = self._memctrl.dma_read(pa, length)
+        return decrypt_region(ctx.kvek, pa, raw)
+
+    def guest_state(self, handle):
+        return self._context(handle).state
+
+    def guest_policy(self, handle):
+        return self._context(handle).policy
+
+    def guest_asid(self, handle):
+        return self._context(handle).asid
+
+    def handles(self):
+        return sorted(self._contexts)
+
+    # -- send group (migration source / encrypted-image generation / s-dom) -------------
+
+    def send_start(self, handle, peer_public, nonce):
+        """SEND_START: stop the guest, derive a session, wrap TEK/TIK.
+
+        The unwrap key (KEK) is the DH master secret between this
+        firmware and ``peer_public`` mixed with the guest nonce; only the
+        two endpoints can compute it.  Returns a :class:`WrappedKeys`.
+
+        Refused outright for guests whose launch policy carries the
+        NOSEND bit: the owner opted out of migration forever.
+        """
+        from repro.sev.state import POLICY_NOSEND
+        self._check_gate("SEND_START")
+        ctx = self._context(handle)
+        if ctx.policy & POLICY_NOSEND:
+            raise SevError("POLICY_FAILURE",
+                           "guest policy forbids SEND (NOSEND)")
+        ctx.require_state(GuestState.RUNNING)
+        master = self._dh.shared_secret(peer_public, nonce)
+        kek = crypto.derive_key(master, "kek")
+        ctx.tek = crypto.random_key(self._rng)
+        ctx.tik = crypto.random_key(self._rng)
+        ctx.state = GuestState.SENDING
+        ctx.reset_stream()
+        return WrappedKeys(
+            tek=crypto.wrap_key(kek, ctx.tek),
+            tik=crypto.wrap_key(kek, ctx.tik),
+        )
+
+    def send_update(self, handle, pa, length, tweak):
+        """SEND_UPDATE: decrypt [pa, pa+length) with K_vek, re-encrypt with
+        the transport key under ``tweak``; returns the transport bytes."""
+        self._check_gate("SEND_UPDATE")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.SENDING)
+        raw = self._memctrl.dma_read(pa, length)
+        plaintext = decrypt_region(ctx.kvek, pa, raw)
+        transport = crypto.xex_encrypt(ctx.tek, b"xport|" + tweak, plaintext)
+        ctx.extend_stream(transport)
+        return transport
+
+    def send_update_sectors(self, handle, pa, length, base_sector):
+        """SEND_UPDATE over a scatter of 512-byte sectors in one command.
+
+        Transport crypto is applied per sector with the absolute sector
+        number as tweak, so any sector range can later be re-imported
+        independently — while the command itself is batched (one memory
+        transaction for the whole range), which is what makes the SEV
+        I/O path competitive (Section 7.2).
+        """
+        from repro.common.constants import SECTOR_SIZE
+        self._check_gate("SEND_UPDATE")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.SENDING)
+        if length % SECTOR_SIZE:
+            raise SevError("INVALID_LENGTH", "sector-batched update must "
+                           "be sector aligned")
+        raw = self._memctrl.dma_read(pa, length)
+        plaintext = decrypt_region(ctx.kvek, pa, raw)
+        out = bytearray()
+        for i in range(length // SECTOR_SIZE):
+            chunk = plaintext[i * SECTOR_SIZE:(i + 1) * SECTOR_SIZE]
+            tweak = b"xport|sector|" + (base_sector + i).to_bytes(8, "little")
+            out += crypto.xex_encrypt(ctx.tek, tweak, chunk)
+        transport = bytes(out)
+        ctx.extend_stream(transport)
+        return transport
+
+    def send_finish(self, handle):
+        """SEND_FINISH: the transport-integrity measurement of the stream."""
+        self._check_gate("SEND_FINISH")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.SENDING)
+        return crypto.hmac_measure(ctx.tik, ctx.stream_digest())
+
+    # -- receive group (boot from encrypted image / migration target / r-dom) -----------
+
+    def receive_start(self, wrapped, peer_public, nonce, share_kvek_with=None,
+                      policy=0):
+        """RECEIVE_START: unwrap TEK/TIK, mint a context in RECEIVING state.
+
+        A fresh ``K_vek`` is generated unless ``share_kvek_with`` names an
+        existing context (the *r-dom* of the SEV I/O path).  Returns the
+        new handle.
+        """
+        self._check_gate("RECEIVE_START")
+        self._require_init()
+        master = self._dh.shared_secret(peer_public, nonce)
+        kek = crypto.derive_key(master, "kek")
+        try:
+            tek = crypto.unwrap_key(kek, wrapped.tek)
+            tik = crypto.unwrap_key(kek, wrapped.tik)
+        except ValueError as exc:
+            raise SevError("BAD_WRAP", str(exc))
+        if share_kvek_with is not None:
+            kvek = self._context(share_kvek_with).kvek
+        else:
+            kvek = crypto.random_key(self._rng)
+        handle = self._next_handle
+        self._next_handle += 1
+        ctx = GuestSevContext(handle, kvek, policy)
+        ctx.state = GuestState.RECEIVING
+        ctx.tek = tek
+        ctx.tik = tik
+        ctx.reset_stream()
+        self._contexts[handle] = ctx
+        return handle
+
+    def receive_update(self, handle, transport, tweak, pa):
+        """RECEIVE_UPDATE: decrypt transport bytes with TEK, re-encrypt
+        with K_vek in place at ``pa``."""
+        self._check_gate("RECEIVE_UPDATE")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.RECEIVING)
+        ctx.extend_stream(transport)
+        plaintext = crypto.xex_decrypt(ctx.tek, b"xport|" + tweak, transport)
+        self._memctrl.dma_write(pa, encrypt_region(ctx.kvek, pa, plaintext))
+        return len(plaintext)
+
+    def receive_update_sectors(self, handle, transport, base_sector, pa):
+        """RECEIVE_UPDATE for a sector-batched transport buffer."""
+        from repro.common.constants import SECTOR_SIZE
+        self._check_gate("RECEIVE_UPDATE")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.RECEIVING)
+        if len(transport) % SECTOR_SIZE:
+            raise SevError("INVALID_LENGTH", "sector-batched update must "
+                           "be sector aligned")
+        ctx.extend_stream(transport)
+        out = bytearray()
+        for i in range(len(transport) // SECTOR_SIZE):
+            chunk = transport[i * SECTOR_SIZE:(i + 1) * SECTOR_SIZE]
+            tweak = b"xport|sector|" + (base_sector + i).to_bytes(8, "little")
+            out += crypto.xex_decrypt(ctx.tek, tweak, chunk)
+        self._memctrl.dma_write(pa, encrypt_region(ctx.kvek, pa, bytes(out)))
+        return len(out)
+
+    def receive_finish(self, handle, expected_measurement):
+        """RECEIVE_FINISH: verify stream integrity, move to RUNNING."""
+        self._check_gate("RECEIVE_FINISH")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.RECEIVING)
+        actual = crypto.hmac_measure(ctx.tik, ctx.stream_digest())
+        if not crypto.constant_time_equal(actual, expected_measurement):
+            raise SevError("BAD_MEASUREMENT",
+                           "received image fails integrity verification")
+        ctx.state = GuestState.RUNNING
+        return actual

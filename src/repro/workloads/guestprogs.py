@@ -1,0 +1,153 @@
+"""Realistic in-guest programs, written against the GuestContext API.
+
+These are the "applications" of the examples and functional benchmarks:
+they allocate guest memory, keep working sets, take traps and do disk
+I/O — so driving one under different host configurations exercises the
+whole stack, not a synthetic trace.
+
+* :class:`KeyValueStore` — a persistent hash store with a fixed-slot
+  on-disk layout over the PV block device;
+* :class:`CryptoWorker` — a CPU/memory worker hashing its working set
+  (a stand-in for the SPEC-style compute loop);
+* :class:`SessionServer` — an interrupt-driven request loop showing the
+  exit/entry path under load.
+"""
+
+import hashlib
+
+from repro.common.constants import PAGE_SIZE, SECTOR_SIZE
+from repro.common.errors import ReproError
+
+KV_SLOTS = 64
+KV_KEY_BYTES = 24
+KV_VALUE_BYTES = SECTOR_SIZE - KV_KEY_BYTES - 8
+_KV_USED = b"USED\x00\x00\x00\x00"
+
+
+class KeyValueStore:
+    """A tiny persistent KV store: one slot per disk sector.
+
+    Slot layout (one 512-byte sector):
+      [0:8)    used marker
+      [8:32)   key, NUL padded
+      [32:512) value, NUL padded
+
+    The in-memory index lives in *encrypted* guest memory; the at-rest
+    sectors are protected by whatever encoder the front end carries.
+    """
+
+    def __init__(self, ctx, frontend, base_sector=64, heap_gfn=10):
+        self.ctx = ctx
+        self.frontend = frontend
+        self.base_sector = base_sector
+        self.heap_gfn = heap_gfn
+        ctx.set_page_encrypted(heap_gfn)
+        self._index = {}
+
+    @staticmethod
+    def _pack_key(key):
+        if len(key) > KV_KEY_BYTES:
+            raise ReproError("key longer than %d bytes" % KV_KEY_BYTES)
+        return key + bytes(KV_KEY_BYTES - len(key))
+
+    def _slot_of(self, key):
+        if key in self._index:
+            return self._index[key]
+        if len(self._index) >= KV_SLOTS:
+            raise ReproError("store full")
+        slot = len(self._index)
+        self._index[key] = slot
+        return slot
+
+    def put(self, key, value):
+        if len(value) > KV_VALUE_BYTES:
+            raise ReproError("value too large for one slot")
+        slot = self._slot_of(key)
+        record = _KV_USED + self._pack_key(key) + value \
+            + bytes(KV_VALUE_BYTES - len(value))
+        # stage the record in encrypted memory first (working set)
+        self.ctx.write(self.heap_gfn * PAGE_SIZE, record)
+        self.frontend.write(self.base_sector + slot, record)
+        return slot
+
+    def get(self, key):
+        slot = self._index.get(key)
+        if slot is None:
+            return None
+        record = self.frontend.read(self.base_sector + slot, 1)
+        if record[:8] != _KV_USED:
+            return None
+        stored_key = record[8:8 + KV_KEY_BYTES].rstrip(b"\x00")
+        if stored_key != key:
+            raise ReproError("index/disk mismatch for %r" % key)
+        return record[8 + KV_KEY_BYTES:].rstrip(b"\x00")
+
+    def recover_index(self):
+        """Rebuild the index by scanning the disk (after restore or
+        migration, where only memory+disk move, not Python state)."""
+        self._index = {}
+        for slot in range(KV_SLOTS):
+            record = self.frontend.read(self.base_sector + slot, 1)
+            if record[:8] == _KV_USED:
+                key = record[8:8 + KV_KEY_BYTES].rstrip(b"\x00")
+                self._index[key] = slot
+        return len(self._index)
+
+
+class CryptoWorker:
+    """A compute worker: hashes and rewrites a working set in guest
+    memory.  Memory-intensity is tunable via the working-set size."""
+
+    def __init__(self, ctx, first_gfn=16, pages=8, encrypted=True):
+        self.ctx = ctx
+        self.first_gfn = first_gfn
+        self.pages = pages
+        for gfn in range(first_gfn, first_gfn + pages):
+            if encrypted:
+                ctx.set_page_encrypted(gfn)
+            ctx.write(gfn * PAGE_SIZE, bytes(range(256)) * (PAGE_SIZE // 256))
+
+    def round(self):
+        """One work round: hash every page and write the digest back."""
+        digests = []
+        for gfn in range(self.first_gfn, self.first_gfn + self.pages):
+            page = self.ctx.read(gfn * PAGE_SIZE, PAGE_SIZE)
+            digest = hashlib.sha256(page).digest()
+            self.ctx.write(gfn * PAGE_SIZE, digest)
+            digests.append(digest)
+        return hashlib.sha256(b"".join(digests)).hexdigest()
+
+    def run(self, rounds):
+        last = None
+        for _ in range(rounds):
+            last = self.round()
+        return last
+
+
+class SessionServer:
+    """An exit-heavy request loop: every request costs one hypercall
+    round trip plus bookkeeping in encrypted memory."""
+
+    def __init__(self, ctx, state_gfn=30):
+        self.ctx = ctx
+        self.state_gfn = state_gfn
+        ctx.set_page_encrypted(state_gfn)
+        ctx.write(state_gfn * PAGE_SIZE, (0).to_bytes(8, "little"))
+
+    @property
+    def handled(self):
+        return int.from_bytes(
+            self.ctx.read(self.state_gfn * PAGE_SIZE, 8), "little")
+
+    def handle_request(self):
+        from repro.xen import hypercalls as hc
+        count = self.handled + 1
+        self.ctx.write(self.state_gfn * PAGE_SIZE,
+                       count.to_bytes(8, "little"))
+        self.ctx.hypercall(hc.HC_VOID)  # "respond" through the host
+        return count
+
+    def serve(self, requests):
+        for _ in range(requests):
+            self.handle_request()
+        return self.handled

@@ -1,0 +1,33 @@
+"""The Xen-like virtualization substrate (paper Section 2.3).
+
+Provides the hypervisor the paper hardens: domains with nested paging,
+VM-exit dispatch, grant tables, event channels, XenStore and the
+para-virtualized block I/O path.  Everything security-relevant the
+hypervisor does goes through replaceable indirections that Fidelius
+(``repro.core``) swaps for gated, policy-checked versions.
+"""
+
+from repro.xen import hypercalls
+from repro.xen.domain import Domain, GuestContext, VirtualCpu
+from repro.xen.event_channel import EventChannelBus
+from repro.xen.grant_table import GrantEntry, GrantTable
+from repro.xen.hypervisor import Hypervisor
+from repro.xen.image import CodeImage, default_fidelius_image, default_xen_image
+from repro.xen.npt import NestedPageTable
+from repro.xen.xenstore import XenStore
+
+__all__ = [
+    "hypercalls",
+    "Domain",
+    "GuestContext",
+    "VirtualCpu",
+    "EventChannelBus",
+    "GrantEntry",
+    "GrantTable",
+    "Hypervisor",
+    "CodeImage",
+    "default_fidelius_image",
+    "default_xen_image",
+    "NestedPageTable",
+    "XenStore",
+]

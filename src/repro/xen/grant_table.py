@@ -1,0 +1,93 @@
+"""Grant tables: Xen's inter-domain memory sharing bookkeeping.
+
+Entries live in real host frames, and the *hypervisor* writes them when
+servicing ``grant_table_op`` hypercalls (the paper's Section 2.3 model).
+Because the hypervisor is in this path, it can manipulate references,
+widen a read-only grant to writable, or point a grant at a conspirator
+domain — the grant attack surface of Section 2.2.  Fidelius maps these
+frames read-only and checks every update against the guest-declared GIT
+(Sections 4.2.2, 4.3.7).
+
+Entry layout (16 bytes):
+  [0:4)  flags   — bit 0 PERMIT, bit 1 READONLY
+  [4:8)  target domain id
+  [8:16) granter guest frame number (gfn)
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import GrantTableError
+from repro.common.types import frame_addr
+
+ENTRY_SIZE = 16
+ENTRIES_PER_TABLE = PAGE_SIZE // ENTRY_SIZE
+
+FLAG_PERMIT = 1 << 0
+FLAG_READONLY = 1 << 1
+
+
+@dataclass(frozen=True)
+class GrantEntry:
+    """Decoded view of one grant-table entry."""
+
+    permit: bool
+    readonly: bool
+    target_domid: int
+    gfn: int
+
+    def pack(self):
+        flags = (FLAG_PERMIT if self.permit else 0) | \
+            (FLAG_READONLY if self.readonly else 0)
+        return (
+            flags.to_bytes(4, "little")
+            + self.target_domid.to_bytes(4, "little")
+            + self.gfn.to_bytes(8, "little")
+        )
+
+    @classmethod
+    def unpack(cls, raw):
+        if len(raw) != ENTRY_SIZE:
+            raise GrantTableError("grant entry must be %d bytes" % ENTRY_SIZE)
+        flags = int.from_bytes(raw[0:4], "little")
+        return cls(
+            permit=bool(flags & FLAG_PERMIT),
+            readonly=bool(flags & FLAG_READONLY),
+            target_domid=int.from_bytes(raw[4:8], "little"),
+            gfn=int.from_bytes(raw[8:16], "little"),
+        )
+
+
+EMPTY_ENTRY = GrantEntry(permit=False, readonly=False, target_domid=0, gfn=0)
+
+
+class GrantTable:
+    """One domain's grant table, backed by a single host frame."""
+
+    def __init__(self, memory, frame_pfn):
+        self._memory = memory
+        self.frame_pfn = frame_pfn
+        memory.zero_frame(frame_pfn)
+
+    def entry_pa(self, ref):
+        if not 0 <= ref < ENTRIES_PER_TABLE:
+            raise GrantTableError("grant reference %r out of range" % (ref,))
+        return frame_addr(self.frame_pfn) + ref * ENTRY_SIZE
+
+    def read(self, ref):
+        """Raw (hardware / read-only) view of an entry."""
+        return GrantEntry.unpack(self._memory.read(self.entry_pa(ref), ENTRY_SIZE))
+
+    def write_via(self, ref, entry, writer):
+        """Write an entry through ``writer(va, data)`` — the software path
+        that Fidelius write-protection intercepts (identity map VA == PA)."""
+        writer(self.entry_pa(ref), entry.pack())
+
+    def find_free_ref(self):
+        for ref in range(ENTRIES_PER_TABLE):
+            if not self.read(ref).permit:
+                return ref
+        raise GrantTableError("grant table full")
+
+    def active_refs(self):
+        return [ref for ref in range(ENTRIES_PER_TABLE) if self.read(ref).permit]

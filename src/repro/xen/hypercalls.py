@@ -1,0 +1,33 @@
+"""Hypercall numbers and error codes for the Xen substrate."""
+
+# Hypercall numbers (guest -> host, in RAX).
+HC_VOID = 0            # no-op; the micro benchmark of Section 7.2
+HC_GRANT_CREATE = 1    # (target_domid, gfn, readonly) -> grant ref
+HC_GRANT_MAP = 2       # (granter_domid, ref, dest_gfn, want_write) -> status
+HC_GRANT_UNMAP = 3     # (dest_gfn) -> status
+HC_EVTCHN_SEND = 4     # (port) -> status
+HC_SCHED_YIELD = 5     # relinquish the CPU; host keeps control
+HC_SHUTDOWN = 6        # terminate the calling domain
+HC_ENCRYPT_FREE_PAGES = 7  # Fidelius: set NPT C-bits for SME encryption
+HC_PRE_SHARING = 8     # Fidelius: declare a sharing context in the GIT
+HC_BALLOON_OUT = 9     # (first_gfn, nframes): return pages to the host
+
+# Return codes, as unsigned 64-bit values in RAX.
+E_OK = 0
+_ERR = 2 ** 64
+
+
+def _err(code):
+    return _ERR - code
+
+
+E_INVAL = _err(22)
+E_PERM = _err(1)
+E_NOMEM = _err(12)
+E_NOSYS = _err(38)
+
+ERROR_VALUES = {E_INVAL, E_PERM, E_NOMEM, E_NOSYS}
+
+
+def is_error(value):
+    return value in ERROR_VALUES

@@ -1,0 +1,110 @@
+"""Synthetic code images for Xen and Fidelius text sections.
+
+Real Fidelius guarantees the *monopoly* of restricted privileged
+instructions by scanning the hypervisor binary for their encodings —
+at any byte offset, aligned to instruction boundaries or not (paper
+Section 4.1.2).  To give that scanner something real to chew on, we lay
+the hypervisor's text out as actual bytes in physical memory: NOP filler
+plus the genuine x86 encodings of the restricted instructions at known
+offsets.  The CPU model fetches these bytes before executing a
+privileged operation, so unmapping or rewriting them has exactly the
+architectural effect the paper relies on.
+"""
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import ReproError
+from repro.common.types import PRIV_OPCODES, PrivOp
+
+NOP = 0x90
+
+
+class CodeImage:
+    """A contiguous text section with placed privileged instructions."""
+
+    def __init__(self, base_va, pages):
+        self.base_va = base_va
+        self.pages = pages
+        self.size = pages * PAGE_SIZE
+        self._bytes = bytearray([NOP]) * 1  # placeholder, replaced below
+        self._bytes = bytearray([NOP] * self.size)
+        self._placements = {}
+
+    def place(self, op, offset):
+        """Place the encoding of ``op`` at ``offset``; returns its VA."""
+        encoding = PRIV_OPCODES[op]
+        if offset < 0 or offset + len(encoding) > self.size:
+            raise ReproError("placement of %s outside image" % op)
+        self._bytes[offset:offset + len(encoding)] = encoding
+        self._placements[op] = offset
+        return self.base_va + offset
+
+    def erase(self, op):
+        """Overwrite the placed encoding of ``op`` with NOPs.
+
+        This is Fidelius's binary rewrite of the hypervisor: the stray
+        copy is removed so the monopoly instance in Fidelius's text is
+        the only one left.
+        """
+        offset = self._placements.pop(op, None)
+        if offset is None:
+            return None
+        size = len(PRIV_OPCODES[op])
+        self._bytes[offset:offset + size] = bytes([NOP] * size)
+        return offset
+
+    def va_of(self, op):
+        offset = self._placements.get(op)
+        if offset is None:
+            raise ReproError("%s not placed in this image" % op)
+        return self.base_va + offset
+
+    def has(self, op):
+        return op in self._placements
+
+    def to_bytes(self):
+        return bytes(self._bytes)
+
+    def page_vas(self):
+        return [self.base_va + i * PAGE_SIZE for i in range(self.pages)]
+
+
+def default_xen_image(base_va, pages=4):
+    """Xen's text as shipped: every restricted instruction present.
+
+    ``mov CR3`` is deliberately placed in the last bytes of a page so
+    that the instruction following it sits on the next page — the
+    placement requirement the paper discusses for address-space
+    switching gates (Section 4.1.2).
+    """
+    image = CodeImage(base_va, pages)
+    image.place(PrivOp.MOV_CR0, 0x100)
+    image.place(PrivOp.MOV_CR4, 0x140)
+    image.place(PrivOp.WRMSR, 0x180)
+    image.place(PrivOp.LGDT, 0x1C0)
+    image.place(PrivOp.LIDT, 0x200)
+    image.place(PrivOp.VMRUN, 0x240)
+    image.place(PrivOp.MOV_CR3, PAGE_SIZE - len(PRIV_OPCODES[PrivOp.MOV_CR3]))
+    return image
+
+
+def default_fidelius_image(base_va, pages=2):
+    """Fidelius's text: the monopoly copies wrapped by gate logic.
+
+    The MOV_CR0/CR4/WRMSR/LGDT/LIDT copies live on the first page, which
+    stays mapped executable in Xen's space (type 2 gates guard them).
+    VMRUN and ``mov CR3`` live on the second page, which is unmapped
+    from Xen's space and only appears transiently inside type 3 gates;
+    ``mov CR3`` again ends its page with the follow-on code placed at
+    the start of the *first* (always-mapped) page... in our layout the
+    next byte simply belongs to the transiently mapped page, which the
+    gate keeps mapped until the switch completes.
+    """
+    image = CodeImage(base_va, pages)
+    image.place(PrivOp.MOV_CR0, 0x80)
+    image.place(PrivOp.MOV_CR4, 0xC0)
+    image.place(PrivOp.WRMSR, 0x100)
+    image.place(PrivOp.LGDT, 0x140)
+    image.place(PrivOp.LIDT, 0x180)
+    image.place(PrivOp.VMRUN, PAGE_SIZE + 0x40)
+    image.place(PrivOp.MOV_CR3, PAGE_SIZE + 0x80)
+    return image

@@ -1,0 +1,37 @@
+"""Para-virtualized block I/O: front-end / back-end drivers over a
+shared ring with persistent granted buffers (paper Section 2.3).
+
+The data path is the paper's exact threat surface: buffer pages must be
+*unencrypted* guest memory (SEV forbids DMA to encrypted pages), so by
+default the driver domain sees every byte in flight.  Fidelius plugs an
+I/O *encoder* into the front end (Section 4.3.5) so only ciphertext
+crosses the shared buffer.
+"""
+
+from repro.xen.pv_io.backend import BlockBackend
+from repro.xen.pv_io.disk import VirtualDisk
+from repro.xen.pv_io.frontend import BlockFrontend, PlainIoEncoder
+from repro.xen.pv_io.net import (
+    NetBackend,
+    NetFrontend,
+    VirtualWire,
+    connect_net_device,
+)
+from repro.xen.pv_io.ring import BlkRequest, BlkResponse, BlkRing
+from repro.xen.pv_io.secure_channel import SecureClient, SecureServer
+
+__all__ = [
+    "BlockBackend",
+    "VirtualDisk",
+    "BlockFrontend",
+    "PlainIoEncoder",
+    "BlkRequest",
+    "BlkResponse",
+    "BlkRing",
+    "NetBackend",
+    "NetFrontend",
+    "VirtualWire",
+    "connect_net_device",
+    "SecureClient",
+    "SecureServer",
+]

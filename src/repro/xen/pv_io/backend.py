@@ -1,0 +1,104 @@
+"""The back-end block driver, running in the (untrusted) driver domain.
+
+It maps the front end's persistent shared buffer through the grant
+mechanism, moves bytes between that buffer and the virtual disk, and —
+because this code is part of the untrusted host — records everything it
+observes in ``observed`` so the security evaluation can check exactly
+what leaked.
+"""
+
+from repro.common.constants import PAGE_SIZE, SECTOR_SIZE
+from repro.common.errors import XenError
+from repro.common.types import pfn_of
+from repro.xen import hypercalls as hc
+from repro.xen.pv_io.ring import BlkResponse
+
+
+class BlockBackend:
+    """One block device's back end, bound to one front end."""
+
+    def __init__(self, hypervisor, disk, ring, granter_domid, buffer_refs,
+                 event_port):
+        self._hv = hypervisor
+        self._dom0 = hypervisor.dom0
+        self.disk = disk
+        self.ring = ring
+        self.granter_domid = granter_domid
+        #: Every byte this untrusted driver saw in flight, by direction.
+        self.observed = []
+        self._buffer_gfns = self._map_buffers(buffer_refs)
+        hypervisor.events.bind(event_port, self._on_kick)
+
+    def _map_buffers(self, buffer_refs):
+        """Map the persistent shared pages into dom0 (grant mechanism).
+
+        If the host has an IOMMU, the buffers are also mapped into the
+        device's bus space so the disk can DMA them — the only frames a
+        device can then reach at all."""
+        dest_gfns = []
+        base = self._dom0.guest_frames - len(buffer_refs) - 1
+        for i, ref in enumerate(buffer_refs):
+            dest_gfn = base + i
+            status = self._hv.grant_map(
+                self._dom0, self.granter_domid, ref, dest_gfn, want_write=True)
+            if status != hc.E_OK:
+                raise XenError("backend failed to map grant ref %d" % ref)
+            dest_gfns.append(dest_gfn)
+            if self._hv.iommu is not None:
+                hpa = self._dom0.npt.hpa_of(dest_gfn * PAGE_SIZE)
+                self._hv.iommu_map(dest_gfn, pfn_of(hpa), writable=True)
+        return dest_gfns
+
+    def _buffer_hpa(self, offset):
+        page = offset // PAGE_SIZE
+        if page >= len(self._buffer_gfns):
+            raise XenError("buffer offset %#x beyond shared area" % offset)
+        gpa = self._buffer_gfns[page] * PAGE_SIZE + offset % PAGE_SIZE
+        return self._dom0.npt.hpa_of(gpa)
+
+    def _read_buffer(self, offset, length):
+        out = bytearray()
+        while length:
+            take = min(length, PAGE_SIZE - offset % PAGE_SIZE)
+            hpa = self._buffer_hpa(offset)
+            out.extend(self._hv.machine.memctrl.read(hpa, take))
+            offset += take
+            length -= take
+        return bytes(out)
+
+    def _write_buffer(self, offset, data):
+        view = memoryview(data)
+        while view.nbytes:
+            take = min(view.nbytes, PAGE_SIZE - offset % PAGE_SIZE)
+            hpa = self._buffer_hpa(offset)
+            self._hv.machine.memctrl.write(hpa, bytes(view[:take]))
+            offset += take
+            view = view[take:]
+
+    # -- request processing -----------------------------------------------------
+
+    def _on_kick(self, channel):
+        """Event-channel handler: drain the ring."""
+        while True:
+            request = self.ring.pop_request()
+            if request is None:
+                break
+            self._process(request)
+
+    def _process(self, request):
+        length = request.count * SECTOR_SIZE
+        if request.op == "write":
+            data = self._read_buffer(request.buffer_offset, length)
+            self.observed.append(("write", request.sector, data))
+            self.disk.write_sectors(request.sector, data)
+        else:
+            data = self.disk.read_sectors(request.sector, request.count)
+            self.observed.append(("read", request.sector, data))
+            self._write_buffer(request.buffer_offset, data)
+        self.ring.push_response(BlkResponse(request.request_id, status=0))
+
+    # -- attack helper -----------------------------------------------------------
+
+    def everything_observed(self):
+        """Concatenation of all in-flight bytes this driver domain saw."""
+        return b"".join(data for _, _, data in self.observed)

@@ -1,0 +1,57 @@
+"""The virtual disk behind the back-end driver.
+
+Sector-addressed storage owned by the driver domain.  Its contents are
+an attack surface in their own right: whatever the back end writes here
+is visible to the whole untrusted host, and to anyone who steals the
+image at rest — which is why guests under Fidelius keep the image
+encrypted with ``K_blk`` (AES-NI path) or ``K_tek`` (SEV-API path).
+"""
+
+from repro.common.constants import SECTOR_SIZE
+from repro.common.errors import XenError
+
+
+class VirtualDisk:
+    """A sparse sector store."""
+
+    def __init__(self, sectors):
+        if sectors <= 0:
+            raise ValueError("disk needs at least one sector")
+        self.sectors = sectors
+        self._data = {}
+        self.reads = 0
+        self.writes = 0
+
+    def _check(self, sector, count=1):
+        if sector < 0 or sector + count > self.sectors:
+            raise XenError("sector range [%d, %d) beyond disk"
+                           % (sector, sector + count))
+
+    def read_sectors(self, sector, count):
+        self._check(sector, count)
+        self.reads += count
+        out = bytearray()
+        for s in range(sector, sector + count):
+            out.extend(self._data.get(s, bytes(SECTOR_SIZE)))
+        return bytes(out)
+
+    def write_sectors(self, sector, data):
+        if len(data) % SECTOR_SIZE:
+            raise XenError("disk writes must be sector-aligned")
+        count = len(data) // SECTOR_SIZE
+        self._check(sector, count)
+        self.writes += count
+        for i in range(count):
+            self._data[sector + i] = bytes(
+                data[i * SECTOR_SIZE:(i + 1) * SECTOR_SIZE])
+
+    def load_image(self, sector, image):
+        """Populate the disk with an image, padding to sector size."""
+        if len(image) % SECTOR_SIZE:
+            image = image + bytes(SECTOR_SIZE - len(image) % SECTOR_SIZE)
+        self.write_sectors(sector, image)
+
+    def raw_sector(self, sector):
+        """What an at-rest attacker (or the host) sees for one sector."""
+        self._check(sector)
+        return self._data.get(sector, bytes(SECTOR_SIZE))

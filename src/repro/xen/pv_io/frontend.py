@@ -1,0 +1,161 @@
+"""The front-end block driver, running inside the guest.
+
+On setup it establishes the *persistent* shared buffer (paper Section
+2.3): a few unencrypted guest pages granted to the driver domain once
+and reused for every transfer.  All data passes through a pluggable
+``encoder``: the baseline :class:`PlainIoEncoder` moves plaintext (and
+so leaks everything to the back end), while Fidelius installs its
+AES-NI or SEV-API encoder (Section 4.3.5).
+"""
+
+from repro.common.constants import PAGE_SIZE, SECTOR_SIZE
+from repro.common.errors import XenError
+from repro.xen import hypercalls as hc
+from repro.xen.pv_io.ring import BlkRequest, BlkRing
+
+
+class PlainIoEncoder:
+    """No protection: what SEV alone gives you for the I/O path."""
+
+    name = "plain"
+
+    def encode_write(self, data, sector):
+        return data
+
+    def decode_read(self, data, sector):
+        return data
+
+
+class BlockFrontend:
+    """The in-guest half of the PV block device."""
+
+    def __init__(self, ctx, domain, encoder=None, buffer_pages=4):
+        self.ctx = ctx
+        self.domain = domain
+        self.encoder = encoder or PlainIoEncoder()
+        self.buffer_pages = buffer_pages
+        self.ring = BlkRing()
+        self.buffer_gfns = []
+        self.grant_refs = []
+        self.event_port = None
+
+    @property
+    def buffer_bytes(self):
+        return self.buffer_pages * PAGE_SIZE
+
+    def setup(self, event_port):
+        """Establish the persistent shared buffer and grant it to dom0.
+
+        The buffer pages are taken from the top of guest memory and made
+        *unencrypted* — SEV's DMA constraint (Section 2.2).  The sharing
+        context is declared through ``pre_sharing_op`` first; on a
+        baseline host that hypercall does not exist and the E_NOSYS is
+        ignored.
+        """
+        self.event_port = event_port
+        top = self.domain.guest_frames
+        self.buffer_gfns = list(range(top - self.buffer_pages, top))
+        for gfn in self.buffer_gfns:
+            self.ctx.set_page_encrypted(gfn, False)
+        status = self.ctx.hypercall(
+            hc.HC_PRE_SHARING, 0, self.buffer_gfns[0], self.buffer_pages, 0)
+        if status not in (hc.E_OK, hc.E_NOSYS):
+            raise XenError("pre_sharing_op failed: %#x" % status)
+        for gfn in self.buffer_gfns:
+            ref = self.ctx.hypercall(hc.HC_GRANT_CREATE, 0, gfn, 0)
+            if hc.is_error(ref):
+                raise XenError("grant_create failed for gfn %d" % gfn)
+            self.grant_refs.append(ref)
+        return self.grant_refs
+
+    # -- buffer access (guest side) ------------------------------------------------
+
+    def _buffer_gpa(self, offset):
+        if offset >= self.buffer_bytes:
+            raise XenError("offset %#x beyond shared buffer" % offset)
+        page = offset // PAGE_SIZE
+        return self.buffer_gfns[page] * PAGE_SIZE + offset % PAGE_SIZE
+
+    def _write_buffer(self, offset, data):
+        view = memoryview(data)
+        while view.nbytes:
+            take = min(view.nbytes, PAGE_SIZE - offset % PAGE_SIZE)
+            self.ctx.write(self._buffer_gpa(offset), bytes(view[:take]))
+            offset += take
+            view = view[take:]
+
+    def _read_buffer(self, offset, length):
+        out = bytearray()
+        while length:
+            take = min(length, PAGE_SIZE - offset % PAGE_SIZE)
+            out.extend(self.ctx.read(self._buffer_gpa(offset), take))
+            offset += take
+            length -= take
+        return bytes(out)
+
+    # -- block operations ---------------------------------------------------------
+
+    @staticmethod
+    def _pad_to_sector(data):
+        if len(data) % SECTOR_SIZE:
+            data = data + bytes(SECTOR_SIZE - len(data) % SECTOR_SIZE)
+        return data
+
+    def _kick(self):
+        status = self.ctx.hypercall(hc.HC_EVTCHN_SEND, self.event_port)
+        if status != hc.E_OK:
+            raise XenError("event channel kick failed")
+
+    def write(self, sector, data):
+        """Write ``data`` (padded to sectors) at ``sector``."""
+        data = self._pad_to_sector(data)
+        count = len(data) // SECTOR_SIZE
+        if len(data) > self.buffer_bytes:
+            raise XenError("request larger than persistent buffer")
+        encoded = self.encoder.encode_write(data, sector)
+        self._write_buffer(0, encoded)
+        self.ring.push_request(
+            BlkRequest(op="write", sector=sector, count=count, buffer_offset=0))
+        self._kick()
+        response = self.ring.pop_response()
+        if response.status != 0:
+            raise XenError("block write failed")
+        return count
+
+    def read(self, sector, count):
+        """Read ``count`` sectors starting at ``sector``."""
+        length = count * SECTOR_SIZE
+        if length > self.buffer_bytes:
+            raise XenError("request larger than persistent buffer")
+        self.ring.push_request(
+            BlkRequest(op="read", sector=sector, count=count, buffer_offset=0))
+        self._kick()
+        response = self.ring.pop_response()
+        if response.status != 0:
+            raise XenError("block read failed")
+        encoded = self._read_buffer(0, length)
+        return self.encoder.decode_read(encoded, sector)
+
+
+def connect_block_device(hypervisor, domain, ctx, disk, encoder=None,
+                         buffer_pages=4):
+    """Wire a front end in ``domain`` to a back end in dom0 over ``disk``.
+
+    Performs the roles the toolstack plays on real Xen: allocates the
+    event channel, lets the front end establish and grant its buffer,
+    publishes the references in XenStore, and attaches the back end.
+    Returns ``(frontend, backend)``.
+    """
+    from repro.xen.pv_io.backend import BlockBackend
+
+    channel = hypervisor.events.alloc(domain.domid, hypervisor.dom0.domid)
+    frontend = BlockFrontend(ctx, domain, encoder=encoder,
+                             buffer_pages=buffer_pages)
+    refs = frontend.setup(channel.port)
+    store = hypervisor.xenstore
+    base = "/local/domain/%d/device/vbd/0" % domain.domid
+    store.write(base + "/ring-refs", ",".join(str(r) for r in refs))
+    store.write(base + "/event-channel", str(channel.port))
+    backend = BlockBackend(hypervisor, disk, frontend.ring, domain.domid,
+                           refs, channel.port)
+    return frontend, backend

@@ -1,0 +1,184 @@
+"""Para-virtualized network I/O: front/back drivers over shared pages.
+
+The paper sets network I/O aside with one sentence — "network I/O data
+has been protected by the SSL protocol" (Section 4.3.5) — so this
+module supplies exactly that picture: a PV vNIC whose in-flight frames
+cross the untrusted driver domain, plus (in ``secure_channel``) the
+SSL-style session that makes the exposure harmless.
+
+The data path mirrors the block device: a persistent granted buffer,
+a request ring, an event-channel kick, and a back end that records
+every byte it forwards — the audit surface for the security tests.
+"""
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import XenError
+from repro.xen import hypercalls as hc
+
+MAX_FRAME = 1514  # classic Ethernet MTU + header
+
+
+@dataclass
+class NetFrame:
+    payload: bytes
+
+
+class VirtualWire:
+    """The physical network behind the driver domain's NIC."""
+
+    def __init__(self):
+        self._to_remote = deque()
+        self._to_guest = deque()
+        #: the remote peer drains ``_to_remote`` and fills ``_to_guest``
+        self.remote_rx = []
+
+    def transmit_to_remote(self, frame):
+        self._to_remote.append(frame)
+
+    def deliver_to_guest(self, payload):
+        if len(payload) > MAX_FRAME:
+            raise XenError("frame exceeds MTU")
+        self._to_guest.append(NetFrame(bytes(payload)))
+
+    def pop_for_remote(self):
+        if not self._to_remote:
+            return None
+        frame = self._to_remote.popleft()
+        self.remote_rx.append(frame.payload)
+        return frame
+
+    def pop_for_guest(self):
+        return self._to_guest.popleft() if self._to_guest else None
+
+
+class NetBackend:
+    """The dom0 half: moves frames between the shared buffer and the
+    wire, observing everything (it is untrusted)."""
+
+    def __init__(self, hypervisor, wire, granter_domid, buffer_refs,
+                 event_port):
+        self._hv = hypervisor
+        self._dom0 = hypervisor.dom0
+        self.wire = wire
+        self.observed = []
+        self._tx_queue = deque()
+        self._buffer_gfns = self._map_buffers(granter_domid, buffer_refs)
+        hypervisor.events.bind(event_port, self._on_kick)
+
+    def _map_buffers(self, granter_domid, refs):
+        gfns = []
+        base = self._dom0.guest_frames - len(refs) - 8
+        for i, ref in enumerate(refs):
+            dest = base + i
+            status = self._hv.grant_map(self._dom0, granter_domid, ref,
+                                        dest, want_write=True)
+            if status != hc.E_OK:
+                raise XenError("net backend failed to map ref %d" % ref)
+            gfns.append(dest)
+        return gfns
+
+    def _buffer_rw(self, offset, length=None, data=None):
+        page = self._buffer_gfns[offset // PAGE_SIZE]
+        hpa = self._dom0.npt.hpa_of(page * PAGE_SIZE) + offset % PAGE_SIZE
+        memctrl = self._hv.machine.memctrl
+        if data is None:
+            return memctrl.read(hpa, length)
+        memctrl.write(hpa, data)
+        return None
+
+    def enqueue_tx(self, offset, length):
+        self._tx_queue.append((offset, length))
+
+    def _on_kick(self, channel):
+        while self._tx_queue:
+            offset, length = self._tx_queue.popleft()
+            payload = self._buffer_rw(offset, length=length)
+            self.observed.append(("tx", payload))
+            self.wire.transmit_to_remote(NetFrame(payload))
+
+    def pump_rx(self, offset):
+        """Pull one frame off the wire into the shared buffer; returns
+        its length or 0."""
+        frame = self.wire.pop_for_guest()
+        if frame is None:
+            return 0
+        self.observed.append(("rx", frame.payload))
+        self._buffer_rw(offset, data=frame.payload)
+        return len(frame.payload)
+
+    def everything_observed(self):
+        return b"".join(payload for _, payload in self.observed)
+
+
+class NetFrontend:
+    """The in-guest vNIC driver."""
+
+    def __init__(self, ctx, domain, buffer_pages=2):
+        self.ctx = ctx
+        self.domain = domain
+        self.buffer_pages = buffer_pages
+        self.buffer_gfns = []
+        self.event_port = None
+        self.backend = None
+
+    def setup(self, event_port, first_gfn=None):
+        self.event_port = event_port
+        if first_gfn is None:
+            first_gfn = self.domain.guest_frames - 3 * self.buffer_pages
+        self.buffer_gfns = list(range(first_gfn,
+                                      first_gfn + self.buffer_pages))
+        for gfn in self.buffer_gfns:
+            self.ctx.set_page_encrypted(gfn, False)
+        status = self.ctx.hypercall(hc.HC_PRE_SHARING, 0,
+                                    self.buffer_gfns[0],
+                                    self.buffer_pages, 0)
+        if status not in (hc.E_OK, hc.E_NOSYS):
+            raise XenError("net pre-sharing failed")
+        refs = []
+        for gfn in self.buffer_gfns:
+            ref = self.ctx.hypercall(hc.HC_GRANT_CREATE, 0, gfn, 0)
+            if hc.is_error(ref):
+                raise XenError("net grant failed")
+            refs.append(ref)
+        return refs
+
+    def _buffer_gpa(self, offset):
+        page = self.buffer_gfns[offset // PAGE_SIZE]
+        return page * PAGE_SIZE + offset % PAGE_SIZE
+
+    def send(self, payload):
+        """Transmit one frame (whatever bytes the application hands us —
+        plaintext unless a secure channel wrapped them)."""
+        if len(payload) > MAX_FRAME:
+            raise XenError("frame exceeds MTU")
+        self.ctx.write(self._buffer_gpa(0), payload)
+        self.backend.enqueue_tx(0, len(payload))
+        status = self.ctx.hypercall(hc.HC_EVTCHN_SEND, self.event_port)
+        if status != hc.E_OK:
+            raise XenError("net kick failed")
+
+    def receive(self):
+        """Poll one frame; None if the wire is quiet."""
+        rx_offset = PAGE_SIZE  # second buffer page is the rx area
+        length = self.backend.pump_rx(rx_offset)
+        if length == 0:
+            return None
+        return self.ctx.read(self._buffer_gpa(rx_offset), length)
+
+
+def connect_net_device(hypervisor, domain, ctx, wire=None, buffer_pages=2):
+    """Wire a vNIC front end to a dom0 back end over a virtual wire."""
+    wire = wire or VirtualWire()
+    channel = hypervisor.events.alloc(domain.domid, hypervisor.dom0.domid)
+    frontend = NetFrontend(ctx, domain, buffer_pages=buffer_pages)
+    refs = frontend.setup(channel.port)
+    backend = NetBackend(hypervisor, wire, domain.domid, refs, channel.port)
+    frontend.backend = backend
+    store = hypervisor.xenstore
+    base = "/local/domain/%d/device/vif/0" % domain.domid
+    store.write(base + "/ring-refs", ",".join(str(r) for r in refs))
+    store.write(base + "/event-channel", str(channel.port))
+    return frontend, backend, wire

@@ -1,0 +1,47 @@
+"""XenStore: the hierarchical key-value store domains use to exchange
+configuration — grant references, ring ports, device details.
+
+Run by the management domain, i.e. *untrusted* in the paper's threat
+model; nothing secret may transit it.  The PV drivers only pass grant
+references and event-channel ports through it, and under Fidelius the
+sharing context named by those references is independently verified
+against the GIT, so a tampered XenStore entry cannot widen access.
+"""
+
+from repro.common.errors import XenError
+
+
+class XenStore:
+    def __init__(self):
+        self._store = {}
+        self.reads = 0
+        self.writes = 0
+
+    @staticmethod
+    def _normalize(path):
+        if not path or not path.startswith("/"):
+            raise XenError("XenStore paths are absolute: %r" % (path,))
+        return path.rstrip("/") or "/"
+
+    def write(self, path, value):
+        self._store[self._normalize(path)] = value
+        self.writes += 1
+
+    def read(self, path, default=None):
+        self.reads += 1
+        return self._store.get(self._normalize(path), default)
+
+    def require(self, path):
+        value = self.read(path)
+        if value is None:
+            raise XenError("XenStore key %r missing" % (path,))
+        return value
+
+    def delete(self, path):
+        self._store.pop(self._normalize(path), None)
+
+    def list(self, prefix):
+        prefix = self._normalize(prefix)
+        if not prefix.endswith("/"):
+            prefix += "/"
+        return sorted(k for k in self._store if k.startswith(prefix))

@@ -1,0 +1,68 @@
+"""The lesion study: every Fidelius mechanism is load-bearing.
+
+For each lesion, the attack that mechanism stops must break through a
+lesioned host — and a control attack covered by a *different* mechanism
+must stay blocked (the lesion is surgical, not a collapse).
+"""
+
+import pytest
+
+from repro.attacks import ALL_ATTACKS
+from repro.attacks.lesions import LESION_CATALOG, apply_lesion
+from repro.system import System
+
+_BY_NAME = {fn.attack_name: fn for fn in ALL_ATTACKS}
+
+#: lesion -> an unrelated attack that must remain blocked
+_CONTROLS = {
+    "no-shadowing": "grant-permission-widening",
+    "no-binary-rewrite": "register-steal",
+    "no-npt-policy": "register-steal",
+    "no-git-policy": "register-steal",
+    "no-guest-unmapping": "register-steal",
+    "no-sev-command-gate": "grant-permission-widening",
+}
+
+
+def _lesioned_system(name, seed):
+    system = System.create(fidelius=True, frames=2048, seed=seed)
+    return apply_lesion(system, name)
+
+
+class TestLesionStudy:
+    @pytest.mark.parametrize("lesion", sorted(LESION_CATALOG),
+                             ids=lambda n: n)
+    def test_lesion_reopens_its_attack(self, lesion):
+        _, attack_name = LESION_CATALOG[lesion]
+        attack_fn = _BY_NAME[attack_name]
+        result = attack_fn(_lesioned_system(lesion, seed=0x1E51))
+        assert result.succeeded, (
+            "with %s applied, %s should succeed but was blocked by %s"
+            % (lesion, attack_name, result.blocked_by))
+
+    @pytest.mark.parametrize("lesion", sorted(LESION_CATALOG),
+                             ids=lambda n: n)
+    def test_lesion_is_surgical(self, lesion):
+        control_name = _CONTROLS[lesion]
+        attack_fn = _BY_NAME[control_name]
+        result = attack_fn(_lesioned_system(lesion, seed=0x1E52))
+        assert result.blocked, (
+            "%s should not affect %s, but it got through"
+            % (lesion, control_name))
+
+    def test_intact_host_blocks_every_lesion_attack(self):
+        """Control of controls: without any lesion, each of the
+        catalogued attacks stays blocked."""
+        for lesion, (_, attack_name) in sorted(LESION_CATALOG.items()):
+            system = System.create(fidelius=True, frames=2048, seed=0x1E53)
+            result = _BY_NAME[attack_name](system)
+            assert result.blocked, attack_name
+
+    def test_unknown_lesion_rejected(self):
+        system = System.create(fidelius=True, frames=2048, seed=0x1E54)
+        with pytest.raises(KeyError):
+            apply_lesion(system, "no-such-mechanism")
+
+    def test_lesions_are_audited(self):
+        system = _lesioned_system("no-shadowing", seed=0x1E55)
+        assert "lesion-applied" in system.fidelius.audit_kinds()

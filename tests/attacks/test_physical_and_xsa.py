@@ -1,0 +1,92 @@
+"""Physical-attack contrast cases, the BMT fix, and the XSA analysis."""
+
+import pytest
+
+from repro.attacks import analyze_xsa, build_corpus
+from repro.attacks.physical import (
+    cold_boot_against_unencrypted_guest,
+    rowhammer_with_bmt,
+)
+from repro.attacks.xsa import (
+    Component,
+    Coverage,
+    Impact,
+    classify,
+)
+from repro.system import System
+
+
+class TestColdBootContrast:
+    def test_unencrypted_guest_leaks_on_cold_boot(self):
+        """The contrast that motivates memory encryption (Section 1):
+        without SEV the dump contains the secret."""
+        system = System.create(fidelius=False, frames=2048, seed=31)
+        assert cold_boot_against_unencrypted_guest(system)
+
+    def test_disk_never_holds_kblk(self):
+        """K_blk lives only inside encrypted guest memory (Section 6.1)."""
+        from repro.system import GuestOwner
+        system = System.create(fidelius=True, frames=2048, seed=37)
+        owner = GuestOwner(seed=5)
+        domain, ctx = system.boot_protected_guest(
+            "g", owner, payload=b"x", guest_frames=32)
+        encoder = system.aesni_encoder_for(ctx)
+        disk, frontend, _ = system.attach_disk(domain, ctx, encoder=encoder)
+        frontend.write(0, b"some file")
+        dump = system.machine.cold_boot_dump()
+        assert all(owner.kblk not in frame for frame in dump.values())
+        assert all(owner.kblk not in disk.raw_sector(s)
+                   for s in range(4))
+
+
+class TestRowhammerWithBmt:
+    def test_bmt_extension_detects_the_flip(self):
+        """Section 8's suggested hardware integrity closes the gap the
+        software design concedes."""
+        system = System.create(fidelius=True, frames=2048, seed=41)
+        assert rowhammer_with_bmt(system)
+
+
+class TestXsaCorpus:
+    def test_corpus_size(self):
+        corpus = build_corpus()
+        assert len(corpus) == 235
+
+    def test_component_split(self):
+        corpus = build_corpus()
+        qemu = [a for a in corpus if a.component is Component.QEMU]
+        assert len(qemu) == 58
+        assert len(corpus) - len(qemu) == 177
+
+    def test_corpus_deterministic(self):
+        assert build_corpus(seed=7) == build_corpus(seed=7)
+
+    def test_classifier_rules(self):
+        corpus = build_corpus()
+        for advisory in corpus:
+            coverage = classify(advisory)
+            if advisory.component is Component.QEMU:
+                assert coverage is Coverage.OUT_OF_SCOPE
+            elif advisory.impact in (Impact.PRIVILEGE_ESCALATION,
+                                     Impact.INFO_LEAK):
+                assert coverage is Coverage.THWARTED
+            else:
+                assert coverage is Coverage.OUT_OF_SCOPE
+
+    def test_paper_headline_numbers(self):
+        """'Fidelius can thwart 31 (17.5%) ... and 22 (12.4%) ...; 14
+        (7.9%) are due to flaws inside the guest VM' (Section 6.2)."""
+        stats = analyze_xsa()
+        assert stats["total"] == 235
+        assert stats["hypervisor_related"] == 177
+        assert stats["privilege_escalation_thwarted"] == 31
+        assert stats["info_leak_thwarted"] == 22
+        assert stats["guest_internal"] == 14
+        assert stats["privilege_escalation_pct"] == pytest.approx(17.5, abs=0.1)
+        assert stats["info_leak_pct"] == pytest.approx(12.4, abs=0.1)
+
+    def test_every_thwarted_advisory_names_a_mechanism(self):
+        corpus = build_corpus()
+        for advisory in corpus:
+            if classify(advisory) is Coverage.THWARTED:
+                assert "out of scope" not in advisory.mechanism

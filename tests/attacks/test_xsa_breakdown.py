@@ -1,0 +1,30 @@
+"""Tests for the per-mechanism XSA breakdown."""
+
+from repro.attacks.xsa import (
+    PRIV_ESCALATION_XSAS,
+    INFO_LEAK_XSAS,
+    build_corpus,
+    mechanism_breakdown,
+)
+
+
+class TestMechanismBreakdown:
+    def test_totals_add_up(self):
+        breakdown = mechanism_breakdown()
+        assert sum(breakdown.values()) == \
+            PRIV_ESCALATION_XSAS + INFO_LEAK_XSAS
+
+    def test_every_mechanism_is_a_fidelius_defence(self):
+        for mechanism in mechanism_breakdown():
+            assert "out of scope" not in mechanism
+
+    def test_deterministic(self):
+        corpus = build_corpus(seed=9)
+        assert mechanism_breakdown(corpus) == mechanism_breakdown(corpus)
+
+    def test_core_mechanisms_present(self):
+        breakdown = mechanism_breakdown()
+        names = " ".join(breakdown)
+        assert "PIT policy" in names
+        assert "GIT policy" in names
+        assert "shadow" in names.lower()

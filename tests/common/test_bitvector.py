@@ -1,0 +1,87 @@
+"""Tests for the bit vector and the once-policy tracker."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.bitvector import BitVector, OncePolicy
+from repro.common.errors import ReproError
+
+
+class TestBitVector:
+    def test_starts_clear(self):
+        bv = BitVector(100)
+        assert not any(bv.test(i) for i in range(100))
+        assert bv.count() == 0
+
+    def test_set_and_test(self):
+        bv = BitVector(16)
+        bv.set(7)
+        assert bv.test(7)
+        assert not bv.test(6)
+        assert not bv.test(8)
+
+    def test_clear(self):
+        bv = BitVector(8)
+        bv.set(3)
+        bv.clear(3)
+        assert not bv.test(3)
+
+    def test_test_and_set(self):
+        bv = BitVector(8)
+        assert bv.test_and_set(2) is False
+        assert bv.test_and_set(2) is True
+
+    def test_out_of_range(self):
+        bv = BitVector(8)
+        with pytest.raises(IndexError):
+            bv.test(8)
+        with pytest.raises(IndexError):
+            bv.set(-1)
+
+    def test_any_set_and_set_range(self):
+        bv = BitVector(64)
+        bv.set_range(10, 5)
+        assert bv.any_set(8, 4)
+        assert not bv.any_set(0, 10)
+        assert bv.count() == 5
+
+    @given(st.sets(st.integers(0, 255)))
+    def test_property_count_matches_set(self, indices):
+        bv = BitVector(256)
+        for i in indices:
+            bv.set(i)
+        assert bv.count() == len(indices)
+        assert all(bv.test(i) for i in indices)
+
+
+class TestOncePolicy:
+    def test_first_use_allowed_second_forbidden(self):
+        policy = OncePolicy(base=0x1000, size=64, name="write-once")
+        policy.use(0x1000, 8)
+        with pytest.raises(ReproError):
+            policy.use(0x1000, 8)
+
+    def test_overlapping_second_use_forbidden(self):
+        policy = OncePolicy(base=0x1000, size=64)
+        policy.use(0x1000, 16)
+        with pytest.raises(ReproError):
+            policy.use(0x100F, 2)
+
+    def test_disjoint_uses_allowed(self):
+        policy = OncePolicy(base=0x1000, size=64)
+        policy.use(0x1000, 8)
+        policy.use(0x1010, 8)
+        assert policy.used(0x1000)
+        assert not policy.used(0x1008)
+
+    def test_outside_region_rejected(self):
+        policy = OncePolicy(base=0x1000, size=16)
+        with pytest.raises(ReproError):
+            policy.use(0x0FFF, 1)
+        with pytest.raises(ReproError):
+            policy.use(0x100F, 2)
+
+    def test_covers(self):
+        policy = OncePolicy(base=0x1000, size=16)
+        assert policy.covers(0x1000, 16)
+        assert not policy.covers(0x1000, 17)

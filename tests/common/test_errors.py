@@ -1,0 +1,80 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common.errors import (
+    AttackFailed,
+    FirmwareStateError,
+    GateViolation,
+    GrantTableError,
+    HypercallError,
+    NestedPageFault,
+    PageFault,
+    PhysicalMemoryError,
+    PolicyViolation,
+    ReproError,
+    SevError,
+    XenError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc_type in (PhysicalMemoryError, PageFault, NestedPageFault,
+                         SevError, XenError, HypercallError,
+                         GrantTableError, PolicyViolation, GateViolation,
+                         AttackFailed):
+            assert issubclass(exc_type, ReproError)
+
+    def test_gate_violation_is_policy_violation(self):
+        assert issubclass(GateViolation, PolicyViolation)
+
+    def test_firmware_state_error_is_sev_error(self):
+        assert issubclass(FirmwareStateError, SevError)
+
+    def test_hypercall_error_is_xen_error(self):
+        assert issubclass(HypercallError, XenError)
+
+
+class TestPageFault:
+    def test_attributes(self):
+        fault = PageFault(0x1234, write=True, present=True)
+        assert fault.vaddr == 0x1234
+        assert fault.write and fault.present
+        assert not fault.execute and not fault.user
+        assert "0x1234" in str(fault)
+
+    def test_custom_message(self):
+        fault = PageFault(0x1000, message="custom text")
+        assert str(fault) == "custom text"
+
+
+class TestStructuredErrors:
+    def test_sev_error_status(self):
+        error = SevError("INVALID_HANDLE")
+        assert error.status == "INVALID_HANDLE"
+
+    def test_firmware_state_error_fields(self):
+        error = FirmwareStateError("running", "sending")
+        assert error.expected == "running"
+        assert error.actual == "sending"
+        assert "sending" in str(error)
+
+    def test_policy_violation_names_policy(self):
+        error = PolicyViolation("pit", "bad mapping")
+        assert error.policy == "pit"
+        assert "pit" in str(error) and "bad mapping" in str(error)
+
+    def test_gate_violation_policy_prefix(self):
+        error = GateViolation("type2", "hijack")
+        assert error.gate == "type2"
+        assert error.policy == "gate-type2"
+
+    def test_hypercall_error_code(self):
+        error = HypercallError(-22)
+        assert error.code == -22
+
+    def test_nested_page_fault(self):
+        fault = NestedPageFault(0x5000, write=True)
+        assert fault.gpa == 0x5000
+        assert fault.write

@@ -1,0 +1,84 @@
+"""Tests for shared value types and address helpers."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import (
+    Access,
+    Owner,
+    PRIV_OPCODES,
+    PageUsage,
+    PrivOp,
+    frame_addr,
+    page_base,
+    page_offset,
+    page_table_usage_for_level,
+    pfn_of,
+)
+
+
+class TestAddressHelpers:
+    def test_pfn_roundtrip(self):
+        assert pfn_of(frame_addr(42)) == 42
+        assert pfn_of(frame_addr(42) + 123) == 42
+
+    def test_page_offset_and_base(self):
+        addr = 7 * PAGE_SIZE + 0x123
+        assert page_offset(addr) == 0x123
+        assert page_base(addr) == 7 * PAGE_SIZE
+        assert page_base(addr) + page_offset(addr) == addr
+
+
+class TestAccess:
+    def test_constructors(self):
+        assert Access.read() == Access()
+        assert Access.store().write
+        assert Access.fetch().execute
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Access.read().write = True
+
+
+class TestPrivOpcodes:
+    def test_every_op_has_an_encoding(self):
+        assert set(PRIV_OPCODES) == set(PrivOp)
+
+    def test_encodings_are_distinct(self):
+        encodings = list(PRIV_OPCODES.values())
+        assert len(set(encodings)) == len(encodings)
+
+    def test_real_x86_prefixes(self):
+        """All the restricted instructions are 0F-prefixed (two-byte
+        opcode map), like the real encodings they model."""
+        assert all(enc[0] == 0x0F for enc in PRIV_OPCODES.values())
+
+    def test_no_encoding_is_a_prefix_of_another(self):
+        """Prefix collisions would confuse the binary scanner's hit
+        attribution (a WRMSR hit inside every MOV CRn would be noise)."""
+        encodings = list(PRIV_OPCODES.values())
+        for a in encodings:
+            for b in encodings:
+                if a is not b and b.startswith(a):
+                    # allowed only if they're literally different ops at
+                    # different lengths and the scanner reports both
+                    assert len(a) < len(b)
+
+
+class TestEnums:
+    def test_page_table_usage_for_level(self):
+        assert page_table_usage_for_level(4) is PageUsage.PAGE_TABLE_L4
+        assert page_table_usage_for_level(1) is PageUsage.PAGE_TABLE_L1
+        with pytest.raises(KeyError):
+            page_table_usage_for_level(5)
+
+    def test_is_page_table_property(self):
+        assert PageUsage.PAGE_TABLE_L2.is_page_table
+        assert not PageUsage.NPT_PAGE.is_page_table
+        assert not PageUsage.GUEST_RAM.is_page_table
+
+    def test_owner_values_fit_pit_field(self):
+        assert all(owner.value < 8 for owner in Owner)
+
+    def test_usage_values_fit_pit_field(self):
+        assert all(usage.value < 32 for usage in PageUsage)

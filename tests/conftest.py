@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.hw import Machine
+from repro.sev import SevFirmware
+
+
+@pytest.fixture
+def machine():
+    m = Machine(frames=512, seed=0xC0FFEE)
+    m.build_host_address_space()
+    return m
+
+
+@pytest.fixture
+def firmware(machine):
+    fw = SevFirmware(machine)
+    fw.init()
+    return fw

@@ -1,0 +1,29 @@
+"""Fixtures for the Fidelius core tests."""
+
+import pytest
+
+from repro.system import GuestOwner, System
+
+
+@pytest.fixture
+def system():
+    """A Fidelius-hardened host."""
+    return System.create(fidelius=True, frames=2048, seed=0xF1D)
+
+
+@pytest.fixture
+def fid(system):
+    return system.fidelius
+
+
+@pytest.fixture
+def owner():
+    return GuestOwner(seed=0x0E12)
+
+
+@pytest.fixture
+def protected_guest(system, owner):
+    domain, ctx = system.boot_protected_guest(
+        "protected", owner, payload=b"guest application payload",
+        guest_frames=48)
+    return domain, ctx

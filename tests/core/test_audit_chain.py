@@ -1,0 +1,57 @@
+"""Tests for the tamper-evident audit chain."""
+
+import pytest
+
+from repro.common.errors import PolicyViolation
+from repro.system import GuestOwner, System
+from repro.xen import hypercalls as hc
+
+
+@pytest.fixture
+def busy_system():
+    system = System.create(fidelius=True, frames=2048, seed=0xAD17)
+    owner = GuestOwner(seed=0xAD17)
+    domain, ctx = system.boot_protected_guest(
+        "busy", owner, payload=b"x", guest_frames=32)
+    with pytest.raises(PolicyViolation):
+        system.machine.cpu.load(
+            system.hypervisor.guest_frame_hpfn(domain, 0) * 4096, 8)
+    return system
+
+
+class TestAuditChain:
+    def test_fresh_chain_verifies(self, busy_system):
+        assert busy_system.fidelius.verify_audit_chain()
+
+    def test_head_pins_the_log(self, busy_system):
+        fid = busy_system.fidelius
+        head = fid.audit_head
+        assert fid.verify_audit_chain(expected_head=head)
+        fid.audit_event("extra", note=1)
+        assert not fid.verify_audit_chain(expected_head=head)
+        assert fid.verify_audit_chain(expected_head=fid.audit_head)
+
+    def test_rewriting_history_detected(self, busy_system):
+        fid = busy_system.fidelius
+        kind, details = fid.audit[0]
+        fid.audit[0] = (kind, dict(details, forged=True))
+        assert not fid.verify_audit_chain()
+
+    def test_deleting_an_entry_detected(self, busy_system):
+        fid = busy_system.fidelius
+        del fid.audit[1]
+        del fid._audit_digests[1]
+        assert not fid.verify_audit_chain()
+
+    def test_reordering_detected(self, busy_system):
+        fid = busy_system.fidelius
+        fid.audit[0], fid.audit[1] = fid.audit[1], fid.audit[0]
+        assert not fid.verify_audit_chain()
+
+    def test_head_changes_every_event(self, busy_system):
+        fid = busy_system.fidelius
+        heads = set()
+        for i in range(5):
+            fid.audit_event("tick", i=i)
+            heads.add(fid.audit_head)
+        assert len(heads) == 5

@@ -1,0 +1,243 @@
+"""Tests for the extension features: remote attestation, VM
+snapshot/restore, runtime ballooning with scrubbed frame release, and
+multi-vCPU guests."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import ReproError
+from repro.core.attestation import (
+    AttestationAuthority,
+    RemoteVerifier,
+    golden_measurements,
+)
+from repro.core.migration import restore_guest, snapshot_guest
+from repro.system import GuestOwner, System
+from repro.xen import hypercalls as hc
+
+
+class TestAttestation:
+    def _parties(self, seed=0xA77):
+        system = System.create(fidelius=True, frames=2048, seed=seed)
+        authority = AttestationAuthority(system.machine)
+        golden_fid, golden_xen = golden_measurements(system)
+        verifier = RemoteVerifier(golden_fid, golden_xen,
+                                  authority.public_verifier())
+        return system, authority, verifier
+
+    def test_pristine_host_attests(self):
+        system, authority, verifier = self._parties()
+        nonce = verifier.fresh_nonce(system.machine.rng)
+        quote = authority.quote(system.fidelius, nonce)
+        assert verifier.check(quote, nonce)
+
+    def test_tampered_hypervisor_text_fails(self):
+        """Code injected into Xen's text changes the measurement."""
+        system, authority, verifier = self._parties()
+        system.machine.memory.write(
+            system.hypervisor.text.base_va + 0x500, b"\xEB\xFE")
+        nonce = verifier.fresh_nonce(system.machine.rng)
+        quote = authority.quote(system.fidelius, nonce)
+        with pytest.raises(ReproError):
+            verifier.check(quote, nonce)
+
+    def test_tampered_fidelius_text_fails(self):
+        system, authority, verifier = self._parties()
+        system.machine.memory.write(
+            system.fidelius.text_pfns[0] * PAGE_SIZE + 0x20, b"\x90\x90\xCC")
+        nonce = verifier.fresh_nonce(system.machine.rng)
+        quote = authority.quote(system.fidelius, nonce)
+        with pytest.raises(ReproError):
+            verifier.check(quote, nonce)
+
+    def test_replayed_quote_rejected(self):
+        system, authority, verifier = self._parties()
+        nonce = verifier.fresh_nonce(system.machine.rng)
+        quote = authority.quote(system.fidelius, nonce)
+        verifier.check(quote, nonce)
+        with pytest.raises(ReproError):
+            verifier.check(quote, nonce)  # nonce reuse
+
+    def test_forged_signature_rejected(self):
+        import dataclasses
+        system, authority, verifier = self._parties()
+        nonce = verifier.fresh_nonce(system.machine.rng)
+        quote = authority.quote(system.fidelius, nonce)
+        forged = dataclasses.replace(quote, signature=b"\x00" * 32)
+        with pytest.raises(ReproError):
+            verifier.check(forged, nonce)
+
+    def test_quote_from_wrong_machine_rejected(self):
+        """A quote signed by a different machine's key fails the
+        verification oracle bound to the expected machine."""
+        system_a, authority_a, verifier_a = self._parties(seed=1)
+        system_b = System.create(fidelius=True, frames=2048, seed=2)
+        authority_b = AttestationAuthority(system_b.machine)
+        nonce = verifier_a.fresh_nonce(system_a.machine.rng)
+        quote = authority_b.quote(system_b.fidelius, nonce)
+        with pytest.raises(ReproError):
+            verifier_a.check(quote, nonce)
+
+
+class TestSnapshotRestore:
+    def _guest(self, system):
+        owner = GuestOwner(seed=0x55AA)
+        domain, ctx = system.boot_protected_guest(
+            "snap", owner, payload=b"checkpointed app", guest_frames=32)
+        ctx.set_page_encrypted(7)
+        ctx.write(7 * PAGE_SIZE, b"pre-snapshot state")
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        return domain, ctx
+
+    def test_snapshot_restore_roundtrip(self, system):
+        domain, _ = self._guest(system)
+        package = snapshot_guest(system.fidelius, domain)
+        system.hypervisor.destroy_domain(domain)
+        restored, rctx = restore_guest(system.fidelius, package,
+                                       name="snap-restored")
+        assert rctx.read(7 * PAGE_SIZE, 18) == b"pre-snapshot state"
+        assert restored in system.fidelius.protected_domains
+
+    def test_snapshot_stops_the_guest(self, system):
+        from repro.common.errors import GateViolation
+        domain, ctx = self._guest(system)
+        snapshot_guest(system.fidelius, domain)
+        with pytest.raises(GateViolation):
+            ctx.read(0, 4)
+
+    def test_restored_guest_gets_fresh_key(self, system):
+        domain, _ = self._guest(system)
+        old_pa = system.hypervisor.guest_frame_hpfn(domain, 7) * PAGE_SIZE
+        old_raw = system.machine.memory.read(old_pa, 18)
+        package = snapshot_guest(system.fidelius, domain)
+        system.hypervisor.destroy_domain(domain)
+        restored, _ = restore_guest(system.fidelius, package)
+        new_pa = system.hypervisor.guest_frame_hpfn(restored, 7) * PAGE_SIZE
+        assert system.machine.memory.read(new_pa, 18) != old_raw
+
+    def test_snapshot_package_is_ciphertext(self, system):
+        domain, _ = self._guest(system)
+        package = snapshot_guest(system.fidelius, domain)
+        blob = b"".join(t for _, t in package.encrypted_records)
+        assert b"pre-snapshot state" not in blob
+
+    def test_audited(self, system):
+        domain, _ = self._guest(system)
+        package = snapshot_guest(system.fidelius, domain)
+        system.hypervisor.destroy_domain(domain)
+        restore_guest(system.fidelius, package)
+        kinds = system.fidelius.audit_kinds()
+        assert "snapshot-taken" in kinds
+        assert "snapshot-restored" in kinds
+
+
+class TestBallooning:
+    def test_balloon_out_returns_frames(self, system, protected_guest):
+        domain, ctx = protected_guest
+        free_before = system.machine.allocator.free_count
+        assert ctx.hypercall(hc.HC_BALLOON_OUT, 20, 4) == hc.E_OK
+        assert system.machine.allocator.free_count == free_before + 4
+        assert not domain.npt.maps(20 * PAGE_SIZE)
+
+    def test_released_protected_frame_is_scrubbed(self, system,
+                                                  protected_guest):
+        """Section 4.3.8's page revocation, applied at runtime: no
+        residue crosses a frame recycling."""
+        domain, ctx = protected_guest
+        ctx.set_page_encrypted(20)
+        ctx.write(20 * PAGE_SIZE, b"dying balloon secret")
+        hpfn = system.hypervisor.guest_frame_hpfn(domain, 20)
+        assert ctx.hypercall(hc.HC_BALLOON_OUT, 20, 1) == hc.E_OK
+        assert system.machine.memory.read_frame(hpfn) == bytes(PAGE_SIZE)
+        assert not system.fidelius.pit.lookup(hpfn).valid
+        assert "frame-released" in system.fidelius.audit_kinds()
+
+    def test_baseline_leaks_residue_across_recycling(self):
+        """The contrast: vanilla Xen recycles a frame as-is, and the
+        next owner reads the previous tenant's data."""
+        system = System.create(fidelius=False, frames=2048, seed=0xBA11)
+        victim, vctx = system.create_plain_guest("victim", guest_frames=32)
+        residue = b"residue: private key material"
+        for gfn in range(18, 24):
+            vctx.write(gfn * PAGE_SIZE, residue)
+        released = {system.hypervisor.guest_frame_hpfn(victim, gfn)
+                    for gfn in range(18, 24)}
+        assert vctx.hypercall(hc.HC_BALLOON_OUT, 18, 6) == hc.E_OK
+        vctx.hypercall(hc.HC_SCHED_YIELD)
+        # the freed frames keep their bytes...
+        assert all(residue in system.machine.memory.read_frame(pfn)
+                   for pfn in released)
+        # ...and recycling hands at least one to a new attacker guest,
+        # which reads the previous tenant's data straight out of it
+        attacker, actx = system.create_plain_guest("attacker",
+                                                   guest_frames=8)
+        stolen = [
+            actx.read(gfn * PAGE_SIZE, len(residue))
+            for gfn in range(attacker.guest_frames)
+            if system.hypervisor.guest_frame_hpfn(attacker, gfn) in released
+        ]
+        assert stolen and any(chunk == residue for chunk in stolen)
+
+    def test_fidelius_recycling_is_clean(self, system, protected_guest):
+        domain, ctx = protected_guest
+        ctx.set_page_encrypted(20)
+        ctx.write(20 * PAGE_SIZE, b"dying balloon secret")
+        hpfn = system.hypervisor.guest_frame_hpfn(domain, 20)
+        ctx.hypercall(hc.HC_BALLOON_OUT, 20, 1)
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        newdom, nctx = system.create_plain_guest("next-tenant",
+                                                 guest_frames=8)
+        for gfn in range(newdom.guest_frames):
+            if system.hypervisor.guest_frame_hpfn(newdom, gfn) == hpfn:
+                assert nctx.read(gfn * PAGE_SIZE, 20) == bytes(20)
+
+    def test_balloon_range_validated(self, system, protected_guest):
+        _, ctx = protected_guest
+        assert ctx.hypercall(hc.HC_BALLOON_OUT, 40, 100) == hc.E_INVAL
+        assert ctx.hypercall(hc.HC_BALLOON_OUT, 5, 0) == hc.E_INVAL
+
+
+class TestMultiVcpu:
+    def test_two_vcpus_time_share(self, system, owner):
+        domain, ctx0 = system.boot_protected_guest(
+            "smp", owner, payload=b"x", guest_frames=32, vcpus=2)
+        ctx1 = domain.context(vcpu_index=1)
+        ctx0.write(0x5000, b"from vcpu0")
+        ctx0.hypercall(hc.HC_SCHED_YIELD)
+        assert ctx1.read(0x5000, 10) == b"from vcpu0"  # shared memory
+
+    def test_vcpu_switch_requires_yield(self, system, owner):
+        from repro.common.errors import XenError
+        domain, ctx0 = system.boot_protected_guest(
+            "smp", owner, payload=b"x", guest_frames=32, vcpus=2)
+        ctx1 = domain.context(vcpu_index=1)
+        ctx0.write(0x5000, b"a")
+        with pytest.raises(XenError):
+            ctx1.write(0x5000, b"b")
+
+    def test_per_vcpu_shadow_state(self, system, owner):
+        """Each vCPU's registers are shadowed independently."""
+        domain, ctx0 = system.boot_protected_guest(
+            "smp", owner, payload=b"x", guest_frames=32, vcpus=2)
+        ctx1 = domain.context(vcpu_index=1)
+        cpu = system.machine.cpu
+        ctx0._ensure_guest()
+        cpu.regs["r15"] = 0xAAAA
+        ctx0.hypercall(hc.HC_VOID)
+        assert cpu.regs["r15"] == 0xAAAA
+        ctx0.hypercall(hc.HC_SCHED_YIELD)
+        ctx1._ensure_guest()
+        cpu.regs["r15"] = 0xBBBB
+        ctx1.hypercall(hc.HC_VOID)
+        assert cpu.regs["r15"] == 0xBBBB
+        assert system.fidelius.shadow.has_shadow(domain.vcpus[0])
+        assert system.fidelius.shadow.has_shadow(domain.vcpus[1])
+
+    def test_vcpu_registers_masked_independently(self, system, owner):
+        domain, ctx0 = system.boot_protected_guest(
+            "smp", owner, payload=b"x", guest_frames=32, vcpus=2)
+        cpu = system.machine.cpu
+        ctx0._ensure_guest()
+        cpu.regs["r14"] = 0x5EC0
+        ctx0.hypercall(hc.HC_VOID)
+        assert domain.vcpus[0].saved_gprs["r14"] == 0

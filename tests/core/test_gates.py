@@ -1,0 +1,193 @@
+"""Tests for the three gate types and the Table 2 checking loops."""
+
+import pytest
+
+from repro.common.constants import (
+    CR0_PG,
+    CR0_WP,
+    CR4_SMEP,
+    EFER_NXE,
+    EFER_SVME,
+    GATE1_CYCLES,
+    GATE2_CYCLES,
+    GATE3_CYCLES,
+    MSR_EFER,
+)
+from repro.common.errors import GateViolation, PageFault
+from repro.common.types import PrivOp
+
+
+class TestType1Gate:
+    def test_wp_cleared_inside_restored_after(self, system):
+        fid = system.fidelius
+        cpu = system.machine.cpu
+        assert cpu.wp_enabled
+        with fid.gates.type1():
+            assert not cpu.wp_enabled
+            assert cpu.gate_active == "type1"
+        assert cpu.wp_enabled
+        assert cpu.gate_active is None
+
+    def test_interrupts_disabled_and_stack_switched(self, system):
+        fid = system.fidelius
+        cpu = system.machine.cpu
+        with fid.gates.type1():
+            assert not cpu.interrupts_enabled
+            assert cpu.current_stack == "fidelius"
+        assert cpu.interrupts_enabled
+        assert cpu.current_stack == "xen"
+
+    def test_nested_gate_rejected(self, system):
+        fid = system.fidelius
+        with pytest.raises(GateViolation):
+            with fid.gates.type1():
+                with fid.gates.type1():
+                    pass
+
+    def test_gate1_charges_measured_cycles(self, system):
+        fid = system.fidelius
+        snap = system.machine.cycles.snapshot()
+        with fid.gates.type1():
+            pass
+        assert snap.delta(system.machine.cycles)["gate1"] == GATE1_CYCLES
+
+    def test_state_restored_on_policy_violation(self, system):
+        from repro.common.errors import PolicyViolation
+        fid = system.fidelius
+        cpu = system.machine.cpu
+        pit_pfn = next(iter(fid.pit.table_pfns))
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(pit_pfn << 12, b"\x00" * 4)
+        assert cpu.wp_enabled
+        assert cpu.interrupts_enabled
+        assert cpu.gate_active is None
+
+
+class TestType2CheckingLoops:
+    """The policies of Table 2, enforced by the checking loops."""
+
+    def test_mov_cr0_cannot_clear_wp(self, system):
+        fid = system.fidelius
+        cpu = system.machine.cpu
+        before = cpu.cr0
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.MOV_CR0, CR0_PG)  # WP clear
+        assert cpu.cr0 == before
+
+    def test_mov_cr0_cannot_clear_pg(self, system):
+        fid = system.fidelius
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.MOV_CR0, CR0_WP)  # PG clear
+
+    def test_mov_cr0_benign_update_allowed(self, system):
+        fid = system.fidelius
+        fid.exec_monopolized(PrivOp.MOV_CR0, CR0_PG | CR0_WP | 1)
+        assert system.machine.cpu.cr0 & 1
+
+    def test_mov_cr4_cannot_clear_smep(self, system):
+        fid = system.fidelius
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.MOV_CR4, 0)
+        assert system.machine.cpu.smep_enabled
+
+    def test_wrmsr_cannot_clear_nxe(self, system):
+        fid = system.fidelius
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.WRMSR, (MSR_EFER, EFER_SVME))
+        assert system.machine.cpu.nxe_enabled
+
+    def test_wrmsr_cannot_clear_svme(self, system):
+        fid = system.fidelius
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.WRMSR, (MSR_EFER, EFER_NXE))
+        assert system.machine.cpu.svme_enabled
+
+    def test_lgdt_lidt_execute_once_consumed(self, system):
+        """Executed once at Xen init; any later run is denied."""
+        fid = system.fidelius
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.LGDT, 0xDEAD000)
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.LIDT, 0xDEAD000)
+
+    def test_checking_loop_cost(self, system):
+        fid = system.fidelius
+        snap = system.machine.cycles.snapshot()
+        fid.exec_monopolized(PrivOp.MOV_CR0, CR0_PG | CR0_WP)
+        assert snap.delta(system.machine.cycles)["gate2"] == GATE2_CYCLES
+
+    def test_denials_audited(self, system):
+        fid = system.fidelius
+        with pytest.raises(GateViolation):
+            fid.exec_monopolized(PrivOp.MOV_CR4, 0)
+        assert "denied" in fid.audit_kinds()
+
+
+class TestType3Gate:
+    def test_vmrun_page_mapped_only_inside_gate(self, system):
+        fid = system.fidelius
+        cpu = system.machine.cpu
+        vmrun_va = fid.text_image.va_of(PrivOp.VMRUN)
+        assert not cpu.can_fetch(vmrun_va)
+        with fid.gates.type3(fid.text_pfns[1], executable=True):
+            assert cpu.can_fetch(vmrun_va)
+        assert not cpu.can_fetch(vmrun_va)
+
+    def test_mov_cr3_outside_gate_denied(self, system):
+        fid = system.fidelius
+        cpu = system.machine.cpu
+        root = system.machine.host_root
+        with fid.gates.type3(fid.text_pfns[1], executable=True):
+            pass
+        with pytest.raises((GateViolation, PageFault)):
+            # even if the attacker could reach the instruction, the
+            # checking loop runs without the gate being active
+            cpu.exec_privileged(PrivOp.MOV_CR3, root,
+                                rip=fid.text_image.va_of(PrivOp.MOV_CR3))
+
+    def test_mov_cr3_to_rogue_root_denied(self, system):
+        from repro.common.constants import PAGE_SIZE, PTE_WRITABLE
+        fid = system.fidelius
+        machine = system.machine
+        # A rogue space that *does* map the instruction's continuation —
+        # so the hardware can proceed and the checking loop gets to run.
+        rogue_root = machine.allocator.alloc()
+        machine.memory.zero_frame(rogue_root)
+        for pfn in fid.text_pfns:
+            machine.walker.map(rogue_root, pfn * PAGE_SIZE, pfn, PTE_WRITABLE)
+        with pytest.raises(GateViolation):
+            fid._gated_priv(PrivOp.MOV_CR3, rogue_root)
+        assert machine.cpu.cr3_root == machine.host_root
+
+    def test_mov_cr3_to_empty_space_cannot_continue(self, system):
+        """Switching to a space that does not map the following
+        instruction crashes immediately (the end-of-page placement
+        discussion of Section 4.1.2) — blocked before any policy runs."""
+        fid = system.fidelius
+        rogue_root = system.machine.allocator.alloc()
+        system.machine.memory.zero_frame(rogue_root)
+        with pytest.raises(PageFault):
+            fid._gated_priv(PrivOp.MOV_CR3, rogue_root)
+        assert system.machine.cpu.cr3_root == system.machine.host_root
+
+    def test_mov_cr3_to_valid_root_allowed(self, system):
+        fid = system.fidelius
+        root = system.machine.host_root
+        fid._gated_priv(PrivOp.MOV_CR3, root)
+        assert system.machine.cpu.cr3_root == root
+
+    def test_gate3_cost(self, system):
+        fid = system.fidelius
+        snap = system.machine.cycles.snapshot()
+        with fid.gates.type3(fid.text_pfns[1]):
+            pass
+        delta = snap.delta(system.machine.cycles)
+        total = delta.get("gate3", 0) + delta.get("tlb-flush-entry", 0)
+        assert total == GATE3_CYCLES
+
+    def test_firmware_gate_maps_metadata(self, system):
+        fid = system.fidelius
+        with fid.gates.firmware_gate():
+            data = system.machine.cpu.load(
+                fid.sev_metadata_pfns[0] << 12, 4)
+        assert isinstance(data, bytes)

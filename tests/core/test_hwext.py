@@ -1,0 +1,127 @@
+"""Tests for the Section 8 hardware-suggestion implementations."""
+
+import pytest
+
+from repro.common import crypto
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import SevError
+from repro.core.hwext import BonsaiMerkleTree, CustomKeyEngine
+
+
+@pytest.fixture
+def engine(system):
+    return CustomKeyEngine(system.firmware)
+
+
+class TestCustomKeyEngine:
+    def test_enc_dec_roundtrip(self, system, engine):
+        machine = system.machine
+        pfn = machine.allocator.alloc()
+        pa = pfn * PAGE_SIZE
+        machine.memory.write(pa, b"bulk data to protect")
+        gek = engine.setenc_gek()
+        blob = engine.enc(gek, pa, 20, tweak=b"t0")
+        assert blob != b"bulk data to protect"
+        engine.dec(gek, blob, b"t0", pa + 256)
+        assert machine.memory.read(pa + 256, 20) == b"bulk data to protect"
+
+    def test_unknown_gek_rejected(self, engine):
+        with pytest.raises(SevError):
+            engine.enc(42, 0, 8, tweak=b"t")
+
+    def test_no_state_machine_needed(self, system, engine):
+        """Unlike SEND/RECEIVE_UPDATE, ENC/DEC have no guest-state
+        prerequisites: interleave freely."""
+        machine = system.machine
+        pa = machine.allocator.alloc() * PAGE_SIZE
+        machine.memory.write(pa, b"x" * 64)
+        gek = engine.setenc_gek()
+        for i in range(4):
+            blob = engine.enc(gek, pa, 64, tweak=bytes([i]))
+            engine.dec(gek, blob, bytes([i]), pa)
+        assert machine.memory.read(pa, 64) == b"x" * 64
+
+    def test_gek_portable_across_machines(self, system):
+        """The customized-key fix for image sealing: one GEK can be
+        wrapped for many platforms."""
+        from repro.system import System
+        other = System.create(fidelius=False, frames=512, seed=77)
+        engine_a = CustomKeyEngine(system.firmware)
+        engine_b = CustomKeyEngine(other.firmware)
+        gek = engine_a.setenc_gek()
+        kek = b"transport-kek!!!"
+        wrapped = engine_a.export_wrapped(gek, kek)
+        imported = engine_b.import_wrapped(wrapped, kek)
+        pa_a = system.machine.allocator.alloc() * PAGE_SIZE
+        system.machine.memory.write(pa_a, b"cross machine payload")
+        blob = engine_a.enc(gek, pa_a, 21, tweak=b"t")
+        pa_b = other.machine.allocator.alloc() * PAGE_SIZE
+        engine_b.dec(imported, blob, b"t", pa_b)
+        assert other.machine.memory.read(pa_b, 21) == b"cross machine payload"
+
+    def test_enc_guest_region_replaces_sdom(self, system, protected_guest):
+        """One ENC call does what the s-dom SEND_UPDATE dance does."""
+        domain, ctx = protected_guest
+        ctx.set_page_encrypted(5)
+        ctx.write(5 * PAGE_SIZE, b"guest secret for io!")
+        from repro.xen import hypercalls as hc
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        engine = CustomKeyEngine(system.firmware)
+        gek = engine.setenc_gek()
+        guest_key = system.firmware._contexts[domain.sev_handle].kvek
+        pa = system.hypervisor.guest_frame_hpfn(domain, 5) * PAGE_SIZE
+        blob = engine.enc_guest_region(gek, guest_key, pa, 20, tweak=b"s")
+        plaintext = crypto.xex_decrypt(
+            engine._geks[gek], b"gek|s", blob)
+        assert plaintext == b"guest secret for io!"
+
+
+class TestBonsaiMerkleTree:
+    def _covered_frames(self, system, n=4):
+        machine = system.machine
+        pfns = machine.allocator.alloc_many(n)
+        for i, pfn in enumerate(pfns):
+            machine.memory.write(pfn * PAGE_SIZE, bytes([i]) * 64)
+        return pfns
+
+    def test_intact_after_build(self, system):
+        pfns = self._covered_frames(system)
+        tree = BonsaiMerkleTree(system.machine, pfns)
+        assert tree.intact()
+
+    def test_detects_single_bit_flip(self, system):
+        """Rowhammer detection — the integrity gap Section 8 fixes."""
+        pfns = self._covered_frames(system)
+        tree = BonsaiMerkleTree(system.machine, pfns)
+        victim = pfns[2]
+        pa = victim * PAGE_SIZE + 17
+        byte = system.machine.memory.read(pa, 1)[0]
+        system.machine.memory.write(pa, bytes([byte ^ 0x04]))
+        assert tree.verify() == [victim]
+
+    def test_legitimate_update_keeps_intact(self, system):
+        pfns = self._covered_frames(system)
+        tree = BonsaiMerkleTree(system.machine, pfns)
+        system.machine.memory.write(pfns[0] * PAGE_SIZE, b"new data")
+        tree.update(pfns[0])
+        assert tree.intact()
+
+    def test_root_changes_with_content(self, system):
+        pfns = self._covered_frames(system)
+        tree = BonsaiMerkleTree(system.machine, pfns)
+        old_root = tree.root
+        system.machine.memory.write(pfns[1] * PAGE_SIZE, b"changed")
+        tree.update(pfns[1])
+        assert tree.root != old_root
+
+    def test_uncovered_frame_update_rejected(self, system):
+        from repro.common.errors import ReproError
+        pfns = self._covered_frames(system)
+        tree = BonsaiMerkleTree(system.machine, pfns)
+        with pytest.raises(ReproError):
+            tree.update(pfns[-1] + 100)
+
+    def test_empty_tree_rejected(self, system):
+        from repro.common.errors import ReproError
+        with pytest.raises(ReproError):
+            BonsaiMerkleTree(system.machine, [])

@@ -1,0 +1,160 @@
+"""Tests for the Fidelius install step: non-bypassable isolation
+(Section 4.1), Table 1 permissions, the binary rewrite and the PIT
+classification of the whole world."""
+
+import pytest
+
+from repro.common.errors import PageFault, PolicyViolation, ReproError, SevError
+from repro.common.types import Access, Owner, PageUsage, PRIV_OPCODES, PrivOp
+from repro.core.binscan import scan_bytes, verify_monopoly
+from repro.system import System
+
+
+class TestInstall:
+    def test_double_install_rejected(self, system):
+        with pytest.raises(ReproError):
+            system.fidelius.install()
+
+    def test_xen_measured(self, fid):
+        assert fid.xen_measurement is not None
+        assert len(fid.xen_measurement) == 32
+
+    def test_smep_armed(self, system):
+        assert system.machine.cpu.smep_enabled
+
+    def test_host_root_is_only_valid_root(self, system):
+        assert system.fidelius.valid_roots == {system.machine.host_root}
+
+
+class TestTable1Permissions:
+    """Each row of the paper's Table 1, as memory behaviour."""
+
+    def test_xen_page_tables_read_only(self, system):
+        """'Page tables (Xen): read-only; PIT based policy.'"""
+        machine = system.machine
+        _, some_pt = machine.host_table_pages()[-1]
+        with pytest.raises(PolicyViolation):
+            machine.cpu.store(some_pt << 12, b"\x00" * 8)
+
+    def test_npt_read_only(self, system):
+        """'NPT (guest VM): read-only.'"""
+        domain, _ = system.create_plain_guest("g", guest_frames=16)
+        entry_pa = domain.npt.entry_pa(0)
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.store(entry_pa, b"\x00" * 8)
+
+    def test_grant_table_read_only(self, system):
+        """'Grant tables: read-only; GIT based policy.'"""
+        domain, _ = system.create_plain_guest("g", guest_frames=16)
+        pa = domain.grant_table.entry_pa(0)
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.store(pa, b"\xFF" * 16)
+
+    def test_pit_pages_not_writable_by_xen(self, system):
+        """'Page info table: read-only (Xen not writable).'"""
+        fid = system.fidelius
+        pit_pfn = next(iter(fid.pit.table_pfns))
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.store(pit_pfn << 12, b"\x00" * 4)
+
+    def test_git_pages_not_writable_by_xen(self, system):
+        fid = system.fidelius
+        git_pfn = next(iter(fid.git.table_pfns))
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.store(git_pfn << 12, b"\x00" * 4)
+
+    def test_shadow_area_no_access(self, system):
+        """'Shadow states: no access (Xen not accessible).'"""
+        fid = system.fidelius
+        pfn = fid.shadow_area_pfns[0]
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.load(pfn << 12, 16)
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.store(pfn << 12, b"x")
+
+    def test_sev_metadata_no_access(self, system):
+        """'SEV metadata: no access.'"""
+        fid = system.fidelius
+        pfn = fid.sev_metadata_pfns[0]
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.load(pfn << 12, 16)
+
+    def test_pit_knows_every_allocated_frame(self, system):
+        machine = system.machine
+        pit = system.fidelius.pit
+        for pfn in range(machine.frames):
+            if machine.allocator.is_allocated(pfn):
+                assert pit.lookup(pfn).valid, "frame %#x unclassified" % pfn
+
+    def test_pit_classification_kinds(self, system):
+        pit = system.fidelius.pit
+        machine = system.machine
+        level, root = machine.host_table_pages()[0]
+        assert pit.lookup(root).usage is PageUsage.PAGE_TABLE_L4
+        text_pfn = system.hypervisor.text.base_va >> 12
+        assert pit.lookup(text_pfn).usage is PageUsage.CODE
+        dom0 = system.hypervisor.dom0
+        assert pit.lookup(dom0.grant_table.frame_pfn).usage is \
+            PageUsage.GRANT_TABLE
+
+
+class TestBinaryRewrite:
+    def test_xen_text_contains_no_privileged_encodings(self, system):
+        machine = system.machine
+        text = system.hypervisor.text
+        for va in text.page_vas():
+            blob = machine.memory.read_frame(va >> 12)
+            assert scan_bytes(blob, va) == []
+
+    def test_monopoly_verified(self, system):
+        fid = system.fidelius
+        allowed = {op: fid.text_image.va_of(op) for op in PrivOp}
+        assert verify_monopoly(system.machine, system.machine.host_root,
+                               allowed) == []
+
+    def test_direct_exec_at_old_xen_location_fails(self, system):
+        """The Xen copies were NOPed out: executing there fetches NOPs,
+        not the privileged encoding."""
+        from repro.common.constants import CR0_PG, CR0_WP
+        machine = system.machine
+        # the default image used to place MOV_CR0 at text + 0x100
+        old_va = system.hypervisor.text.base_va + 0x100
+        with pytest.raises(PageFault):
+            machine.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG | CR0_WP,
+                                        rip=old_va)
+
+    def test_vmrun_page_unmapped_from_xen(self, system):
+        fid = system.fidelius
+        vmrun_va = fid.text_image.va_of(PrivOp.VMRUN)
+        assert not system.machine.cpu.can_fetch(vmrun_va)
+
+    def test_unaligned_hidden_encoding_detected_by_scanner(self, system):
+        """Plant a VMRUN encoding inside other bytes at an unaligned
+        offset; the scanner must still find it."""
+        machine = system.machine
+        text = system.hypervisor.text
+        target_va = text.base_va + 0x301
+        machine.memory.write(target_va, PRIV_OPCODES[PrivOp.VMRUN])
+        fid = system.fidelius
+        allowed = {op: fid.text_image.va_of(op) for op in PrivOp}
+        hits = verify_monopoly(machine, machine.host_root, allowed)
+        assert any(h.va == target_va and h.op is PrivOp.VMRUN for h in hits)
+
+
+class TestFirmwareSealing:
+    def test_direct_firmware_command_blocked(self, system):
+        """SEV commands are only reachable through the type 3 gate."""
+        with pytest.raises(SevError):
+            system.firmware.launch_start()
+
+    def test_gated_firmware_command_works(self, system):
+        handle = system.fidelius.firmware_call("launch_start")
+        assert handle in system.firmware.handles()
+
+    def test_sev_metadata_synced_to_unmapped_frames(self, system, owner):
+        domain, _ = system.boot_protected_guest(
+            "meta", owner, payload=b"x", guest_frames=32)
+        fid = system.fidelius
+        pa = fid.sev_metadata_pfns[0] << 12
+        blob = system.machine.memory.read(pa, 256)
+        assert b"handle" in blob

@@ -1,0 +1,157 @@
+"""Tests for the two I/O protection paths of Section 4.3.5."""
+
+import pytest
+
+from repro.common.constants import SECTOR_SIZE
+from repro.common.errors import ReproError
+from repro.core.io_protect import (
+    AesNiIoEncoder,
+    SevApiIoEncoder,
+    SoftwareIoEncoder,
+)
+from repro.sev.state import GuestState
+
+SECRET = b"TOP SECRET DATABASE ROW: salary=1000000"
+
+
+@pytest.fixture
+def aesni_dev(system, protected_guest):
+    domain, ctx = protected_guest
+    encoder = system.aesni_encoder_for(ctx)
+    disk, frontend, backend = system.attach_disk(domain, ctx, encoder=encoder)
+    return disk, frontend, backend
+
+
+@pytest.fixture
+def sev_dev(system, protected_guest):
+    domain, ctx = protected_guest
+    encoder = system.sev_encoder_for(domain, ctx, pages=2)
+    disk, frontend, backend = system.attach_disk(
+        domain, ctx, encoder=encoder, buffer_pages=2)
+    return disk, frontend, backend
+
+
+class TestAesNiPath:
+    def test_roundtrip(self, aesni_dev):
+        _, frontend, _ = aesni_dev
+        frontend.write(10, SECRET)
+        assert frontend.read(10, 1).startswith(SECRET)
+
+    def test_driver_domain_sees_only_ciphertext(self, aesni_dev):
+        disk, frontend, backend = aesni_dev
+        frontend.write(10, SECRET)
+        frontend.read(10, 1)
+        assert SECRET[:16] not in backend.everything_observed()
+
+    def test_disk_at_rest_is_ciphertext(self, aesni_dev):
+        disk, frontend, _ = aesni_dev
+        frontend.write(10, SECRET)
+        assert SECRET[:16] not in disk.raw_sector(10)
+
+    def test_random_access_decodes_any_sector(self, aesni_dev):
+        _, frontend, _ = aesni_dev
+        payload = bytes(range(256)) * 8  # 4 sectors
+        frontend.write(100, payload)
+        # read the third sector alone
+        third = frontend.read(102, 1)
+        assert third == payload[2 * SECTOR_SIZE:3 * SECTOR_SIZE]
+
+    def test_owner_encrypted_disk_image_readable(self, system, owner,
+                                                 protected_guest):
+        """Section 4.3.3 step 4: the mounted disk image, encrypted
+        offline with K_blk, decodes through the front end."""
+        domain, ctx = protected_guest
+        image = owner.encrypt_disk_image(b"etc/passwd: root:x:0:0" + bytes(100))
+        encoder = system.aesni_encoder_for(ctx)
+        disk, frontend, _ = system.attach_disk(
+            domain, ctx, encoder=encoder, image=image)
+        assert frontend.read(0, 1).startswith(b"etc/passwd: root:x:0:0")
+
+    def test_cycle_accounting_read_heavier_than_write(self, system,
+                                                      aesni_dev):
+        """Table 3's asymmetry: decryption is on the read critical path
+        while write encryption is batched off it."""
+        _, frontend, _ = aesni_dev
+        cycles = system.machine.cycles
+        snap = cycles.snapshot()
+        frontend.write(0, bytes(8 * SECTOR_SIZE))
+        write_cost = snap.delta(cycles).get("io-encrypt-aes-ni", 0)
+        snap = cycles.snapshot()
+        frontend.read(0, 8)
+        read_cost = snap.delta(cycles).get("io-decrypt-aes-ni", 0)
+        assert read_cost > 3 * write_cost
+
+
+class TestSevApiPath:
+    def test_helper_domains_pinned_in_states(self, system, protected_guest):
+        domain, ctx = protected_guest
+        encoder = system.sev_encoder_for(domain, ctx)
+        firmware = system.firmware
+        assert firmware.guest_state(encoder.s_handle) is GuestState.SENDING
+        assert firmware.guest_state(encoder.r_handle) is GuestState.RECEIVING
+        # and the guest itself keeps RUNNING
+        assert firmware.guest_state(domain.sev_handle) is GuestState.RUNNING
+
+    def test_roundtrip(self, sev_dev):
+        _, frontend, _ = sev_dev
+        frontend.write(10, SECRET)
+        assert frontend.read(10, 1).startswith(SECRET)
+
+    def test_driver_domain_sees_only_ciphertext(self, sev_dev):
+        _, frontend, backend = sev_dev
+        frontend.write(10, SECRET)
+        frontend.read(10, 1)
+        assert SECRET[:16] not in backend.everything_observed()
+
+    def test_random_access(self, sev_dev):
+        _, frontend, _ = sev_dev
+        payload = bytes([7]) * SECTOR_SIZE + bytes([9]) * SECTOR_SIZE
+        frontend.write(50, payload)
+        assert frontend.read(51, 1) == bytes([9]) * SECTOR_SIZE
+
+    def test_oversized_request_rejected(self, system, protected_guest):
+        domain, ctx = protected_guest
+        encoder = system.sev_encoder_for(domain, ctx, pages=1)
+        with pytest.raises(ReproError):
+            encoder.encode_write(bytes(2 * 4096), 0)
+
+    def test_teardown_decommissions_helpers(self, system, protected_guest):
+        domain, ctx = protected_guest
+        encoder = system.sev_encoder_for(domain, ctx)
+        encoder.teardown()
+        assert encoder.s_handle not in system.firmware.handles()
+        assert encoder.r_handle not in system.firmware.handles()
+
+    def test_metadata_records_helper_handles(self, system, protected_guest):
+        domain, ctx = protected_guest
+        encoder = system.sev_encoder_for(domain, ctx)
+        meta = system.fidelius.sev_meta[domain.domid]
+        assert meta["s_dom"] == encoder.s_handle
+        assert meta["r_dom"] == encoder.r_handle
+
+
+class TestEncoderCosts:
+    def test_software_much_slower_than_aesni(self, system, protected_guest):
+        """The >20x software-crypto gap of the Section 7.2 micro
+        benchmark, visible at the encoder level."""
+        _, ctx = protected_guest
+        cycles = system.machine.cycles
+        data = bytes(16 * SECTOR_SIZE)
+        aesni = AesNiIoEncoder(b"k" * 16, cycles)
+        software = SoftwareIoEncoder(b"k" * 16, cycles)
+        snap = cycles.snapshot()
+        aesni.decode_read(data, 0)
+        aesni_cost = cycles.since(snap)
+        snap = cycles.snapshot()
+        software.decode_read(data, 0)
+        software_cost = cycles.since(snap)
+        assert software_cost > 20 * aesni_cost * 0.8
+
+    def test_interoperable_formats(self, system, protected_guest):
+        """AES-NI encode / software decode must agree (same K_blk and
+        sector tweaks): a guest can switch paths between boots."""
+        cycles = system.machine.cycles
+        a = AesNiIoEncoder(b"k" * 16, cycles)
+        s = SoftwareIoEncoder(b"k" * 16, cycles)
+        data = bytes(range(256)) * 2
+        assert s.decode_read(a.encode_write(data, 5), 5) == data

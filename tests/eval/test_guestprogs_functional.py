@@ -1,0 +1,126 @@
+"""Tests for the guest-program library and the functional cross-check."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.eval.functional import format_functional, run_functional
+from repro.system import GuestOwner, System
+from repro.workloads.guestprogs import (
+    CryptoWorker,
+    KeyValueStore,
+    SessionServer,
+)
+from repro.xen import hypercalls as hc
+
+
+@pytest.fixture
+def protected_io():
+    system = System.create(fidelius=True, frames=2048, seed=0x6E57)
+    owner = GuestOwner(seed=0x6E57)
+    domain, ctx = system.boot_protected_guest(
+        "apps", owner, payload=b"apps", guest_frames=64)
+    encoder = system.aesni_encoder_for(ctx)
+    disk, frontend, backend = system.attach_disk(domain, ctx,
+                                                 encoder=encoder)
+    return system, ctx, frontend, backend, disk
+
+
+class TestKeyValueStore:
+    def test_put_get(self, protected_io):
+        _, ctx, frontend, _, _ = protected_io
+        store = KeyValueStore(ctx, frontend)
+        store.put(b"user:1", b"alice")
+        store.put(b"user:2", b"bob")
+        assert store.get(b"user:1") == b"alice"
+        assert store.get(b"user:2") == b"bob"
+        assert store.get(b"user:3") is None
+
+    def test_update_in_place(self, protected_io):
+        _, ctx, frontend, _, _ = protected_io
+        store = KeyValueStore(ctx, frontend)
+        slot1 = store.put(b"k", b"v1")
+        slot2 = store.put(b"k", b"v2")
+        assert slot1 == slot2
+        assert store.get(b"k") == b"v2"
+
+    def test_recover_index_from_disk(self, protected_io):
+        """The persistence property migrations rely on: the index is
+        reconstructible from disk alone."""
+        _, ctx, frontend, _, _ = protected_io
+        store = KeyValueStore(ctx, frontend)
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        fresh = KeyValueStore(ctx, frontend)
+        assert fresh.recover_index() == 2
+        assert fresh.get(b"b") == b"2"
+
+    def test_nothing_leaks_to_the_host(self, protected_io):
+        _, ctx, frontend, backend, disk = protected_io
+        store = KeyValueStore(ctx, frontend)
+        store.put(b"card", b"4242-4242-4242-4242")
+        observed = backend.everything_observed()
+        assert b"4242-4242" not in observed
+        assert all(b"4242-4242" not in disk.raw_sector(s)
+                   for s in range(64, 64 + 4))
+
+    def test_limits(self, protected_io):
+        _, ctx, frontend, _, _ = protected_io
+        store = KeyValueStore(ctx, frontend)
+        with pytest.raises(ReproError):
+            store.put(b"x" * 32, b"v")
+        with pytest.raises(ReproError):
+            store.put(b"k", b"v" * 1000)
+
+
+class TestCryptoWorker:
+    def test_deterministic(self, protected_io):
+        _, ctx, _, _, _ = protected_io
+        a = CryptoWorker(ctx, first_gfn=40, pages=2).run(3)
+        b = CryptoWorker(ctx, first_gfn=44, pages=2).run(3)
+        assert a == b
+
+    def test_rounds_change_state(self, protected_io):
+        _, ctx, _, _, _ = protected_io
+        worker = CryptoWorker(ctx, first_gfn=40, pages=2)
+        assert worker.round() != worker.round()
+
+
+class TestSessionServer:
+    def test_counts_requests(self, protected_io):
+        _, ctx, _, _, _ = protected_io
+        server = SessionServer(ctx)
+        assert server.serve(5) == 5
+        assert server.handled == 5
+
+    def test_counter_survives_in_encrypted_memory(self, protected_io):
+        system, ctx, _, _, _ = protected_io
+        server = SessionServer(ctx)
+        server.serve(3)
+        hpa = system.hypervisor.guest_frame_hpfn(
+            ctx._domain, server.state_gfn) * 4096
+        raw = system.machine.memory.read(hpa, 8)
+        assert raw != (3).to_bytes(8, "little")  # ciphertext on the bus
+
+
+class TestFunctionalCrossCheck:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_functional(rounds=3, requests=30)
+
+    def test_compute_bound_nearly_free(self, results):
+        compute = next(r for r in results if "compute" in r.workload)
+        assert compute.overhead_pct < 2.0
+
+    def test_exit_heavy_pays_the_shadow_tax(self, results):
+        server = next(r for r in results if "exit-heavy" in r.workload)
+        assert server.overhead_pct > 10.0
+
+    def test_agrees_with_the_model_story(self, results):
+        """The functional measurement and the analytic model tell the
+        same story: overhead ordering compute << exit-heavy."""
+        compute = next(r for r in results if "compute" in r.workload)
+        server = next(r for r in results if "exit-heavy" in r.workload)
+        assert server.overhead_pct > 5 * max(compute.overhead_pct, 0.1)
+
+    def test_formatting(self, results):
+        assert "Functional cross-check" in format_functional(results)

@@ -1,0 +1,30 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.eval.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report()
+
+
+class TestReport:
+    def test_contains_all_sections(self, report):
+        for heading in ("Figure 5", "Figure 6", "Table 3",
+                        "Micro benchmarks", "XSA analysis",
+                        "Shape verdicts"):
+            assert heading in report
+
+    def test_all_shape_verdicts_pass(self, report):
+        assert "- [ ]" not in report
+
+    def test_key_rows_present(self, report):
+        assert "mcf" in report
+        assert "canneal" in report
+        assert "seq-read" in report
+        assert "177 hypervisor-related" in report
+
+    def test_is_markdown_table_formatted(self, report):
+        assert report.count("|---|") >= 4

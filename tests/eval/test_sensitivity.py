@@ -1,0 +1,57 @@
+"""Tests for the sensitivity analysis."""
+
+import pytest
+
+from repro.eval.sensitivity import (
+    encryption_latency_sweep,
+    exit_rate_sweep,
+    format_exit_rate_sweep,
+    format_latency_sweep,
+    shape_is_robust,
+)
+
+
+class TestLatencySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return encryption_latency_sweep()
+
+    def test_zero_latency_zero_overhead(self, sweep):
+        for series in sweep.values():
+            assert series[0].overhead_pct == pytest.approx(0.0, abs=0.01)
+
+    def test_monotonic_in_latency(self, sweep):
+        for series in sweep.values():
+            values = [p.overhead_pct for p in series]
+            assert values == sorted(values)
+
+    def test_memory_bound_scales_fastest(self, sweep):
+        assert sweep["mcf"][-1].overhead_pct > \
+            sweep["gcc"][-1].overhead_pct > \
+            sweep["hmmer"][-1].overhead_pct
+
+    def test_shape_robust_across_latencies(self, sweep):
+        """The figure-5 conclusions do not depend on the exact engine
+        latency: the benchmark ordering is invariant."""
+        assert shape_is_robust(sweep)
+
+    def test_formatting(self, sweep):
+        text = format_latency_sweep(sweep)
+        assert "mcf" in text and "%" in text
+
+
+class TestExitRateSweep:
+    def test_monotonic_in_rate(self):
+        series = exit_rate_sweep()
+        values = [p.overhead_pct for p in series]
+        assert values == sorted(values)
+
+    def test_negligible_at_realistic_rates(self):
+        """At the exit rates compute workloads actually show, the
+        shadowing tax stays under 1% — the paper's headline."""
+        series = exit_rate_sweep(rates=(0.01,))
+        assert series[0].overhead_pct < 1.0
+
+    def test_formatting(self):
+        text = format_exit_rate_sweep(exit_rate_sweep(rates=(0.01, 0.1)))
+        assert "rate" in text

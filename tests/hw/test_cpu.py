@@ -1,0 +1,224 @@
+"""Tests for the CPU model: translation-backed access, privileged
+instructions with real fetch checks, gates hooks, and world switches."""
+
+import pytest
+
+from repro.common.constants import (
+    CR0_PG,
+    CR0_WP,
+    CR4_SMEP,
+    EFER_NXE,
+    EFER_SVME,
+    MSR_EFER,
+    PAGE_SIZE,
+    PTE_NX,
+    PTE_PRESENT,
+    PTE_WRITABLE,
+)
+from repro.common.errors import GateViolation, PageFault
+from repro.common.types import CpuMode, ExitReason, PRIV_OPCODES, PrivOp
+from repro.hw import Machine, Vmcb
+
+
+@pytest.fixture
+def m():
+    machine = Machine(frames=512, seed=1)
+    machine.build_host_address_space()
+    return machine
+
+
+def plant_instruction(machine, op, offset=0):
+    """Allocate a fresh code frame, write the opcode bytes of ``op`` into
+    it at ``offset`` and make the page executable (identity map: VA == PA).
+    Returns the virtual address of the instruction."""
+    pfn = machine.allocator.alloc()
+    va = pfn * PAGE_SIZE + offset
+    machine.memory.write(va, PRIV_OPCODES[op])
+    machine.walker.set_flags(machine.host_root, pfn * PAGE_SIZE, clear_mask=PTE_NX)
+    machine.tlb.flush_all("test")
+    return va
+
+
+class TestVirtualAccess:
+    def test_store_load_roundtrip(self, m):
+        m.cpu.store(0x8000, b"some data")
+        assert m.cpu.load(0x8000, 9) == b"some data"
+
+    def test_unmapped_va_faults(self, m):
+        with pytest.raises(PageFault):
+            m.cpu.load(m.frames * PAGE_SIZE + 0x1000, 1)
+
+    def test_write_protected_page_faults_with_wp(self, m):
+        m.walker.set_flags(m.host_root, 0x8000, clear_mask=PTE_WRITABLE)
+        m.tlb.flush_all("test")
+        with pytest.raises(PageFault):
+            m.cpu.store(0x8000, b"x")
+
+    def test_wp_clear_allows_supervisor_write(self, m):
+        """The hardware basis of the type 1 gate."""
+        m.walker.set_flags(m.host_root, 0x8000, clear_mask=PTE_WRITABLE)
+        m.tlb.flush_all("test")
+        m.cpu.cr0 &= ~CR0_WP
+        m.cpu.store(0x8000, b"x")
+        assert m.cpu.load(0x8000, 1) == b"x"
+
+    def test_fault_handler_can_absorb_write(self, m):
+        seen = []
+        m.walker.set_flags(m.host_root, 0x8000, clear_mask=PTE_WRITABLE)
+        m.tlb.flush_all("test")
+        m.cpu.fault_handler = lambda fault, op: seen.append((fault.vaddr, op)) or True
+        m.cpu.store(0x8000, b"x")
+        assert seen and seen[0][0] == 0x8000 and seen[0][1][0] == "write"
+
+    def test_tlb_does_not_cache_wp_state(self, m):
+        """Toggling CR0.WP needs no TLB flush (gate 1's cheapness)."""
+        m.walker.set_flags(m.host_root, 0x8000, clear_mask=PTE_WRITABLE)
+        m.tlb.flush_all("test")
+        m.cpu.load(0x8000, 1)  # warm the TLB entry
+        m.cpu.cr0 &= ~CR0_WP
+        m.cpu.store(0x8000, b"y")  # must not fault despite cached entry
+        m.cpu.cr0 |= CR0_WP
+        with pytest.raises(PageFault):
+            m.cpu.store(0x8000, b"z")
+
+
+class TestPrivilegedInstructions:
+    def test_exec_requires_real_encoding(self, m):
+        with pytest.raises(PageFault):
+            m.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG, rip=0x8000)
+
+    def test_mov_cr0_applies(self, m):
+        rip = plant_instruction(m, PrivOp.MOV_CR0)
+        m.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG | CR0_WP, rip=rip)
+        assert m.cpu.cr0 == CR0_PG | CR0_WP
+
+    def test_exec_from_nx_page_faults(self, m):
+        pfn = m.allocator.alloc()
+        va = pfn * PAGE_SIZE
+        m.memory.write(va, PRIV_OPCODES[PrivOp.MOV_CR0])
+        # page stays NX from the boot-time direct map
+        with pytest.raises(PageFault):
+            m.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG, rip=va)
+
+    def test_wrmsr_sets_efer(self, m):
+        rip = plant_instruction(m, PrivOp.WRMSR)
+        m.cpu.exec_privileged(PrivOp.WRMSR, (MSR_EFER, EFER_NXE | EFER_SVME), rip=rip)
+        assert m.cpu.svme_enabled
+
+    def test_mov_cr4_sets_smep(self, m):
+        rip = plant_instruction(m, PrivOp.MOV_CR4)
+        m.cpu.exec_privileged(PrivOp.MOV_CR4, CR4_SMEP, rip=rip)
+        assert m.cpu.smep_enabled
+
+    def test_checking_loop_rolls_back_on_violation(self, m):
+        """Type 2 gate semantics: the adjacent check detects a malicious
+        value and the effect is undone (paper Section 4.1.2)."""
+        rip = plant_instruction(m, PrivOp.MOV_CR0)
+
+        def check(cpu, op, arg, old):
+            if not arg & CR0_WP:
+                raise GateViolation("type2", "attempt to clear CR0.WP")
+
+        m.cpu.priv_post_hooks[PrivOp.MOV_CR0] = check
+        before = m.cpu.cr0
+        with pytest.raises(GateViolation):
+            m.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG, rip=rip)
+        assert m.cpu.cr0 == before
+
+    def test_mov_cr3_switches_space_and_flushes(self, m):
+        rip = plant_instruction(m, PrivOp.MOV_CR3)
+        # build a second root that also identity-maps the code page
+        root2 = m.allocator.alloc()
+        m.memory.zero_frame(root2)
+        code_pfn = rip // PAGE_SIZE
+        m.walker.map(root2, code_pfn * PAGE_SIZE, code_pfn, PTE_WRITABLE)
+        m.cpu.load(0x2000, 1)
+        assert len(m.tlb) > 0
+        m.cpu.exec_privileged(PrivOp.MOV_CR3, root2, rip=rip)
+        assert m.cpu.cr3_root == root2
+        # every pre-switch translation is gone; only the post-switch
+        # fetch of the next instruction may have repopulated the TLB
+        assert all(key[0] == root2 for key in m.tlb._entries)
+
+    def test_mov_cr3_next_instruction_must_be_mapped(self, m):
+        """The end-of-page placement subtlety (paper Section 4.1.2): if
+        the new space does not map the following instruction, execution
+        cannot continue and the switch is treated as a crash."""
+        rip = plant_instruction(m, PrivOp.MOV_CR3)
+        root2 = m.allocator.alloc()
+        m.memory.zero_frame(root2)  # maps nothing at all
+        before = m.cpu.cr3_root
+        with pytest.raises(PageFault):
+            m.cpu.exec_privileged(PrivOp.MOV_CR3, root2, rip=rip)
+        assert m.cpu.cr3_root == before
+
+    def test_lgdt_lidt(self, m):
+        rip1 = plant_instruction(m, PrivOp.LGDT)
+        rip2 = plant_instruction(m, PrivOp.LIDT, offset=0x10)
+        m.cpu.exec_privileged(PrivOp.LGDT, 0xAAA000, rip=rip1)
+        m.cpu.exec_privileged(PrivOp.LIDT, 0xBBB000, rip=rip2)
+        assert m.cpu.gdt_base == 0xAAA000
+        assert m.cpu.idt_base == 0xBBB000
+
+
+class TestWorldSwitch:
+    def _prep_vmrun(self, m):
+        m.cpu.efer |= EFER_SVME
+        rip = plant_instruction(m, PrivOp.VMRUN)
+        return Vmcb(asid=3, nested_cr3=0), rip
+
+    def test_vmrun_enters_guest(self, m):
+        vmcb, rip = self._prep_vmrun(m)
+        vmcb.write("rax", 0x1234)
+        m.cpu.vmrun(vmcb, rip=rip)
+        assert m.cpu.mode is CpuMode.GUEST
+        assert m.cpu.current_asid == 3
+        assert m.cpu.regs["rax"] == 0x1234
+
+    def test_vmrun_requires_svme(self, m):
+        vmcb = Vmcb(asid=3)
+        m.cpu.efer &= ~EFER_SVME
+        with pytest.raises(Exception):
+            m.cpu.vmrun(vmcb, rip=0x8000)
+
+    def test_vmrun_fetch_check(self, m):
+        m.cpu.efer |= EFER_SVME
+        with pytest.raises(PageFault):
+            m.cpu.vmrun(Vmcb(asid=3), rip=0x9000)  # nothing planted there
+
+    def test_vmexit_exposes_guest_gprs(self, m):
+        """AMD-V leaves guest GPRs live across an exit — the register
+        stealing surface of Section 2.2."""
+        vmcb, rip = self._prep_vmrun(m)
+        m.cpu.vmrun(vmcb, rip=rip)
+        m.cpu.regs["rdi"] = 0x5EC12E7  # guest computes with a secret
+        m.cpu.vmexit(vmcb, ExitReason.CPUID)
+        assert m.cpu.mode is CpuMode.HOST
+        assert m.cpu.regs["rdi"] == 0x5EC12E7
+
+    def test_vmexit_saves_rax_rsp_to_vmcb(self, m):
+        vmcb, rip = self._prep_vmrun(m)
+        m.cpu.vmrun(vmcb, rip=rip)
+        m.cpu.regs["rax"] = 77
+        m.cpu.regs["rsp"] = 0x7000
+        m.cpu.vmexit(vmcb, ExitReason.HLT)
+        assert vmcb.read("rax") == 77
+        assert vmcb.read("rsp") == 0x7000
+        assert vmcb.exit_reason is ExitReason.HLT
+
+    def test_vmexit_restores_host_control_state(self, m):
+        vmcb, rip = self._prep_vmrun(m)
+        host_cr3 = m.cpu.cr3_root
+        m.cpu.vmrun(vmcb, rip=rip)
+        m.cpu.vmexit(vmcb, ExitReason.HLT)
+        assert m.cpu.cr3_root == host_cr3
+        assert m.cpu.current_asid == 0
+
+    def test_vmrun_hook_runs_before_entry(self, m):
+        vmcb, rip = self._prep_vmrun(m)
+        calls = []
+        m.cpu.priv_post_hooks[PrivOp.VMRUN] = (
+            lambda cpu, op, arg, old: calls.append(arg)
+        )
+        m.cpu.vmrun(vmcb, rip=rip)
+        assert calls == [vmcb]

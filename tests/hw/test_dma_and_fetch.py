@@ -1,0 +1,88 @@
+"""Tests for the DMA engine wrapper and instruction-fetch edge cases."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, PTE_NX
+from repro.common.errors import PageFault
+from repro.common.types import PRIV_OPCODES, PrivOp
+from repro.hw import Machine
+from repro.hw.dma import DmaEngine
+
+
+@pytest.fixture
+def m():
+    machine = Machine(frames=128, seed=8)
+    machine.build_host_address_space()
+    return machine
+
+
+class TestDmaEngine:
+    def test_frame_roundtrip(self, m):
+        dma = DmaEngine(m.memctrl)
+        dma.write_frame(9, bytes([3]) * PAGE_SIZE)
+        assert dma.read_frame(9) == bytes([3]) * PAGE_SIZE
+        assert dma.transfers == 2
+
+    def test_partial_frame_write_rejected(self, m):
+        dma = DmaEngine(m.memctrl)
+        with pytest.raises(ValueError):
+            dma.write_frame(9, b"short")
+
+    def test_dma_counts_transfers(self, m):
+        dma = DmaEngine(m.memctrl)
+        dma.read(0x1000, 8)
+        dma.write(0x1000, b"x")
+        assert dma.transfers == 2
+
+
+class TestInstructionFetchEdges:
+    def test_fetch_across_page_boundary(self, m):
+        """An encoding straddling two pages fetches correctly when both
+        pages are executable — the geometry the mov CR3 placement rule
+        exploits."""
+        pfn = m.allocator.alloc()
+        next_pfn = pfn + 1
+        if not m.allocator.is_allocated(next_pfn):
+            assert m.allocator.alloc() == next_pfn
+        opcode = PRIV_OPCODES[PrivOp.MOV_CR0]
+        rip = pfn * PAGE_SIZE + PAGE_SIZE - 1  # last byte of page
+        m.memory.write(rip, opcode)
+        for page in (pfn, next_pfn):
+            m.walker.set_flags(m.host_root, page * PAGE_SIZE,
+                               clear_mask=PTE_NX)
+        m.tlb.flush_all("test")
+        from repro.common.constants import CR0_PG, CR0_WP
+        m.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG | CR0_WP, rip=rip)
+        assert m.cpu.cr0 == CR0_PG | CR0_WP
+
+    def test_fetch_straddle_into_nx_page_faults(self, m):
+        """If only the first page is executable, the straddling fetch
+        faults on the second byte."""
+        pfn = m.allocator.alloc()
+        next_pfn = pfn + 1
+        if not m.allocator.is_allocated(next_pfn):
+            assert m.allocator.alloc() == next_pfn
+        opcode = PRIV_OPCODES[PrivOp.MOV_CR0]
+        rip = pfn * PAGE_SIZE + PAGE_SIZE - 1
+        m.memory.write(rip, opcode)
+        m.walker.set_flags(m.host_root, pfn * PAGE_SIZE, clear_mask=PTE_NX)
+        m.tlb.flush_all("test")
+        from repro.common.constants import CR0_PG
+        with pytest.raises(PageFault):
+            m.cpu.exec_privileged(PrivOp.MOV_CR0, CR0_PG, rip=rip)
+
+    def test_encrypted_code_page_fetch(self, m):
+        """Instruction bytes on a C-bit page decrypt through the guest
+        key during fetch (SEV encrypts guest code too)."""
+        from repro.common.constants import PTE_C_BIT, PTE_WRITABLE
+        pfn = m.allocator.alloc()
+        va = pfn * PAGE_SIZE
+        m.memctrl.install_key(0, b"H" * 16)
+        m.cpu.current_asid = 0
+        m.walker.set_flags(m.host_root, va,
+                           set_mask=PTE_C_BIT, clear_mask=PTE_NX)
+        m.tlb.flush_all("test")
+        m.memctrl.write(va, PRIV_OPCODES[PrivOp.WRMSR], c_bit=True, asid=0)
+        from repro.common.constants import EFER_NXE, MSR_EFER
+        m.cpu.exec_privileged(PrivOp.WRMSR, (MSR_EFER, EFER_NXE), rip=va)
+        assert m.cpu.nxe_enabled

@@ -1,0 +1,147 @@
+"""Tests for the encrypting memory controller.
+
+These pin down the *faithfully weak* properties the paper's attacks
+exploit: deterministic position-bound ciphertext, replayability at the
+same physical address, the plaintext cache channel, and the key-less
+DMA port.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.constants import CACHE_LINE
+from repro.hw.cycles import CycleCounter
+from repro.hw.memctrl import (
+    KeySlotError,
+    MemoryController,
+    decrypt_region,
+    encrypt_region,
+)
+from repro.hw.memory import PhysicalMemory
+
+KEY_A = b"A" * 16
+KEY_B = b"B" * 16
+
+
+@pytest.fixture
+def ctrl():
+    return MemoryController(PhysicalMemory(16), CycleCounter(), cache_lines=8)
+
+
+class TestPlainPath:
+    def test_unencrypted_roundtrip(self, ctrl):
+        ctrl.write(0x100, b"plain data")
+        assert ctrl.read(0x100, 10) == b"plain data"
+
+    def test_unencrypted_is_raw_on_bus(self, ctrl):
+        ctrl.write(0x100, b"plain data")
+        assert ctrl.memory.read(0x100, 10) == b"plain data"
+
+
+class TestEncryptedPath:
+    def test_roundtrip(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x200, b"secret!", c_bit=True, asid=1)
+        assert ctrl.read(0x200, 7, c_bit=True, asid=1) == b"secret!"
+
+    def test_bus_sees_ciphertext(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x200, b"secret!", c_bit=True, asid=1)
+        assert ctrl.memory.read(0x200, 7) != b"secret!"
+
+    def test_missing_key_slot_faults(self, ctrl):
+        with pytest.raises(KeySlotError):
+            ctrl.write(0x200, b"x", c_bit=True, asid=3)
+
+    def test_wrong_key_yields_garbage_not_error(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.install_key(2, KEY_B)
+        ctrl.write(0x200, b"secret data 1234", c_bit=True, asid=1)
+        ctrl.flush_cache()
+        assert ctrl.read(0x200, 16, c_bit=True, asid=2) != b"secret data 1234"
+
+    def test_replay_same_pa_decrypts_stale_plaintext(self, ctrl):
+        """The Hetzelt-Buhren replay property (paper Section 2.2)."""
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x200, b"old password!!", c_bit=True, asid=1)
+        stale = ctrl.memory.read(0x200, 14)
+        ctrl.write(0x200, b"new password!!", c_bit=True, asid=1)
+        # attacker restores stale ciphertext via raw (DMA-like) access
+        ctrl.dma_write(0x200, stale)
+        assert ctrl.read(0x200, 14, c_bit=True, asid=1) == b"old password!!"
+
+    def test_moved_ciphertext_is_garbage(self, ctrl):
+        """Position binding: ciphertext copied to a new PA won't decrypt."""
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x200, b"secret data 1234", c_bit=True, asid=1)
+        ct = ctrl.memory.read(0x200, 16)
+        ctrl.dma_write(0x400, ct)
+        assert ctrl.read(0x400, 16, c_bit=True, asid=1) != b"secret data 1234"
+
+    def test_partial_line_write_preserves_rest(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        base = 0x300  # line-aligned region
+        ctrl.write(base, bytes(range(64)), c_bit=True, asid=1)
+        ctrl.write(base + 10, b"\xFF\xFF", c_bit=True, asid=1)
+        got = ctrl.read(base, 64, c_bit=True, asid=1)
+        expect = bytearray(range(64))
+        expect[10:12] = b"\xFF\xFF"
+        assert got == bytes(expect)
+
+    @given(pa=st.integers(0, 4096), data=st.binary(min_size=1, max_size=200))
+    def test_property_roundtrip_unaligned(self, pa, data):
+        ctrl = MemoryController(PhysicalMemory(4), CycleCounter())
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(pa, data, c_bit=True, asid=1)
+        assert ctrl.read(pa, len(data), c_bit=True, asid=1) == data
+
+
+class TestCacheChannel:
+    def test_cache_hit_serves_plaintext_across_asids(self, ctrl):
+        """The cache leak behind the inter-VM remap attack (Section 6.2)."""
+        ctrl.install_key(1, KEY_A)
+        ctrl.install_key(2, KEY_B)
+        ctrl.write(0x200, b"victim secret 00", c_bit=True, asid=1)
+        # line is hot in the plaintext cache; conspirator reads same PA
+        assert ctrl.read(0x200, 16, c_bit=True, asid=2) == b"victim secret 00"
+
+    def test_flushed_cache_closes_the_channel(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.install_key(2, KEY_B)
+        ctrl.write(0x200, b"victim secret 00", c_bit=True, asid=1)
+        ctrl.flush_cache()
+        assert ctrl.read(0x200, 16, c_bit=True, asid=2) != b"victim secret 00"
+
+    def test_capacity_eviction(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        for i in range(12):  # capacity is 8 lines
+            ctrl.write(i * CACHE_LINE, b"x" * CACHE_LINE, c_bit=True, asid=1)
+        assert len(ctrl.cached_lines()) <= 8
+
+    def test_unencrypted_write_invalidates_line(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x200, b"secret", c_bit=True, asid=1)
+        ctrl.write(0x200, b"zzzzzz")  # raw overwrite snoops the cache
+        assert 0x200 not in ctrl.cached_lines()
+
+
+class TestDmaPort:
+    def test_dma_read_sees_ciphertext(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x200, b"secret!", c_bit=True, asid=1)
+        assert ctrl.dma_read(0x200, 7) != b"secret!"
+
+    def test_dma_write_corrupts_encrypted_page(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x200, b"secret!", c_bit=True, asid=1)
+        ctrl.dma_write(0x200, b"ATTACK!")
+        assert ctrl.read(0x200, 7, c_bit=True, asid=1) != b"ATTACK!"
+
+
+class TestRegionHelpers:
+    def test_encrypt_decrypt_region_match_controller(self, ctrl):
+        ctrl.install_key(1, KEY_A)
+        ctrl.write(0x240, b"hello region", c_bit=True, asid=1)
+        raw = ctrl.memory.read(0x240, 12)
+        assert decrypt_region(KEY_A, 0x240, raw) == b"hello region"
+        assert encrypt_region(KEY_A, 0x240, b"hello region") == raw

@@ -1,0 +1,99 @@
+"""Tests for physical memory and the frame allocator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import PhysicalMemoryError
+from repro.hw.memory import FrameAllocator, PhysicalMemory
+
+
+class TestPhysicalMemory:
+    def test_read_back(self):
+        mem = PhysicalMemory(4)
+        mem.write(0x123, b"abc")
+        assert mem.read(0x123, 3) == b"abc"
+
+    def test_zero_initialised(self):
+        mem = PhysicalMemory(2)
+        assert mem.read(0, 16) == bytes(16)
+
+    def test_cross_frame_write_and_read(self):
+        mem = PhysicalMemory(3)
+        data = bytes(range(200)) * 40  # 8000 bytes, crosses 2 frame borders
+        mem.write(PAGE_SIZE - 100, data)
+        assert mem.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_out_of_range_read(self):
+        mem = PhysicalMemory(1)
+        with pytest.raises(PhysicalMemoryError):
+            mem.read(PAGE_SIZE - 1, 2)
+
+    def test_out_of_range_write(self):
+        mem = PhysicalMemory(1)
+        with pytest.raises(PhysicalMemoryError):
+            mem.write(PAGE_SIZE, b"x")
+
+    def test_u64_roundtrip(self):
+        mem = PhysicalMemory(1)
+        mem.write_u64(0x10, 0xDEADBEEF12345678)
+        assert mem.read_u64(0x10) == 0xDEADBEEF12345678
+
+    def test_frame_ops(self):
+        mem = PhysicalMemory(2)
+        mem.write_frame(1, bytes([7]) * PAGE_SIZE)
+        assert mem.read_frame(1) == bytes([7]) * PAGE_SIZE
+        mem.zero_frame(1)
+        assert mem.read_frame(1) == bytes(PAGE_SIZE)
+
+    def test_frame_write_must_be_full_page(self):
+        mem = PhysicalMemory(1)
+        with pytest.raises(ValueError):
+            mem.write_frame(0, b"short")
+
+    def test_dump_shows_only_touched_frames(self):
+        mem = PhysicalMemory(8)
+        mem.write(3 * PAGE_SIZE, b"x")
+        dump = mem.dump()
+        assert set(dump) == {3}
+
+    @given(pa=st.integers(0, 2 * PAGE_SIZE), data=st.binary(min_size=1, max_size=300))
+    def test_property_write_read_roundtrip(self, pa, data):
+        mem = PhysicalMemory(4)
+        mem.write(pa, data)
+        assert mem.read(pa, len(data)) == data
+
+
+class TestFrameAllocator:
+    def test_alloc_unique(self):
+        alloc = FrameAllocator(16)
+        pfns = alloc.alloc_many(16)
+        assert len(set(pfns)) == 16
+
+    def test_reserved_not_handed_out(self):
+        alloc = FrameAllocator(8, reserved=4)
+        pfns = alloc.alloc_many(4)
+        assert all(p >= 4 for p in pfns)
+        with pytest.raises(PhysicalMemoryError):
+            alloc.alloc()
+
+    def test_free_and_realloc(self):
+        alloc = FrameAllocator(2)
+        a = alloc.alloc()
+        b = alloc.alloc()
+        alloc.free(a)
+        assert alloc.alloc() == a
+        assert alloc.is_allocated(b)
+
+    def test_double_free_rejected(self):
+        alloc = FrameAllocator(2)
+        a = alloc.alloc()
+        alloc.free(a)
+        with pytest.raises(PhysicalMemoryError):
+            alloc.free(a)
+
+    def test_free_count(self):
+        alloc = FrameAllocator(10, reserved=2)
+        assert alloc.free_count == 8
+        alloc.alloc()
+        assert alloc.free_count == 7

@@ -1,0 +1,174 @@
+"""Tests for the 4-level page-table walker."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.constants import (
+    PAGE_SIZE,
+    PTE_C_BIT,
+    PTE_NX,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+)
+from repro.common.errors import PageFault
+from repro.common.types import Access
+from repro.hw.memory import FrameAllocator, PhysicalMemory
+from repro.hw.pagetable import PageTableWalker, entry_pfn, make_entry
+
+
+@pytest.fixture
+def env():
+    mem = PhysicalMemory(256)
+    alloc = FrameAllocator(256)
+    walker = PageTableWalker(mem, alloc_frame=alloc.alloc)
+    root = alloc.alloc()
+    mem.zero_frame(root)
+    return mem, alloc, walker, root
+
+
+class TestTranslate:
+    def test_identity_map(self, env):
+        mem, alloc, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        tr = walker.translate(root, 0x5123, Access.read())
+        assert tr.pa == 0x5123
+        assert tr.writable
+
+    def test_arbitrary_va_to_pa(self, env):
+        mem, alloc, walker, root = env
+        va = 0x7F_1234_5000  # exercises distinct high-level indexes
+        walker.map(root, va, 9, PTE_WRITABLE)
+        assert walker.translate(root, va + 0xAB, Access.read()).pa == 9 * PAGE_SIZE + 0xAB
+
+    def test_unmapped_faults_not_present(self, env):
+        _, _, walker, root = env
+        with pytest.raises(PageFault) as exc:
+            walker.translate(root, 0x9000, Access.read())
+        assert exc.value.present is False
+
+    def test_non_canonical_va_faults(self, env):
+        _, _, walker, root = env
+        with pytest.raises(PageFault):
+            walker.translate(root, 1 << 48, Access.read())
+
+    def test_write_to_readonly_supervisor_wp_set(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, 0)  # read-only
+        with pytest.raises(PageFault) as exc:
+            walker.translate(root, 0x5000, Access.store(), wp=True)
+        assert exc.value.present is True and exc.value.write
+
+    def test_write_to_readonly_supervisor_wp_clear_allowed(self, env):
+        """CR0.WP=0 lets the supervisor write read-only pages: the type 1
+        gate mechanism (paper Section 4.1.3)."""
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, 0)
+        tr = walker.translate(root, 0x5000, Access.store(), wp=False)
+        assert tr.pa == 0x5000
+
+    def test_user_write_to_readonly_always_faults(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_USER)
+        with pytest.raises(PageFault):
+            walker.translate(root, 0x5000, Access(write=True, user=True), wp=False)
+
+    def test_user_access_to_supervisor_page_faults(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        with pytest.raises(PageFault):
+            walker.translate(root, 0x5000, Access(user=True))
+
+    def test_nx_blocks_fetch(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE | PTE_NX)
+        with pytest.raises(PageFault):
+            walker.translate(root, 0x5000, Access.fetch(), nxe=True)
+
+    def test_nx_ignored_when_nxe_disabled(self, env):
+        """Clearing EFER.NXE disables NX — why Table 2 protects WRMSR."""
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE | PTE_NX)
+        tr = walker.translate(root, 0x5000, Access.fetch(), nxe=False)
+        assert tr.pa == 0x5000
+
+    def test_smep_blocks_supervisor_fetch_of_user_page(self, env):
+        """CR4.SMEP semantics — why Table 2 protects MOV CR4."""
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_USER)
+        walker.translate(root, 0x5000, Access.fetch(), smep=False)
+        with pytest.raises(PageFault):
+            walker.translate(root, 0x5000, Access.fetch(), smep=True)
+
+    def test_c_bit_reported(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE | PTE_C_BIT)
+        assert walker.translate(root, 0x5000, Access.read()).c_bit
+
+    @settings(max_examples=30)
+    @given(va_page=st.integers(0, (1 << 36) - 1), pfn=st.integers(0, 255))
+    def test_property_map_translate_roundtrip(self, va_page, pfn):
+        mem = PhysicalMemory(512)
+        alloc = FrameAllocator(512, reserved=256)
+        walker = PageTableWalker(mem, alloc_frame=alloc.alloc)
+        root = alloc.alloc()
+        mem.zero_frame(root)
+        va = va_page * PAGE_SIZE
+        walker.map(root, va, pfn, PTE_WRITABLE)
+        assert walker.translate(root, va, Access.store()).pa == pfn * PAGE_SIZE
+
+
+class TestEdits:
+    def test_unmap(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        walker.unmap(root, 0x5000)
+        with pytest.raises(PageFault):
+            walker.translate(root, 0x5000, Access.read())
+
+    def test_set_flags_write_protect(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        walker.set_flags(root, 0x5000, clear_mask=PTE_WRITABLE)
+        with pytest.raises(PageFault):
+            walker.translate(root, 0x5000, Access.store(), wp=True)
+
+    def test_entry_pa_locates_leaf(self, env):
+        mem, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        entry_pa = walker.entry_pa(root, 0x5000)
+        entry = mem.read_u64(entry_pa)
+        assert entry_pfn(entry) == 5
+        assert entry & PTE_PRESENT
+
+    def test_direct_entry_write_changes_mapping(self, env):
+        """Raw PTE rewrite redirects a VA — the primitive behind the
+        remapping attacks that Fidelius write-protects against."""
+        mem, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        entry_pa = walker.entry_pa(root, 0x5000)
+        mem.write_u64(entry_pa, make_entry(7, PTE_PRESENT | PTE_WRITABLE))
+        assert walker.translate(root, 0x5000, Access.read()).pa == 7 * PAGE_SIZE
+
+    def test_read_write_entry_levels(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        l2 = walker.read_entry(root, 0x5000, level=2)
+        assert l2 & PTE_PRESENT
+
+
+class TestEnumeration:
+    def test_table_pages_cover_all_levels(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        pages = list(walker.table_pages(root))
+        levels = sorted(level for level, _ in pages)
+        assert levels == [1, 2, 3, 4]
+
+    def test_leaf_mappings(self, env):
+        _, _, walker, root = env
+        walker.map(root, 0x5000, 5, PTE_WRITABLE)
+        walker.map(root, 0x1_0000_0000, 9, 0)
+        leaves = dict(walker.leaf_mappings(root))
+        assert entry_pfn(leaves[0x5000]) == 5
+        assert entry_pfn(leaves[0x1_0000_0000]) == 9

@@ -1,0 +1,160 @@
+"""Property-based security tests: failure injection over whole spaces
+of tamper choices, not just the hand-picked ones."""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import PolicyViolation, SevError
+from repro.core.migration import receive_guest, send_guest
+from repro.core.policies import (
+    ALWAYS_WRITABLE_VMCB,
+    EXIT_POLICIES,
+    exit_policy,
+)
+from repro.hw.vmcb import ALL_FIELDS
+from repro.system import GuestOwner, System, paired_systems
+from repro.xen import hypercalls as hc
+
+_slow = settings(max_examples=12, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _protected_system(seed=0x99):
+    system = System.create(fidelius=True, frames=2048, seed=seed)
+    owner = GuestOwner(seed=seed)
+    domain, ctx = system.boot_protected_guest(
+        "prop", owner, payload=b"x", guest_frames=32)
+    return system, domain, ctx
+
+
+#: Fields the hypercall exit policy does NOT allow the hypervisor to
+#: change: any modification must abort the entry.
+_HYPERCALL_PROTECTED_FIELDS = sorted(
+    set(ALL_FIELDS)
+    - EXIT_POLICIES[__import__("repro.common.types",
+                               fromlist=["ExitReason"]).ExitReason.HYPERCALL
+                    ].writable_vmcb
+    - ALWAYS_WRITABLE_VMCB
+)
+
+
+class TestVmcbTamperProperty:
+    @pytest.mark.parametrize("field", _HYPERCALL_PROTECTED_FIELDS)
+    def test_any_protected_field_tamper_detected(self, field):
+        """For EVERY VMCB field outside the hypercall exit policy's
+        writable set, a modification during the exit aborts the entry."""
+        system, domain, ctx = _protected_system()
+
+        def tamper(vcpu, *args):
+            current = vcpu.vmcb.read(field)
+            if field == "intercepts":
+                vcpu.vmcb.write(field, frozenset({"tampered"}))
+            elif isinstance(current, int):
+                vcpu.vmcb.write(field, current ^ 0x1234)
+            else:
+                vcpu.vmcb.write(field, 0xBAD)  # e.g. the exitcode enum
+            return hc.E_OK
+
+        system.hypervisor.register_hypercall(200, tamper)
+        with pytest.raises(PolicyViolation):
+            ctx.hypercall(200)
+
+    @pytest.mark.parametrize("field", sorted(
+        EXIT_POLICIES[__import__("repro.common.types",
+                                 fromlist=["ExitReason"]).ExitReason.HYPERCALL
+                      ].writable_vmcb | ALWAYS_WRITABLE_VMCB))
+    def test_writable_fields_pass(self, field):
+        system, domain, ctx = _protected_system()
+
+        def update(vcpu, *args):
+            if field == "rip":
+                # RIP updates must look like an instruction advance
+                vcpu.vmcb.write(field, vcpu.vmcb.read(field) + 3)
+            else:
+                vcpu.vmcb.write(field, 0x42)
+            return hc.E_OK
+
+        system.hypervisor.register_hypercall(201, update)
+        assert ctx.hypercall(201) == hc.E_OK
+
+
+class TestTransportIntegrityProperty:
+    @_slow
+    @given(record_index=st.integers(0, 10**6),
+           byte_index=st.integers(0, 10**6),
+           flip=st.integers(1, 255))
+    def test_any_single_byte_corruption_detected(self, record_index,
+                                                 byte_index, flip):
+        """ANY one-byte corruption anywhere in a migration package is
+        caught by RECEIVE_FINISH."""
+        source, target = paired_systems(frames=2048, seed=0xF00D)
+        owner = GuestOwner(seed=0xF00D)
+        domain, ctx = source.boot_protected_guest(
+            "mover", owner, payload=b"payload", guest_frames=16)
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        package = send_guest(source.fidelius, domain,
+                             target.firmware.platform_public_key)
+        records = list(package.encrypted_records)
+        target_record = record_index % len(records)
+        gfn, transport = records[target_record]
+        position = byte_index % len(transport)
+        evil = (transport[:position]
+                + bytes([transport[position] ^ flip])
+                + transport[position + 1:])
+        records[target_record] = (gfn, evil)
+        package = dataclasses.replace(package,
+                                      encrypted_records=tuple(records))
+        with pytest.raises(SevError):
+            receive_guest(target.fidelius, package)
+
+
+class TestGrantForgeryProperty:
+    @_slow
+    @given(target_domid=st.integers(0, 5),
+           gfn=st.integers(0, 31),
+           readonly=st.booleans())
+    def test_any_undeclared_grant_blocked(self, target_domid, gfn,
+                                          readonly):
+        """No grant the protected guest never declared can be written,
+        whatever its parameters."""
+        from repro.xen.grant_table import GrantEntry
+        system, domain, ctx = _protected_system(seed=0x6147)
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        entry = GrantEntry(permit=True, readonly=readonly,
+                           target_domid=target_domid, gfn=gfn)
+        ref = domain.grant_table.find_free_ref()
+        with pytest.raises(PolicyViolation):
+            domain.grant_table.write_via(ref, entry,
+                                         system.hypervisor.word_writer)
+
+    @_slow
+    @given(gfn_offset=st.integers(0, 3), readonly=st.booleans())
+    def test_declared_grants_always_pass(self, gfn_offset, readonly):
+        """Within a declared read-write context, any consistent grant
+        goes through."""
+        system, domain, ctx = _protected_system(seed=0x6148)
+        assert ctx.hypercall(hc.HC_PRE_SHARING, 0, 8, 4, 0) == hc.E_OK
+        ref = ctx.hypercall(hc.HC_GRANT_CREATE, 0, 8 + gfn_offset,
+                            int(readonly))
+        assert not hc.is_error(ref)
+
+
+class TestMonopolyProperty:
+    @_slow
+    @given(offset=st.integers(0x300, 0xEFC),
+           op_index=st.integers(0, 6))
+    def test_any_planted_encoding_found(self, offset, op_index):
+        """An encoding planted at ANY unaligned offset of any executable
+        Xen text page is found by the scanner."""
+        from repro.common.types import PRIV_OPCODES, PrivOp
+        from repro.core.binscan import verify_monopoly
+        system = System.create(fidelius=True, frames=1024, seed=0x5CA)
+        op = list(PrivOp)[op_index]
+        va = system.hypervisor.text.base_va + offset
+        system.machine.memory.write(va, PRIV_OPCODES[op])
+        allowed = {o: system.fidelius.text_image.va_of(o) for o in PrivOp}
+        hits = verify_monopoly(system.machine, system.machine.host_root,
+                               allowed)
+        assert any(hit.op is op and hit.va == va for hit in hits)

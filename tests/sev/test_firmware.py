@@ -1,0 +1,245 @@
+"""Tests for the SEV firmware model: states, keys, send/receive."""
+
+import random
+
+import pytest
+
+from repro.common import crypto
+from repro.common.errors import FirmwareStateError, SevError
+from repro.sev import GuestState, PlatformState, SevFirmware
+
+
+@pytest.fixture
+def fw(machine):
+    firmware = SevFirmware(machine)
+    firmware.init()
+    return firmware
+
+
+class TestPlatform:
+    def test_init_installs_sme_key(self, machine):
+        fw = SevFirmware(machine)
+        assert not machine.memctrl.slot_installed(0)
+        fw.init()
+        assert fw.platform_state is PlatformState.INIT
+        assert machine.memctrl.slot_installed(0)
+
+    def test_double_init_rejected(self, fw):
+        with pytest.raises(SevError):
+            fw.init()
+
+    def test_commands_require_init(self, machine):
+        fw = SevFirmware(machine)
+        with pytest.raises(SevError):
+            fw.launch_start()
+
+    def test_shutdown_erases_everything(self, machine, fw):
+        handle = fw.launch_start()
+        fw.activate(handle, 3)
+        fw.shutdown()
+        assert fw.platform_state is PlatformState.UNINIT
+        assert not machine.memctrl.slot_installed(3)
+        assert not machine.memctrl.slot_installed(0)
+
+
+class TestLaunch:
+    def test_launch_lifecycle(self, machine, fw):
+        handle = fw.launch_start()
+        assert fw.guest_state(handle) is GuestState.LAUNCHING
+        fw.launch_update_data(handle, 0x10000, b"kernel" + bytes(58))
+        fw.launch_finish(handle)
+        assert fw.guest_state(handle) is GuestState.RUNNING
+
+    def test_launch_update_encrypts_in_place(self, machine, fw):
+        handle = fw.launch_start()
+        fw.launch_update_data(handle, 0x10000, b"kernel code here")
+        assert machine.memory.read(0x10000, 16) != b"kernel code here"
+        fw.activate(handle, 3)
+        assert machine.memctrl.read(0x10000, 16, c_bit=True, asid=3) == \
+            b"kernel code here"
+
+    def test_measurement_covers_plaintext(self, fw):
+        h1 = fw.launch_start()
+        fw.launch_update_data(h1, 0x10000, b"image-A" + bytes(57))
+        h2 = fw.launch_start()
+        fw.launch_update_data(h2, 0x20000, b"image-B" + bytes(57))
+        assert fw.launch_measure(h1) != fw.launch_measure(h2)
+
+    def test_update_after_finish_rejected(self, fw):
+        handle = fw.launch_start()
+        fw.launch_finish(handle)
+        with pytest.raises(FirmwareStateError):
+            fw.launch_update_data(handle, 0x10000, b"late")
+
+    def test_kvek_unique_per_guest(self, machine, fw):
+        h1 = fw.launch_start()
+        h2 = fw.launch_start()
+        fw.launch_update_data(h1, 0x10000, b"same plaintext!!")
+        fw.launch_update_data(h2, 0x10000 + 64, b"same plaintext!!")
+        # same plaintext, different keys -> different ciphertext even
+        # after accounting for the position tweak
+        fw.activate(h1, 3)
+        fw.activate(h2, 4)
+        machine.memctrl.flush_cache()
+        assert machine.memctrl.read(0x10000, 16, c_bit=True, asid=4) != \
+            b"same plaintext!!"
+
+    def test_share_kvek_with(self, machine, fw):
+        """LAUNCH with an existing handle shares K_vek (the s-dom trick)."""
+        h1 = fw.launch_start()
+        fw.launch_update_data(h1, 0x10000, b"shared plaintext")
+        helper = fw.launch_start(share_kvek_with=h1)
+        fw.activate(h1, 3)
+        machine.memctrl.flush_cache()
+        fw.deactivate(h1)
+        fw.activate(helper, 4)
+        assert machine.memctrl.read(0x10000, 16, c_bit=True, asid=4) == \
+            b"shared plaintext"
+
+
+class TestActivate:
+    def test_activate_installs_key_slot(self, machine, fw):
+        handle = fw.launch_start()
+        fw.activate(handle, 5)
+        assert machine.memctrl.slot_installed(5)
+        assert fw.guest_asid(handle) == 5
+
+    def test_asid_zero_reserved_for_host(self, fw):
+        handle = fw.launch_start()
+        with pytest.raises(SevError):
+            fw.activate(handle, 0)
+
+    def test_asid_reuse_rejected_while_active(self, fw):
+        h1 = fw.launch_start()
+        h2 = fw.launch_start()
+        fw.activate(h1, 5)
+        with pytest.raises(SevError):
+            fw.activate(h2, 5)
+
+    def test_activate_rebinding_after_deactivate(self, machine, fw):
+        """The handle-ASID binding is caller-chosen: after DEACTIVATE the
+        hypervisor may bind any handle to the freed ASID — the abuse
+        surface of Section 2.2."""
+        victim = fw.launch_start()
+        conspirator = fw.launch_start()
+        fw.activate(conspirator, 7)
+        fw.deactivate(conspirator)
+        fw.activate(victim, 7)  # firmware does not object
+        assert fw.guest_asid(victim) == 7
+
+    def test_deactivate_uninstalls_slot(self, machine, fw):
+        handle = fw.launch_start()
+        fw.activate(handle, 5)
+        fw.deactivate(handle)
+        assert not machine.memctrl.slot_installed(5)
+
+    def test_decommission_erases_context(self, machine, fw):
+        handle = fw.launch_start()
+        fw.activate(handle, 5)
+        fw.decommission(handle)
+        assert not machine.memctrl.slot_installed(5)
+        with pytest.raises(SevError):
+            fw.guest_state(handle)
+
+
+class TestSendReceive:
+    def _running_guest(self, fw, pa=0x10000, payload=b"top secret page!"):
+        handle = fw.launch_start()
+        fw.launch_update_data(handle, pa, payload)
+        fw.launch_finish(handle)
+        return handle
+
+    def test_send_requires_running(self, fw):
+        handle = fw.launch_start()
+        owner = crypto.DiffieHellman(random.Random(3))
+        with pytest.raises(FirmwareStateError):
+            fw.send_start(handle, owner.public, b"n" * 16)
+
+    def test_send_stops_guest(self, fw):
+        handle = self._running_guest(fw)
+        owner = crypto.DiffieHellman(random.Random(3))
+        fw.send_start(handle, owner.public, b"n" * 16)
+        assert fw.guest_state(handle) is GuestState.SENDING
+
+    def test_owner_can_unwrap_and_decrypt(self, fw):
+        handle = self._running_guest(fw)
+        owner = crypto.DiffieHellman(random.Random(3))
+        nonce = b"n" * 16
+        wrapped = fw.send_start(handle, owner.public, nonce)
+        transport = fw.send_update(handle, 0x10000, 16, tweak=b"r0")
+        master = owner.shared_secret(fw.platform_public_key, nonce)
+        kek = crypto.derive_key(master, "kek")
+        tek = crypto.unwrap_key(kek, wrapped.tek)
+        assert crypto.xex_decrypt(tek, b"xport|r0", transport) == b"top secret page!"
+
+    def test_hypervisor_in_the_middle_cannot_unwrap(self, fw):
+        handle = self._running_guest(fw)
+        owner = crypto.DiffieHellman(random.Random(3))
+        eve = crypto.DiffieHellman(random.Random(4))
+        wrapped = fw.send_start(handle, owner.public, b"n" * 16)
+        master = eve.shared_secret(fw.platform_public_key, b"n" * 16)
+        with pytest.raises(ValueError):
+            crypto.unwrap_key(crypto.derive_key(master, "kek"), wrapped.tek)
+
+    def test_full_send_receive_roundtrip(self, machine, fw):
+        handle = self._running_guest(fw)
+        owner = crypto.DiffieHellman(random.Random(3))
+        nonce = b"n" * 16
+        wrapped = fw.send_start(handle, owner.public, nonce)
+        transport = fw.send_update(handle, 0x10000, 16, tweak=b"r0")
+        measurement = fw.send_finish(handle)
+
+        h2 = fw.receive_start(wrapped, owner.public, nonce)
+        fw.receive_update(h2, transport, b"r0", 0x30000)
+        fw.receive_finish(h2, measurement)
+        fw.activate(h2, 9)
+        assert machine.memctrl.read(0x30000, 16, c_bit=True, asid=9) == \
+            b"top secret page!"
+
+    def test_receive_finish_rejects_tampered_stream(self, machine, fw):
+        handle = self._running_guest(fw)
+        owner = crypto.DiffieHellman(random.Random(3))
+        nonce = b"n" * 16
+        wrapped = fw.send_start(handle, owner.public, nonce)
+        transport = fw.send_update(handle, 0x10000, 16, tweak=b"r0")
+        measurement = fw.send_finish(handle)
+
+        h2 = fw.receive_start(wrapped, owner.public, nonce)
+        evil = bytes([transport[0] ^ 0x80]) + transport[1:]
+        fw.receive_update(h2, evil, b"r0", 0x30000)
+        with pytest.raises(SevError):
+            fw.receive_finish(h2, measurement)
+
+    def test_receive_start_bad_wrap_rejected(self, fw):
+        owner = crypto.DiffieHellman(random.Random(3))
+        bogus = fw.send_start(self._running_guest(fw), owner.public, b"n" * 16)
+        with pytest.raises(SevError):
+            # wrong nonce -> wrong KEK -> unwrap fails inside firmware
+            fw.receive_start(bogus, owner.public, b"m" * 16)
+
+    def test_send_update_requires_sending_state(self, fw):
+        handle = self._running_guest(fw)
+        with pytest.raises(FirmwareStateError):
+            fw.send_update(handle, 0x10000, 16, tweak=b"r0")
+
+
+class TestGateCheck:
+    def test_gate_check_intercepts_commands(self, machine):
+        fw = SevFirmware(machine)
+        calls = []
+        fw.gate_check = calls.append
+        fw.init()
+        handle = fw.launch_start()
+        fw.activate(handle, 3)
+        assert calls == ["INIT", "LAUNCH_START", "ACTIVATE"]
+
+    def test_gate_check_can_block(self, machine):
+        fw = SevFirmware(machine)
+        fw.init()
+
+        def deny(command):
+            raise SevError("BLOCKED", "command %s not reachable" % command)
+
+        fw.gate_check = deny
+        with pytest.raises(SevError):
+            fw.launch_start()

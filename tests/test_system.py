@@ -1,0 +1,114 @@
+"""Tests for the assembled System builder and the machine board."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import ReproError
+from repro.hw import Machine
+from repro.system import GuestOwner, System, paired_systems
+
+
+class TestSystemBuilder:
+    def test_baseline_has_no_fidelius(self):
+        system = System.create(fidelius=False, frames=1024, seed=1)
+        assert not system.protected
+        assert system.fidelius is None
+
+    def test_fidelius_host_is_protected(self):
+        system = System.create(fidelius=True, frames=1024, seed=1)
+        assert system.protected
+        assert system.fidelius.installed
+
+    def test_baseline_firmware_initialized_by_hypervisor(self):
+        from repro.sev.state import PlatformState
+        system = System.create(fidelius=False, frames=1024, seed=1)
+        assert system.firmware.platform_state is PlatformState.INIT
+
+    def test_protected_guest_requires_fidelius(self):
+        system = System.create(fidelius=False, frames=1024, seed=1)
+        with pytest.raises(ReproError):
+            system.boot_protected_guest("x", GuestOwner(seed=1))
+
+    def test_sev_encoder_requires_fidelius(self):
+        system = System.create(fidelius=False, frames=1024, seed=1)
+        domain, ctx = system.create_plain_guest("g")
+        with pytest.raises(ReproError):
+            system.sev_encoder_for(domain, ctx)
+
+    def test_lazy_npt_plumbed_through(self):
+        system = System.create(fidelius=False, frames=1024, seed=1,
+                               lazy_npt=True)
+        domain, _ = system.create_plain_guest("g", guest_frames=16)
+        assert not domain.npt.maps(0)
+
+    def test_paired_systems_are_independent(self):
+        a, b = paired_systems(frames=1024)
+        assert a.machine is not b.machine
+        assert a.firmware.platform_public_key != b.firmware.platform_public_key
+
+    def test_attach_disk_with_image(self):
+        system = System.create(fidelius=False, frames=2048, seed=2)
+        domain, ctx = system.create_plain_guest("g", guest_frames=32)
+        disk, fe, be = system.attach_disk(domain, ctx,
+                                          image=b"bootsector" + bytes(600))
+        assert fe.read(0, 1).startswith(b"bootsector")
+
+    def test_deterministic_given_seed(self):
+        a = System.create(fidelius=True, frames=1024, seed=42)
+        b = System.create(fidelius=True, frames=1024, seed=42)
+        assert a.fidelius.xen_measurement == b.fidelius.xen_measurement
+        dump_a = a.machine.cold_boot_dump()
+        dump_b = b.machine.cold_boot_dump()
+        assert dump_a.keys() == dump_b.keys()
+
+
+class TestMachine:
+    def test_host_space_maps_every_frame(self):
+        machine = Machine(frames=256, seed=3)
+        machine.build_host_address_space()
+        for pfn in (0, 100, 255):
+            machine.cpu.store(pfn * PAGE_SIZE, b"x")
+            assert machine.cpu.load(pfn * PAGE_SIZE, 1) == b"x"
+
+    def test_table_pages_before_build_rejected(self):
+        machine = Machine(frames=64, seed=3)
+        with pytest.raises(RuntimeError):
+            machine.host_table_pages()
+
+    def test_cold_boot_dump_reflects_raw_bytes(self):
+        machine = Machine(frames=64, seed=3)
+        machine.build_host_address_space()
+        machine.memory.write(50 * PAGE_SIZE, b"visible!")
+        dump = machine.cold_boot_dump()
+        assert b"visible!" in dump[50]
+
+    def test_seeded_rng_reproducible(self):
+        a = Machine(frames=64, seed=9).rng.random()
+        b = Machine(frames=64, seed=9).rng.random()
+        assert a == b
+
+
+class TestPublicApi:
+    def test_top_level_exports(self):
+        import repro
+        assert repro.System is System
+        assert hasattr(repro, "GuestOwner")
+        assert hasattr(repro, "Fidelius")
+        assert repro.__version__
+
+    def test_quickstart_docstring_flow(self):
+        """The flow the package docstring promises must actually run."""
+        system = System.create(fidelius=True, frames=2048, seed=7)
+        owner = GuestOwner(seed=7)
+        domain, ctx = system.boot_protected_guest(
+            "vm", owner, payload=b"app code", guest_frames=48)
+        ctx.set_page_encrypted(5)
+        ctx.write(5 * 4096, b"secret")
+        encoder = system.aesni_encoder_for(ctx)
+        disk, fe, be = system.attach_disk(domain, ctx, encoder=encoder)
+        fe.write(0, b"protected file")
+        assert fe.read(0, 1).startswith(b"protected file")
+        from repro.common.errors import PolicyViolation
+        with pytest.raises(PolicyViolation):
+            system.machine.cpu.load(
+                system.hypervisor.guest_frame_hpfn(domain, 5) * 4096, 16)

@@ -1,0 +1,33 @@
+"""Fixtures for the Xen substrate tests: a booted baseline host."""
+
+import pytest
+
+from repro.hw import Machine
+from repro.sev import SevFirmware
+from repro.xen import Hypervisor
+
+
+@pytest.fixture
+def host():
+    machine = Machine(frames=2048, seed=0xBEEF)
+    machine.build_host_address_space()
+    firmware = SevFirmware(machine)
+    firmware.init()
+    hypervisor = Hypervisor(machine, firmware).boot()
+    return hypervisor
+
+
+@pytest.fixture
+def guest(host):
+    domain = host.create_domain("guest", guest_frames=64, sev=False)
+    return domain, domain.context()
+
+
+@pytest.fixture
+def sev_guest(host):
+    domain = host.create_domain("sev-guest", guest_frames=64, sev=True)
+    handle = host.firmware.launch_start()
+    host.firmware.launch_finish(handle)
+    host.firmware.activate(handle, domain.asid)
+    domain.sev_handle = handle
+    return domain, domain.context()

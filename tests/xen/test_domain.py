@@ -1,0 +1,179 @@
+"""Tests for domains, guest contexts and the exit/entry plumbing."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.types import CpuMode
+from repro.xen import hypercalls as hc
+from repro.xen.hypervisor import Hypervisor
+
+
+class TestGuestMemory:
+    def test_write_read_roundtrip(self, guest):
+        _, ctx = guest
+        ctx.write(0x2000, b"payload")
+        assert ctx.read(0x2000, 7) == b"payload"
+
+    def test_cross_page_access(self, guest):
+        _, ctx = guest
+        data = bytes(range(256)) * 20  # crosses a page boundary
+        ctx.write(PAGE_SIZE - 100, data)
+        assert ctx.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_unencrypted_guest_visible_raw(self, host, guest):
+        domain, ctx = guest
+        ctx.write(0x3000, b"plaintext here")
+        hpfn = host.guest_frame_hpfn(domain, 3)
+        assert host.machine.memory.read(hpfn * PAGE_SIZE, 14) == b"plaintext here"
+
+    def test_memset_and_copy(self, guest):
+        _, ctx = guest
+        ctx.memset(0x1000, 0xAB, 64)
+        ctx.copy(0x2000, 0x1000, 64)
+        assert ctx.read(0x2000, 64) == bytes([0xAB]) * 64
+
+
+class TestSevGuestMemory:
+    def test_encrypted_page_is_ciphertext_on_bus(self, host, sev_guest):
+        domain, ctx = sev_guest
+        ctx.set_page_encrypted(2)
+        ctx.write(2 * PAGE_SIZE, b"guest secret!!!!")
+        hpfn = host.guest_frame_hpfn(domain, 2)
+        assert host.machine.memory.read(hpfn * PAGE_SIZE, 16) != b"guest secret!!!!"
+        assert ctx.read(2 * PAGE_SIZE, 16) == b"guest secret!!!!"
+
+    def test_c_bit_page_granularity(self, host, sev_guest):
+        """Per-page encryption choice — SEV's flexibility (Section 2)."""
+        domain, ctx = sev_guest
+        ctx.set_page_encrypted(2)
+        ctx.write(2 * PAGE_SIZE, b"encrypted page!!")
+        ctx.write(3 * PAGE_SIZE, b"plain page......")
+        enc_pfn = host.guest_frame_hpfn(domain, 2)
+        plain_pfn = host.guest_frame_hpfn(domain, 3)
+        assert host.machine.memory.read(enc_pfn * PAGE_SIZE, 16) != b"encrypted page!!"
+        assert host.machine.memory.read(plain_pfn * PAGE_SIZE, 16) == b"plain page......"
+
+    def test_clearing_c_bit(self, host, sev_guest):
+        domain, ctx = sev_guest
+        ctx.set_page_encrypted(2)
+        ctx.set_page_encrypted(2, encrypted=False)
+        ctx.write(2 * PAGE_SIZE, b"now plain")
+        hpfn = host.guest_frame_hpfn(domain, 2)
+        assert host.machine.memory.read(hpfn * PAGE_SIZE, 9) == b"now plain"
+
+
+class TestExitEntry:
+    def test_void_hypercall_roundtrip(self, guest):
+        _, ctx = guest
+        assert ctx.hypercall(hc.HC_VOID) == hc.E_OK
+
+    def test_unknown_hypercall_enosys(self, guest):
+        _, ctx = guest
+        assert ctx.hypercall(999) == hc.E_NOSYS
+
+    def test_cpuid_values(self, guest):
+        _, ctx = guest
+        rax, rbx, rcx, rdx = ctx.cpuid(5)
+        assert rax == 0x00A20F10
+        assert rbx == 5
+
+    def test_exit_saves_regs_to_hypervisor_memory(self, host, guest):
+        """Baseline Xen: the guest register file lands in hypervisor
+        memory, readable by any host code (the attack surface)."""
+        domain, ctx = guest
+        ctx._ensure_guest()
+        host.machine.cpu.regs["r12"] = 0x5EC4E7
+        ctx.hypercall(hc.HC_VOID)
+        assert domain.vcpu0.saved_gprs["r12"] == 0x5EC4E7
+
+    def test_guest_reentry_preserves_gprs(self, host, guest):
+        domain, ctx = guest
+        ctx._ensure_guest()
+        host.machine.cpu.regs["r13"] = 1234
+        ctx.hypercall(hc.HC_VOID)
+        assert host.machine.cpu.regs["r13"] == 1234
+
+    def test_yield_leaves_host_mode(self, host, guest):
+        _, ctx = guest
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        assert host.machine.cpu.mode is CpuMode.HOST
+
+    def test_halt(self, host, guest):
+        domain, ctx = guest
+        ctx.halt()
+        assert domain.vcpu0.halted
+        assert host.machine.cpu.mode is CpuMode.HOST
+
+    def test_shutdown_destroys_domain(self, host, guest):
+        domain, ctx = guest
+        ctx.hypercall(hc.HC_SHUTDOWN)
+        assert domain.domid not in host.domains
+
+    def test_two_guests_must_yield(self, host, guest):
+        from repro.common.errors import XenError
+        _, ctx = guest
+        dom2 = host.create_domain("other", guest_frames=16, sev=False)
+        ctx2 = dom2.context()
+        ctx.write(0x1000, b"a")  # guest 1 on the CPU
+        with pytest.raises(XenError):
+            ctx2.write(0x1000, b"b")
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        ctx2.write(0x1000, b"b")
+        assert ctx2.read(0x1000, 1) == b"b"
+
+
+class TestNptManagement:
+    def test_prepopulated_by_default(self, host, guest):
+        """Batched NPT prepopulation at domain build (Section 4.3.4)."""
+        domain, _ = guest
+        assert all(domain.npt.maps(gfn * PAGE_SIZE)
+                   for gfn in range(domain.guest_frames))
+
+    def test_lazy_mode_fills_on_npf(self, host):
+        host.lazy_npt = True
+        domain = host.create_domain("lazy", guest_frames=32, sev=False)
+        assert not domain.npt.maps(5 * PAGE_SIZE)
+        ctx = domain.context()
+        ctx.write(5 * PAGE_SIZE, b"fault me in")
+        assert domain.npt.maps(5 * PAGE_SIZE)
+        assert ctx.read(5 * PAGE_SIZE, 11) == b"fault me in"
+
+    def test_npf_counts_cycles(self, host):
+        host.lazy_npt = True
+        domain = host.create_domain("lazy", guest_frames=32, sev=False)
+        ctx = domain.context()
+        snap = host.machine.cycles.snapshot()
+        ctx.write(6 * PAGE_SIZE, b"x")
+        assert snap.delta(host.machine.cycles).get("npt-fill", 0) > 0
+
+    def test_out_of_bounds_gpa_rejected(self, host, guest):
+        from repro.common.errors import XenError
+        domain, ctx = guest
+        with pytest.raises(XenError):
+            ctx.read(domain.guest_frames * PAGE_SIZE + 10, 1)
+
+    def test_distinct_domains_distinct_frames(self, host):
+        d1 = host.create_domain("a", guest_frames=16, sev=False)
+        d2 = host.create_domain("b", guest_frames=16, sev=False)
+        f1 = {host.guest_frame_hpfn(d1, g) for g in range(16)}
+        f2 = {host.guest_frame_hpfn(d2, g) for g in range(16)}
+        assert not f1 & f2
+
+
+class TestBoot:
+    def test_double_boot_rejected(self, host):
+        from repro.common.errors import XenError
+        with pytest.raises(XenError):
+            host.boot()
+
+    def test_svme_enabled(self, host):
+        assert host.machine.cpu.svme_enabled
+
+    def test_text_read_only(self, host):
+        from repro.common.errors import PageFault
+        with pytest.raises(PageFault):
+            host.machine.cpu.store(host.text.base_va, b"\xCC")
+
+    def test_dom0_exists_and_privileged(self, host):
+        assert host.dom0.privileged
+        assert host.dom0.domid == 0

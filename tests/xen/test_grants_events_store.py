@@ -1,0 +1,162 @@
+"""Tests for grant tables, event channels and XenStore."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import GrantTableError, XenError
+from repro.xen import hypercalls as hc
+from repro.xen.grant_table import EMPTY_ENTRY, GrantEntry, GrantTable
+
+
+class TestGrantEntryCodec:
+    def test_pack_unpack_roundtrip(self):
+        entry = GrantEntry(permit=True, readonly=True, target_domid=7, gfn=123)
+        assert GrantEntry.unpack(entry.pack()) == entry
+
+    def test_empty_entry(self):
+        assert not EMPTY_ENTRY.permit
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(GrantTableError):
+            GrantEntry.unpack(b"short")
+
+
+class TestGrantTableStructure:
+    def test_find_free_ref_skips_active(self, host):
+        table = host.dom0.grant_table
+        ref = table.find_free_ref()
+        table.write_via(ref, GrantEntry(True, False, 1, 5),
+                        host.word_writer)
+        assert table.find_free_ref() == ref + 1
+        assert table.active_refs() == [ref]
+
+    def test_entry_out_of_range(self, host):
+        with pytest.raises(GrantTableError):
+            host.dom0.grant_table.entry_pa(10_000)
+
+
+class TestGrantHypercalls:
+    def _two_guests(self, host):
+        d1 = host.create_domain("g1", guest_frames=32, sev=False)
+        d2 = host.create_domain("g2", guest_frames=32, sev=False)
+        return d1, d1.context(), d2, d2.context()
+
+    def test_share_and_map_readonly(self, host):
+        d1, c1, d2, c2 = self._two_guests(host)
+        c1.write(4 * PAGE_SIZE, b"from granter")
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 4, 1)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 0) == hc.E_OK
+        assert c2.read(8 * PAGE_SIZE, 12) == b"from granter"
+
+    def test_readonly_grant_blocks_write_mapping(self, host):
+        d1, c1, d2, c2 = self._two_guests(host)
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 4, 1)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 1) == hc.E_PERM
+
+    def test_wrong_target_domain_blocked(self, host):
+        d1, c1, d2, c2 = self._two_guests(host)
+        d3 = host.create_domain("g3", guest_frames=16, sev=False)
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d3.domid, 4, 0)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 0) == hc.E_PERM
+
+    def test_writable_grant_allows_two_way(self, host):
+        d1, c1, d2, c2 = self._two_guests(host)
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 4, 0)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 1) == hc.E_OK
+        c2.write(8 * PAGE_SIZE, b"written by peer")
+        c2.hypercall(hc.HC_SCHED_YIELD)
+        assert c1.read(4 * PAGE_SIZE, 15) == b"written by peer"
+
+    def test_unmap(self, host):
+        d1, c1, d2, c2 = self._two_guests(host)
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 4, 0)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 0)
+        assert c2.hypercall(hc.HC_GRANT_UNMAP, 8) == hc.E_OK
+        # the next touch faults in a fresh frame of d2's own
+        c2.write(8 * PAGE_SIZE, b"x")
+        own = host.guest_frame_hpfn(d2, 8)
+        assert own != host.guest_frame_hpfn(d1, 4)
+
+    def test_bad_gfn_rejected(self, host):
+        d1, c1, d2, _ = self._two_guests(host)
+        assert c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 9999, 0) == hc.E_INVAL
+
+    def test_bad_target_rejected(self, host):
+        d1, c1, _, _ = self._two_guests(host)
+        assert c1.hypercall(hc.HC_GRANT_CREATE, 424242, 4, 0) == hc.E_INVAL
+
+    def test_revoke(self, host):
+        d1, c1, d2, c2 = self._two_guests(host)
+        ref = c1.hypercall(hc.HC_GRANT_CREATE, d2.domid, 4, 0)
+        host.grant_revoke(d1, ref)
+        c1.hypercall(hc.HC_SCHED_YIELD)
+        assert c2.hypercall(hc.HC_GRANT_MAP, d1.domid, ref, 8, 0) == hc.E_PERM
+
+
+class TestEventChannels:
+    def test_alloc_bind_send(self, host):
+        received = []
+        channel = host.events.alloc(1, 0)
+        host.events.bind(channel.port, lambda ch: received.append(ch.port))
+        host.events.send(channel.port)
+        assert received == [channel.port]
+
+    def test_send_unbound_accumulates_pending(self, host):
+        channel = host.events.alloc(1, 0)
+        host.events.send(channel.port)
+        host.events.send(channel.port)
+        assert channel.pending == 2
+
+    def test_unknown_port_raises(self, host):
+        with pytest.raises(XenError):
+            host.events.send(9999)
+
+    def test_interceptor_runs_before_delivery(self, host):
+        order = []
+        channel = host.events.alloc(1, 0)
+        host.events.bind(channel.port, lambda ch: order.append("deliver"))
+        host.events.interceptor = lambda ch: order.append("intercept")
+        host.events.send(channel.port)
+        assert order == ["intercept", "deliver"]
+
+    def test_guest_kick_via_hypercall(self, host, guest):
+        _, ctx = guest
+        received = []
+        channel = host.events.alloc(1, 0)
+        host.events.bind(channel.port, lambda ch: received.append(1))
+        assert ctx.hypercall(hc.HC_EVTCHN_SEND, channel.port) == hc.E_OK
+        assert received == [1]
+
+    def test_guest_kick_bad_port(self, guest):
+        _, ctx = guest
+        assert ctx.hypercall(hc.HC_EVTCHN_SEND, 777) == hc.E_INVAL
+
+
+class TestXenStore:
+    def test_write_read(self, host):
+        host.xenstore.write("/local/domain/1/name", "guest")
+        assert host.xenstore.read("/local/domain/1/name") == "guest"
+
+    def test_require_missing_raises(self, host):
+        with pytest.raises(XenError):
+            host.xenstore.require("/nope")
+
+    def test_relative_path_rejected(self, host):
+        with pytest.raises(XenError):
+            host.xenstore.write("relative", 1)
+
+    def test_list_prefix(self, host):
+        host.xenstore.write("/a/b", 1)
+        host.xenstore.write("/a/c", 2)
+        host.xenstore.write("/z", 3)
+        assert host.xenstore.list("/a") == ["/a/b", "/a/c"]
+
+    def test_delete(self, host):
+        host.xenstore.write("/k", 1)
+        host.xenstore.delete("/k")
+        assert host.xenstore.read("/k") is None

@@ -1,0 +1,116 @@
+"""Edge-case and bookkeeping tests for the hypervisor core."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, PTE_C_BIT
+from repro.common.errors import XenError
+from repro.xen import hypercalls as hc
+
+
+class TestHooks:
+    def test_unknown_hook_event_rejected(self, host):
+        with pytest.raises(XenError):
+            host.add_hook("no-such-event", lambda *a: None)
+
+    def test_hooks_fire_in_registration_order(self, host):
+        order = []
+        host.add_hook("guest_frame_alloc", lambda d, p: order.append("a"))
+        host.add_hook("guest_frame_alloc", lambda d, p: order.append("b"))
+        host.create_domain("g", guest_frames=1, sev=False)
+        assert order == ["a", "b"]
+
+    def test_register_hypercall_overrides(self, host, guest):
+        _, ctx = guest
+        host.register_hypercall(hc.HC_VOID, lambda vcpu, *a: 0x77)
+        assert ctx.hypercall(hc.HC_VOID) == 0x77
+
+
+class TestNptHelpers:
+    def test_set_npt_flags_c_bit(self, host, guest):
+        domain, _ = guest
+        host.set_npt_flags(domain, 3, set_mask=PTE_C_BIT)
+        assert domain.npt.c_bit_of(3 * PAGE_SIZE)
+        host.set_npt_flags(domain, 3, clear_mask=PTE_C_BIT)
+        assert not domain.npt.c_bit_of(3 * PAGE_SIZE)
+
+    def test_fill_npt_with_c_bit(self, host, guest):
+        domain, _ = guest
+        pfn = host.alloc_guest_frame(domain)
+        host.unmap_npt(domain, 5)
+        host.fill_npt(domain, 5, pfn, c_bit=True)
+        assert domain.npt.c_bit_of(5 * PAGE_SIZE)
+
+    def test_guest_frame_hpfn_tracks_npt(self, host, guest):
+        domain, _ = guest
+        pfn = host.alloc_guest_frame(domain)
+        host.unmap_npt(domain, 5)
+        host.fill_npt(domain, 5, pfn)
+        assert host.guest_frame_hpfn(domain, 5) == pfn
+
+
+class TestDomainTeardownAccounting:
+    def test_destroy_returns_every_frame(self, host):
+        free_before = host.machine.allocator.free_count
+        domain, ctx = host.create_domain("temp", guest_frames=24,
+                                         sev=False), None
+        ctx = domain.context()
+        ctx.write(0x1000, b"x")
+        ctx.hypercall(hc.HC_SCHED_YIELD)
+        host.destroy_domain(domain)
+        assert host.machine.allocator.free_count == free_before
+
+    def test_destroy_spares_granted_foreign_frames(self, host):
+        """A domain holding grant mappings must not drag the granter's
+        frames into its teardown."""
+        granter = host.create_domain("granter", guest_frames=16, sev=False)
+        mapper = host.create_domain("mapper", guest_frames=16, sev=False)
+        gctx = granter.context()
+        gctx.write(3 * PAGE_SIZE, b"survivor")
+        ref = gctx.hypercall(hc.HC_GRANT_CREATE, mapper.domid, 3, 0)
+        gctx.hypercall(hc.HC_SCHED_YIELD)
+        mctx = mapper.context()
+        assert mctx.hypercall(hc.HC_GRANT_MAP, granter.domid, ref, 8, 0) \
+            == hc.E_OK
+        mctx.hypercall(hc.HC_SCHED_YIELD)
+        host.destroy_domain(mapper)
+        assert gctx.read(3 * PAGE_SIZE, 8) == b"survivor"
+
+    def test_destroyed_domain_cannot_reenter(self, host, guest):
+        domain, ctx = guest
+        ctx.hypercall(hc.HC_SHUTDOWN)
+        with pytest.raises(XenError):
+            ctx.read(0, 4)
+
+
+class TestIommuPlumbing:
+    def test_enable_twice_rejected(self, host):
+        host.enable_iommu()
+        with pytest.raises(XenError):
+            host.enable_iommu()
+
+    def test_map_without_iommu_rejected(self, host):
+        with pytest.raises(XenError):
+            host.iommu_map(0, 0)
+        with pytest.raises(XenError):
+            host.iommu_unmap(0)
+
+    def test_iommu_table_pages_tracked(self, host):
+        iommu = host.enable_iommu()
+        before = set(iommu.table.table_pfns)
+        pfn = host.machine.allocator.alloc()
+        host.iommu_map(200, pfn)
+        assert iommu.table.all_table_pfns() >= before
+
+
+class TestBootLayout:
+    def test_text_pages_contiguous(self, host):
+        vas = host.text.page_vas()
+        assert all(vas[i + 1] - vas[i] == PAGE_SIZE
+                   for i in range(len(vas) - 1))
+
+    def test_gdt_idt_loaded_at_boot(self, host):
+        assert host.machine.cpu.gdt_base == host.text.base_va
+        assert host.machine.cpu.idt_base == host.text.base_va + 0x40
+
+    def test_dom0_owns_its_frames(self, host):
+        assert len(host.dom0.owned_hpfns) == host.dom0.guest_frames

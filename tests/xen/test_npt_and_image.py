@@ -1,0 +1,124 @@
+"""Unit tests for the nested page table and the code-image builder."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import NestedPageFault, ReproError
+from repro.common.types import PRIV_OPCODES, PrivOp
+from repro.hw import Machine
+from repro.xen.image import CodeImage, default_fidelius_image, default_xen_image
+from repro.xen.npt import NestedPageTable
+
+
+@pytest.fixture
+def machine():
+    m = Machine(frames=512, seed=5)
+    m.build_host_address_space()
+    return m
+
+
+@pytest.fixture
+def npt(machine):
+    return NestedPageTable(machine)
+
+
+class TestNestedPageTable:
+    def test_map_translate(self, machine, npt):
+        pfn = machine.allocator.alloc()
+        npt.map_raw(3 * PAGE_SIZE, pfn)
+        assert npt.hpa_of(3 * PAGE_SIZE + 0x40) == pfn * PAGE_SIZE + 0x40
+
+    def test_unmapped_raises_nested_fault(self, npt):
+        with pytest.raises(NestedPageFault):
+            npt.translate(9 * PAGE_SIZE)
+
+    def test_write_to_readonly_mapping_faults(self, machine, npt):
+        pfn = machine.allocator.alloc()
+        npt.map_raw(3 * PAGE_SIZE, pfn, writable=False)
+        npt.translate(3 * PAGE_SIZE, write=False)
+        with pytest.raises(NestedPageFault):
+            npt.translate(3 * PAGE_SIZE, write=True)
+
+    def test_c_bit_reported(self, machine, npt):
+        pfn = machine.allocator.alloc()
+        npt.map_raw(3 * PAGE_SIZE, pfn, c_bit=True)
+        assert npt.c_bit_of(3 * PAGE_SIZE)
+
+    def test_unmap_raw(self, machine, npt):
+        pfn = machine.allocator.alloc()
+        npt.map_raw(3 * PAGE_SIZE, pfn)
+        npt.unmap_raw(3 * PAGE_SIZE)
+        assert not npt.maps(3 * PAGE_SIZE)
+
+    def test_table_pfns_tracked(self, machine, npt):
+        before = set(npt.table_pfns)
+        pfn = machine.allocator.alloc()
+        npt.map_raw(100 * PAGE_SIZE, pfn)
+        assert npt.all_table_pfns() >= before
+
+    def test_mapped_hpfns(self, machine, npt):
+        pfns = [machine.allocator.alloc() for _ in range(3)]
+        for i, pfn in enumerate(pfns):
+            npt.map_raw(i * PAGE_SIZE, pfn)
+        assert npt.mapped_hpfns() == set(pfns)
+
+    def test_entry_pa_points_at_leaf(self, machine, npt):
+        pfn = machine.allocator.alloc()
+        npt.map_raw(3 * PAGE_SIZE, pfn)
+        entry = machine.memory.read_u64(npt.entry_pa(3 * PAGE_SIZE))
+        from repro.hw.pagetable import entry_pfn
+        assert entry_pfn(entry) == pfn
+
+
+class TestCodeImage:
+    def test_place_and_lookup(self):
+        image = CodeImage(0x10000, pages=1)
+        va = image.place(PrivOp.WRMSR, 0x80)
+        assert va == 0x10080
+        assert image.va_of(PrivOp.WRMSR) == va
+        assert image.has(PrivOp.WRMSR)
+
+    def test_bytes_contain_encoding(self):
+        image = CodeImage(0x10000, pages=1)
+        image.place(PrivOp.VMRUN, 0x40)
+        blob = image.to_bytes()
+        assert blob[0x40:0x43] == PRIV_OPCODES[PrivOp.VMRUN]
+
+    def test_erase_restores_nops(self):
+        image = CodeImage(0x10000, pages=1)
+        image.place(PrivOp.VMRUN, 0x40)
+        image.erase(PrivOp.VMRUN)
+        assert not image.has(PrivOp.VMRUN)
+        assert image.to_bytes()[0x40:0x43] == b"\x90\x90\x90"
+
+    def test_erase_unplaced_is_noop(self):
+        image = CodeImage(0x10000, pages=1)
+        assert image.erase(PrivOp.VMRUN) is None
+
+    def test_out_of_bounds_placement_rejected(self):
+        image = CodeImage(0x10000, pages=1)
+        with pytest.raises(ReproError):
+            image.place(PrivOp.VMRUN, PAGE_SIZE - 1)
+
+    def test_default_xen_image_has_every_op(self):
+        image = default_xen_image(0x10000)
+        assert all(image.has(op) for op in PrivOp)
+
+    def test_mov_cr3_straddles_page_end(self):
+        """The paper's placement requirement: mov CR3 ends its page."""
+        image = default_xen_image(0x10000)
+        offset = image.va_of(PrivOp.MOV_CR3) - 0x10000
+        assert offset + len(PRIV_OPCODES[PrivOp.MOV_CR3]) == PAGE_SIZE
+
+    def test_fidelius_image_splits_gate_types(self):
+        """Type-2-guarded ops on page 0; type-3 ops on page 1."""
+        image = default_fidelius_image(0x20000)
+        page_of = lambda op: (image.va_of(op) - 0x20000) // PAGE_SIZE
+        for op in (PrivOp.MOV_CR0, PrivOp.MOV_CR4, PrivOp.WRMSR):
+            assert page_of(op) == 0
+        for op in (PrivOp.VMRUN, PrivOp.MOV_CR3):
+            assert page_of(op) == 1
+
+    def test_page_vas(self):
+        image = CodeImage(0x10000, pages=3)
+        assert image.page_vas() == [0x10000, 0x11000, 0x12000]
