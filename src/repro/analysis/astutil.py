@@ -1,0 +1,88 @@
+"""Small AST helpers shared by the fidelint rules."""
+
+import ast
+
+
+def receiver_token(call_func):
+    """The last name token of a call's receiver expression.
+
+    ``self.machine.memory.zero_frame(...)`` -> "memory";
+    ``pit.classify(...)`` -> "pit"; ``memory.dump()`` -> "memory".
+    Returns None for non-attribute calls (``zero_frame(...)``).
+    """
+    if not isinstance(call_func, ast.Attribute):
+        return None
+    value = call_func.value
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Call):
+        return receiver_token(value.func)
+    return None
+
+
+def dotted_name(node):
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def iter_methods(class_node):
+    """(method_node, decorator_names) for each def in a class body."""
+    for item in class_node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            decorators = []
+            for decorator in item.decorator_list:
+                name = dotted_name(decorator)
+                if name is None and isinstance(decorator, ast.Call):
+                    name = dotted_name(decorator.func)
+                decorators.append(name or "")
+            yield item, decorators
+
+
+def has_self_store(func_node):
+    """True if the function body assigns to ``self.<attr>`` (plain,
+    augmented, subscript on a self attribute, or ``del``)."""
+    for node in ast.walk(func_node):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = node.targets
+        for target in targets:
+            if _is_self_state(target):
+                return True
+    return False
+
+
+def _is_self_state(target):
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return any(_is_self_state(elt) for elt in target.elts)
+    if isinstance(target, ast.Subscript):
+        return _is_self_state(target.value)
+    if isinstance(target, ast.Attribute):
+        base = target.value
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        return isinstance(base, ast.Name) and base.id == "self"
+    return False
+
+
+def calls_method_named(func_node, method_names):
+    """True if any call in the body is ``<anything>.<name>(...)`` for a
+    name in ``method_names``."""
+    for node in ast.walk(func_node):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in method_names:
+            return True
+    return False

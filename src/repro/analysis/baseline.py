@@ -1,0 +1,61 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry records the *fingerprint* of one accepted finding
+(rule id + module + offending line text + occurrence counter — see
+:class:`repro.analysis.findings.Finding`).  Findings whose fingerprint
+appears in the baseline are reported as "baselined" and never fail the
+run; baseline entries that no longer match any finding are *stale* and
+reported so the file shrinks monotonically toward empty.
+
+The file is JSON so diffs review cleanly:
+
+    {"version": 1,
+     "entries": [{"rule": "FID001", "module": "repro.xen.hypervisor",
+                  "line": "...", "fingerprint": "..."}]}
+"""
+
+import json
+import os
+
+BASELINE_VERSION = 1
+DEFAULT_BASENAME = "fidelint.baseline.json"
+
+
+def default_baseline_path(root):
+    """``<repo>/fidelint.baseline.json`` for a ``<repo>/src`` root;
+    next to the root otherwise."""
+    parent = os.path.dirname(os.path.abspath(root))
+    if os.path.basename(os.path.abspath(root)) == "src":
+        return os.path.join(parent, DEFAULT_BASENAME)
+    return os.path.join(os.path.abspath(root), DEFAULT_BASENAME)
+
+
+def load_baseline(path):
+    """fingerprint -> entry dict; empty when the file does not exist."""
+    if not path or not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("version") != BASELINE_VERSION:
+        raise ValueError("unsupported baseline version %r"
+                         % data.get("version"))
+    return {entry["fingerprint"]: entry for entry in data.get("entries", [])}
+
+
+def write_baseline(path, findings):
+    """Write a baseline accepting every (unsuppressed) finding given."""
+    entries = [
+        {
+            "rule": finding.rule_id,
+            "module": finding.module,
+            "line": finding.line_text,
+            "fingerprint": finding.fingerprint,
+        }
+        for finding in sorted(
+            findings, key=lambda f: (f.rule_id, f.module, f.line))
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return entries

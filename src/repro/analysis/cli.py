@@ -1,0 +1,113 @@
+"""The ``fidelint`` command line (also ``python -m repro.analysis``).
+
+Exit codes: 0 clean, 1 findings (errors; plus warnings/stale baseline
+under ``--strict``), 2 usage error.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+from repro.analysis.baseline import default_baseline_path, write_baseline
+from repro.analysis.engine import analyze
+from repro.analysis.registry import all_rules
+
+
+def _default_root():
+    """The ``src`` directory this installed package lives under."""
+    here = os.path.dirname(os.path.abspath(__file__))   # .../src/repro/analysis
+    return os.path.dirname(os.path.dirname(here))       # .../src
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="fidelint",
+        description="Static architecture & capability checker for the "
+                    "Fidelius reproduction: proves at the source level "
+                    "that no code path sidesteps the enforcement layers.")
+    parser.add_argument("--root", default=None,
+                        help="directory containing the repro package "
+                             "(default: the src/ this tool runs from)")
+    parser.add_argument("--format", choices=("human", "json"),
+                        default="human", help="output format")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on warnings and stale baseline entries "
+                             "too (CI mode)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: "
+                             "<repo>/fidelint.baseline.json)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept every current finding into the "
+                             "baseline file and exit 0")
+    parser.add_argument("--select", default=None, metavar="IDS",
+                        help="comma-separated rule ids to run "
+                             "(e.g. FID001,FID003)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list registered rules and exit")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_obj in all_rules():
+            print("%s  %-16s %-7s %s" % (
+                rule_obj.rule_id, rule_obj.name, rule_obj.severity.value,
+                rule_obj.description))
+        return 0
+
+    root = os.path.abspath(args.root or _default_root())
+    if not os.path.isdir(os.path.join(root, "repro")):
+        print("fidelint: no 'repro' package under %s" % root,
+              file=sys.stderr)
+        return 2
+
+    baseline_path = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or default_baseline_path(root)
+
+    select = None
+    if args.select:
+        select = [s.strip() for s in args.select.split(",") if s.strip()]
+
+    try:
+        result = analyze(root, baseline_path=None if args.write_baseline
+                         else baseline_path, select=select)
+    except ValueError as exc:
+        print("fidelint: %s" % exc, file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        path = baseline_path or default_baseline_path(root)
+        entries = write_baseline(path, result.findings)
+        print("fidelint: wrote %d baseline entries to %s"
+              % (len(entries), path))
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        _render_human(result)
+    return result.exit_code(strict=args.strict)
+
+
+def _render_human(result):
+    for finding in result.findings:
+        print(finding.render())
+    for entry in result.stale_baseline:
+        print("stale baseline entry: %s in %s (%s) — remove it"
+              % (entry["rule"], entry["module"], entry["fingerprint"]))
+    print("fidelint: %d modules, %d rules: %d error(s), %d warning(s)"
+          " [%d suppressed, %d baselined, %d stale baseline]"
+          % (result.modules_scanned, result.rules_run,
+             result.error_count, result.warning_count,
+             len(result.suppressed), len(result.baselined),
+             len(result.stale_baseline)))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""The fidelint engine: load, run rules, fold in suppressions + baseline."""
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis.baseline import load_baseline
+from repro.analysis.findings import Severity
+from repro.analysis.project import Project
+from repro.analysis.registry import all_rules
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: list = field(default_factory=list)      # active (fail-worthy)
+    suppressed: list = field(default_factory=list)    # inline-ignored
+    baselined: list = field(default_factory=list)     # grandfathered
+    stale_baseline: list = field(default_factory=list)  # unmatched entries
+    modules_scanned: int = 0
+    rules_run: int = 0
+
+    @property
+    def error_count(self):
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self):
+        return sum(1 for f in self.findings
+                   if f.severity is Severity.WARNING)
+
+    def exit_code(self, strict=False):
+        """0 = clean.  Errors always fail; ``--strict`` also fails on
+        warnings and on stale baseline entries (so the baseline cannot
+        rot silently in CI)."""
+        if self.error_count:
+            return 1
+        if strict and (self.warning_count or self.stale_baseline):
+            return 1
+        return 0
+
+    def to_dict(self):
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "stale_baseline": list(self.stale_baseline),
+            "counts": {
+                "error": self.error_count,
+                "warning": self.warning_count,
+                "suppressed": len(self.suppressed),
+                "baselined": len(self.baselined),
+                "modules": self.modules_scanned,
+                "rules": self.rules_run,
+            },
+        }
+
+
+def _collect_raw_findings(project, rules):
+    """Run every rule over every module; assign occurrence counters so
+    fingerprints of identical lines stay distinct."""
+    raw = []
+    for module in project.sorted_modules():
+        for rule_obj in rules:
+            for finding in rule_obj.run(module, project):
+                finding.line_text = module.line_text(finding.line)
+                raw.append((module, finding))
+    occurrences = Counter()
+    for module, finding in raw:
+        key = (finding.rule_id, finding.module, finding.line_text)
+        finding.occurrence = occurrences[key]
+        occurrences[key] += 1
+    return raw
+
+
+def analyze(root, rules=None, baseline_path=None, select=None):
+    """Analyze the tree under ``root`` and return an AnalysisResult.
+
+    ``select`` limits the run to an iterable of rule ids;
+    ``baseline_path`` points at the committed baseline (None = none).
+    """
+    project = root if isinstance(root, Project) else Project.load(root)
+    rules = list(rules if rules is not None else all_rules())
+    if select:
+        wanted = {rule_id.upper() for rule_id in select}
+        unknown = wanted - {r.rule_id for r in rules}
+        if unknown:
+            raise ValueError("unknown rule ids: %s"
+                             % ", ".join(sorted(unknown)))
+        rules = [r for r in rules if r.rule_id in wanted]
+
+    baseline = load_baseline(baseline_path)
+    matched_fingerprints = set()
+    result = AnalysisResult(
+        modules_scanned=len(project.modules), rules_run=len(rules))
+
+    for module, finding in _collect_raw_findings(project, rules):
+        if module.is_suppressed(finding.rule_id, finding.line):
+            finding.suppressed = True
+            result.suppressed.append(finding)
+        elif finding.fingerprint in baseline:
+            finding.baselined = True
+            matched_fingerprints.add(finding.fingerprint)
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+
+    result.stale_baseline = [
+        entry for fingerprint, entry in sorted(baseline.items())
+        if fingerprint not in matched_fingerprints
+    ]
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule_id))
+    return result

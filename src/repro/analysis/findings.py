@@ -1,0 +1,72 @@
+"""Finding and severity types shared by the fidelint rules and engine."""
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How bad an unsuppressed finding is.
+
+    ``ERROR`` findings fail the default CLI run; ``WARNING`` findings
+    fail only under ``--strict`` (CI runs strict).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self):
+        return 0 if self is Severity.ERROR else 1
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    rule_name: str
+    severity: Severity
+    module: str          # dotted module name, e.g. "repro.xen.npt"
+    path: str            # path relative to the analysis root
+    line: int            # 1-based source line
+    message: str
+    #: Occurrence index among findings of the same (rule, module, source
+    #: line text); filled by the engine so fingerprints stay unique.
+    occurrence: int = 0
+    #: The stripped text of the offending source line (fingerprint input:
+    #: stable across unrelated insertions that shift line numbers).
+    line_text: str = ""
+    suppressed: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def fingerprint(self):
+        """Stable identity used by the baseline file.
+
+        Derived from the rule, the module, the *text* of the offending
+        line and an occurrence counter — not the line number — so a
+        baselined finding survives edits elsewhere in the file.
+        """
+        raw = "%s|%s|%s|%d" % (
+            self.rule_id, self.module, self.line_text, self.occurrence)
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self):
+        return {
+            "rule": self.rule_id,
+            "name": self.rule_name,
+            "severity": self.severity.value,
+            "module": self.module,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }
+
+    def render(self):
+        return "%s:%d: %s [%s] %s (%s)" % (
+            self.path, self.line, self.rule_id, self.severity.value,
+            self.message, self.rule_name)

@@ -1,0 +1,47 @@
+"""The fidelint rule registry.
+
+A rule is a callable ``check(module, project)`` yielding
+:class:`~repro.analysis.findings.Finding` objects, registered with the
+:func:`rule` decorator.  Registration order is the stable report order;
+each rule carries an id (``FIDnnn``), a short kebab-case name, a default
+severity and a one-paragraph description used by ``--list-rules``.
+"""
+
+from dataclasses import dataclass
+
+from repro.analysis.findings import Severity
+
+_REGISTRY = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    rule_id: str
+    name: str
+    severity: Severity
+    description: str
+    check: object
+
+    def run(self, module, project):
+        return self.check(module, project)
+
+
+def rule(rule_id, name, severity, description):
+    """Class-less rule registration decorator."""
+    def register(func):
+        if rule_id in _REGISTRY:
+            raise ValueError("duplicate rule id %s" % rule_id)
+        _REGISTRY[rule_id] = Rule(rule_id, name, severity, description, func)
+        return func
+    return register
+
+
+def all_rules():
+    """Registered rules, in registration (= report) order."""
+    import repro.analysis.rules  # noqa: F401  -- triggers registration
+    return list(_REGISTRY.values())
+
+
+def get_rule(rule_id):
+    import repro.analysis.rules  # noqa: F401
+    return _REGISTRY[rule_id]

@@ -1,0 +1,24 @@
+"""Rule modules; importing this package registers every rule.
+
+Rule ids are stable API (baselines and suppressions reference them):
+
+FID001 raw-memory        only repro.hw / repro.attacks touch raw frames
+FID002 gate-monopoly     PIT/GIT/NPT/grant mutators called from gates only
+FID003 layering          import DAG: common < hw < sev < xen < core < ...
+FID004 cycle-accounting  state-touching repro.hw methods charge cycles
+FID005 silent-except     no bare except / silent broad except
+FID006 mutable-default   no mutable default arguments
+FID007 determinism       no ambient randomness or wall-clock time
+FID008 opcode-monopoly   privileged encodings live in two modules only
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    raw_memory,
+    gates,
+    layering,
+    cycles,
+    exceptions,
+    mutable_defaults,
+    determinism,
+    opcode_literals,
+)

@@ -1,0 +1,79 @@
+"""FID007: determinism — no ambient randomness, no wall-clock time.
+
+Every run of the simulator must be bit-reproducible from its seeds: the
+evaluation tables are diffed against committed goldens, and heisenbugs
+in a security argument are disqualifying.  The *only* sanctioned source
+of randomness is an explicitly seeded ``random.Random(seed)`` instance
+(the workloads' seeded helpers, the machine RNG, the guest owner's
+tooling); simulated time comes from the cycle counter, never the host
+clock.
+
+Forbidden anywhere under ``src/repro``: module-level ``random.*``
+functions, unseeded ``random.Random()``, ``from random import ...``,
+the ``time`` module, ``datetime.now``-style wall-clock reads,
+``os.urandom``, ``uuid.uuid4`` and the ``secrets`` module.
+"""
+
+import ast
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+WALLCLOCK_MODULES = frozenset({"time", "secrets"})
+WALLCLOCK_CALLS = frozenset({
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+    "os.urandom", "uuid.uuid4", "uuid.uuid1",
+})
+
+
+def _finding(module, lineno, message):
+    return Finding("FID007", "determinism", Severity.ERROR, module.name,
+                   module.rel_path, lineno, message)
+
+
+@rule("FID007", "determinism", Severity.ERROR,
+      "Ambient nondeterminism: unseeded random use, from-random imports, "
+      "time/secrets modules, wall-clock reads, os.urandom, uuid4.")
+def check(module, project):
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in WALLCLOCK_MODULES:
+                    yield _finding(
+                        module, node.lineno,
+                        "import of %r: simulated time comes from the "
+                        "cycle counter, randomness from seeded "
+                        "random.Random" % alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0]
+            if top in WALLCLOCK_MODULES:
+                yield _finding(
+                    module, node.lineno,
+                    "import from %r is forbidden" % node.module)
+            elif top == "random":
+                yield _finding(
+                    module, node.lineno,
+                    "from random import ...: use a qualified, seeded "
+                    "random.Random(seed) so seeding is auditable")
+        elif isinstance(node, ast.Call):
+            name = dotted_name(node.func) or ""
+            tail2 = ".".join(name.split(".")[-2:])
+            if tail2 == "random.Random" and not node.args and \
+                    not node.keywords:
+                yield _finding(
+                    module, node.lineno,
+                    "unseeded random.Random(): pass an explicit seed")
+            elif tail2 in WALLCLOCK_CALLS:
+                yield _finding(
+                    module, node.lineno,
+                    "wall-clock / entropy read %s()" % tail2)
+        elif isinstance(node, ast.Attribute):
+            name = dotted_name(node)
+            if name and name.startswith("random.") and \
+                    name != "random.Random":
+                yield _finding(
+                    module, node.lineno,
+                    "%s: module-level random functions share hidden "
+                    "global state; use a seeded random.Random" % name)

@@ -1,0 +1,55 @@
+"""FID005: no bare ``except:`` and no silent broad excepts.
+
+A bare ``except:`` (or an ``except Exception:`` whose body is only
+``pass``) can swallow the very :class:`GateViolation` /
+:class:`PolicyViolation` signals the security argument depends on
+observing.  Broad handlers that *translate* the failure (return an
+error code, log, re-raise) are fine.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(type_node):
+    if isinstance(type_node, ast.Name):
+        return type_node.id in BROAD
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(elt) for elt in type_node.elts)
+    return False
+
+
+def _is_silent(body):
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and \
+                isinstance(stmt.value, ast.Constant) and \
+                stmt.value.value is Ellipsis:
+            continue
+        return False
+    return True
+
+
+@rule("FID005", "silent-except", Severity.WARNING,
+      "Bare except clause, or except Exception/BaseException whose body "
+      "is only pass (silently swallows gate/policy violations).")
+def check(module, project):
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield Finding(
+                "FID005", "silent-except", Severity.WARNING, module.name,
+                module.rel_path, node.lineno,
+                "bare except: catches everything, including gate and "
+                "policy violations")
+        elif _is_broad(node.type) and _is_silent(node.body):
+            yield Finding(
+                "FID005", "silent-except", Severity.WARNING, module.name,
+                module.rel_path, node.lineno,
+                "silent broad except (body is only pass)")

@@ -1,0 +1,62 @@
+"""FID002: the gate monopoly (static twin of invariant I2).
+
+The runtime design write-protects the PIT, GIT, NPTs and grant tables
+and forces every mutation through a type 1 gate where policies run.
+Statically, calls to the mutating methods of those structures may appear
+only in the core gate/bootstrap modules (and in the structures' own
+defining modules).  ``repro.attacks`` is exempt by design: it exists to
+*attempt* these calls so the runtime enforcement can be shown to stop
+them.
+"""
+
+import ast
+
+from repro.analysis.astutil import receiver_token
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+#: mutating method -> receiver tokens that identify the structure
+MUTATORS = {
+    "classify": {"pit"},
+    "classify_many": {"pit"},
+    "invalidate": {"pit"},
+    "record": {"git"},
+    "remove": {"git"},
+    "remove_for_domain": {"git"},
+    "map_raw": {"npt"},
+    "unmap_raw": {"npt"},
+    "set_flags_raw": {"npt"},
+    "write_via": {"grant_table"},
+}
+
+#: The sanctioned callers: Fidelius's gate/bootstrap modules plus each
+#: structure's defining module (their ``self.`` calls).
+ALLOWED_MODULES = frozenset({
+    "repro.core.fidelius",
+    "repro.core.gates",
+    "repro.core.isolation",
+    "repro.core.pit",
+    "repro.core.git",
+    "repro.xen.npt",
+    "repro.xen.grant_table",
+})
+
+
+@rule("FID002", "gate-monopoly", Severity.ERROR,
+      "PIT/GIT/NPT/grant-table mutating methods invoked outside the "
+      "repro.core gate modules (repro.attacks exempt by design).")
+def check(module, project):
+    if module.name in ALLOWED_MODULES or module.subpackage == "attacks":
+        return
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Call) and
+                isinstance(node.func, ast.Attribute)):
+            continue
+        tokens = MUTATORS.get(node.func.attr)
+        if tokens and receiver_token(node.func) in tokens:
+            yield Finding(
+                "FID002", "gate-monopoly", Severity.ERROR, module.name,
+                module.rel_path, node.lineno,
+                "%s.%s() mutates a gate-protected structure outside the "
+                "sanctioned gate modules"
+                % (receiver_token(node.func), node.func.attr))

@@ -1,0 +1,45 @@
+"""FID006: no mutable default arguments.
+
+A mutable default is shared across calls; in a simulator whose whole
+value is reproducible state, a list default that accumulates between
+domains is a silent cross-run contamination channel.
+"""
+
+import ast
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque",
+     "OrderedDict", "Counter"})
+
+
+def _is_mutable(node):
+    if isinstance(node, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        return name.split(".")[-1] in MUTABLE_CALLS
+    return False
+
+
+@rule("FID006", "mutable-default", Severity.WARNING,
+      "Mutable default argument (list/dict/set/… literal or constructor) "
+      "shared across calls.")
+def check(module, project):
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + \
+            [d for d in node.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                yield Finding(
+                    "FID006", "mutable-default", Severity.WARNING,
+                    module.name, module.rel_path, default.lineno,
+                    "mutable default argument in %s()" % name)

@@ -1,0 +1,44 @@
+"""FID008: privileged-opcode literals (static twin of invariant I4).
+
+The binary scanner proves at runtime that each restricted instruction
+encoding occurs exactly once in executable memory.  Its source-level
+twin: the byte encodings themselves may be *spelled* in exactly two
+modules — ``repro.common.types`` (the authoritative table) and
+``repro.core.binscan`` (the scanner).  Any other module that needs an
+encoding must reference ``PRIV_OPCODES``, so the table stays the single
+source of truth and a grep for the bytes has two known answers.
+Attack modules that implant rogue encodings build them from the table —
+which is exactly what a real adversary reusing Fidelius's own bytes
+would do.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+from repro.common.types import PRIV_OPCODES
+
+ALLOWED_MODULES = frozenset({"repro.common.types", "repro.core.binscan"})
+
+#: encoding bytes -> human name, for messages
+ENCODINGS = {encoding: op.value for op, encoding in PRIV_OPCODES.items()}
+
+
+@rule("FID008", "opcode-monopoly", Severity.ERROR,
+      "Byte literal containing a restricted privileged-instruction "
+      "encoding outside repro.common.types / repro.core.binscan.")
+def check(module, project):
+    if module.name in ALLOWED_MODULES:
+        return
+    for node in ast.walk(module.tree):
+        if not (isinstance(node, ast.Constant) and
+                isinstance(node.value, bytes)):
+            continue
+        for encoding, name in ENCODINGS.items():
+            if encoding in node.value:
+                yield Finding(
+                    "FID008", "opcode-monopoly", Severity.ERROR,
+                    module.name, module.rel_path, node.lineno,
+                    "byte literal embeds the %s encoding %r; reference "
+                    "PRIV_OPCODES instead" % (name, encoding))
+                break

@@ -7,10 +7,12 @@ just instruction boundaries, because x86 can jump into the middle of an
 innocent instruction whose tail bytes happen to encode ``mov cr0``.
 """
 
+import hashlib
 from dataclasses import dataclass
 
-from repro.common.constants import PAGE_SIZE
+from repro.common.constants import PAGE_SIZE, PTE_NX
 from repro.common.types import PRIV_OPCODES
+from repro.hw.pagetable import entry_pfn
 
 
 @dataclass(frozen=True)
@@ -20,7 +22,13 @@ class ScanHit:
 
 
 def scan_bytes(blob, base_va, ops=None):
-    """All occurrences of restricted encodings in ``blob`` (any offset)."""
+    """All occurrences of restricted encodings in ``blob`` (any offset).
+
+    Overlapping occurrences are all reported (the scan advances one byte
+    past each hit, not past the whole encoding), and hits come back
+    sorted by VA so downstream reports are deterministic regardless of
+    the iteration order over ``PRIV_OPCODES``.
+    """
     targets = ops or list(PRIV_OPCODES)
     hits = []
     for op in targets:
@@ -32,6 +40,7 @@ def scan_bytes(blob, base_va, ops=None):
                 break
             hits.append(ScanHit(op, base_va + index))
             start = index + 1
+    hits.sort(key=lambda hit: (hit.va, hit.op.value))
     return hits
 
 
@@ -41,14 +50,22 @@ def scan_executable_pages(machine, root_pfn):
     Pages are read *raw* from physical memory — the scanner runs in
     Fidelius's context before protection is sealed, on the very bytes
     the CPU would fetch.
+
+    Known limitation: the scan is page-granular.  Each executable page
+    is matched independently, so an encoding whose bytes straddle a page
+    boundary (tail of one page + head of the next) is not detected even
+    when the two pages are virtually contiguous.  Real x86 can fetch
+    across the boundary; closing this requires stitching adjacent
+    executable pages before matching.  Tests document the gap
+    (``test_binscan_adversarial.py``).
     """
     walker = machine.walker
     hits = []
     for va, entry in walker.leaf_mappings(root_pfn):
-        from repro.common.constants import PTE_NX
-        from repro.hw.pagetable import entry_pfn
         if entry & PTE_NX:
             continue
+        # fidelint: ignore[FID001] -- the scanner *is* the sanctioned raw
+        # reader: it must see the exact bytes the CPU would fetch.
         blob = machine.memory.read_frame(entry_pfn(entry))
         hits.extend(scan_bytes(blob, va))
     return hits
@@ -70,7 +87,6 @@ def verify_monopoly(machine, root_pfn, allowed_vas):
 
 def measure_text(machine, image):
     """Integrity measurement of a text image as loaded in memory."""
-    import hashlib
     digest = hashlib.sha256()
     for va in image.page_vas():
         digest.update(machine.memory.read(va, PAGE_SIZE))

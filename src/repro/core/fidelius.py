@@ -485,6 +485,8 @@ class Fidelius:
             return
         if domain in self.protected_domains \
                 or domain.domid in self._dying_protected:
+            # fidelint: ignore[FID001] -- Fidelius-context scrub: a
+            # protected guest's frame must be zeroed before reuse (§4.2.1).
             self.machine.memory.zero_frame(pfn)
         self._release_host_frame(pfn)
         self.audit_event("frame-released", domid=domain.domid, pfn=pfn)
@@ -494,6 +496,8 @@ class Fidelius:
         its PIT classification and make it plain writable memory again."""
         if not self.installed:
             return
+        # fidelint: ignore[FID001] -- Fidelius-context scrub of a
+        # write-protected table page returning to the free pool.
         self.machine.memory.zero_frame(pfn)
         self._release_host_frame(pfn)
 
@@ -539,6 +543,8 @@ class Fidelius:
             if handle is not None and handle in self.firmware.handles():
                 self.firmware_call("decommission", handle)
         for pfn in domain.owned_hpfns:
+            # fidelint: ignore[FID001] -- teardown scrub of protected
+            # guest RAM, in Fidelius's own context (§4.2.1).
             self.machine.memory.zero_frame(pfn)
         for vcpu in domain.vcpus:
             self.shadow.drop(vcpu)

@@ -76,6 +76,8 @@ class GrantInfoTable:
         self._frames = []
         for _ in range(pages):
             pfn = alloc_frame()
+            # fidelint: ignore[FID001] -- boot-time construction of
+            # Fidelius-owned GIT frames, before protection is sealed.
             machine.memory.zero_frame(pfn)
             self.table_pfns.add(pfn)
             self._frames.append(pfn)

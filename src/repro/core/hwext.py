@@ -203,6 +203,8 @@ class BonsaiMerkleTree:
         self.build()
 
     def _hash_frame(self, pfn):
+        # fidelint: ignore[FID001] -- the integrity tree must measure
+        # the raw DRAM bytes, exactly like the binary scanner.
         return hashlib.sha256(self._machine.memory.read_frame(pfn)).digest()
 
     def build(self):

@@ -69,6 +69,8 @@ class PageInfoTable:
 
     def _new_table(self):
         pfn = self._alloc()
+        # fidelint: ignore[FID001] -- the PIT stores itself in raw
+        # Fidelius-owned frames (mapped read-only to the hypervisor).
         self._memory.zero_frame(pfn)
         self.table_pfns.add(pfn)
         return pfn

@@ -14,14 +14,12 @@ Plus the write-once / execute-once / write-forbidding policies of
 Section 5.3.
 """
 
-from dataclasses import dataclass
-
 from repro.common.constants import (
     PTE_PRESENT,
     PTE_WRITABLE,
 )
 from repro.common.errors import PolicyViolation
-from repro.common.types import ExitReason, Owner, PageUsage, pfn_of
+from repro.common.types import Owner, PageUsage, pfn_of
 from repro.hw.pagetable import entry_pfn
 from repro.xen.grant_table import ENTRY_SIZE as GRANT_ENTRY_SIZE, GrantEntry
 
@@ -29,68 +27,16 @@ from repro.xen.grant_table import ENTRY_SIZE as GRANT_ENTRY_SIZE, GrantEntry
 # Exit-reason policies (Section 5.1)
 # ---------------------------------------------------------------------------
 
-
-@dataclass(frozen=True)
-class ExitPolicy:
-    """What the hypervisor may see and change for one exit reason."""
-
-    visible_regs: frozenset = frozenset()
-    writable_regs: frozenset = frozenset()
-    writable_vmcb: frozenset = frozenset()
-
-
-def _fs(*names):
-    return frozenset(names)
-
-
-#: Control/exit-information VMCB fields are never masked: the hypervisor
-#: needs them to dispatch (e.g. the NPF fault address in exitinfo2).
-ALWAYS_VISIBLE_VMCB = _fs(
-    "exitcode", "exitinfo1", "exitinfo2", "asid", "np_enable",
-    "nested_cr3", "intercepts", "event_injection",
+# The exposure table itself lives in the SEV layer (it is the GHCB
+# hardware contract, shared with repro.sev.es); re-exported here because
+# Fidelius's shadow keeper and policy engine consume it.
+from repro.sev.exit_policy import (  # noqa: F401
+    ALWAYS_VISIBLE_VMCB,
+    ALWAYS_WRITABLE_VMCB,
+    EXIT_POLICIES,
+    ExitPolicy,
+    exit_policy,
 )
-
-#: Interrupt injection is a legitimate hypervisor duty on any exit.
-ALWAYS_WRITABLE_VMCB = _fs("event_injection")
-
-EXIT_POLICIES = {
-    # "if the exit reason is CPUID, then all states are masked except
-    # for specific four registers" (Section 5.1)
-    ExitReason.CPUID: ExitPolicy(
-        visible_regs=_fs("rax", "rcx"),
-        writable_regs=_fs("rax", "rbx", "rcx", "rdx"),
-        writable_vmcb=_fs("rip"),
-    ),
-    ExitReason.HYPERCALL: ExitPolicy(
-        visible_regs=_fs("rax", "rdi", "rsi", "rdx", "r10", "r8"),
-        writable_regs=_fs("rax"),
-        writable_vmcb=_fs("rip"),
-    ),
-    # "if it is due to a nested page fault, Fidelius will mask all guest
-    # states since the fault address ... is in the exitinfo field"
-    ExitReason.NPF: ExitPolicy(),
-    ExitReason.MSR: ExitPolicy(
-        visible_regs=_fs("rcx"),
-        writable_regs=_fs("rax", "rdx"),
-        writable_vmcb=_fs("rip"),
-    ),
-    ExitReason.IOIO: ExitPolicy(
-        visible_regs=_fs("rax", "rdx"),
-        writable_regs=_fs("rax"),
-        writable_vmcb=_fs("rip"),
-    ),
-    ExitReason.HLT: ExitPolicy(),
-    ExitReason.INTR: ExitPolicy(),
-    ExitReason.SHUTDOWN: ExitPolicy(),
-}
-
-
-def exit_policy(reason):
-    policy = EXIT_POLICIES.get(reason)
-    if policy is None:
-        # Unknown exits expose nothing and allow nothing: fail closed.
-        return ExitPolicy()
-    return policy
 
 
 # ---------------------------------------------------------------------------

@@ -9,7 +9,9 @@ memory, which means Fidelius can write-protect it and police its
 updates with the same PIT/GIT machinery it already uses for NPTs.
 
 The device table reuses the nested-page-table structure: bus frame
-number -> host frame number with a writable bit.
+number -> host frame number with a writable bit.  The table is *built by
+the caller* (the hypervisor passes a ``repro.xen.npt.NestedPageTable``)
+and injected here, so the hardware layer never imports hypervisor code.
 """
 
 from repro.common.constants import PAGE_SIZE
@@ -30,9 +32,10 @@ class IommuFault(ReproError):
 class Iommu:
     """One IOMMU context (we model a single device domain: the disk)."""
 
-    def __init__(self, machine, allocate_frame=None):
-        from repro.xen.npt import NestedPageTable
-        self.table = NestedPageTable(machine, allocate_frame=allocate_frame)
+    def __init__(self, table):
+        #: The device page table: any object with the nested-page-table
+        #: translate/entry_pa/all_table_pfns surface.
+        self.table = table
         self.enabled = True
         self.faults = 0
 

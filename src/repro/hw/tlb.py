@@ -44,7 +44,12 @@ class Tlb:
         self._entries.pop((root_pfn, vpn), None)
 
     def flush_root(self, root_pfn):
+        """Drop every entry of one address space; per-entry INVLPG cost
+        (same 128-cycle figure as :meth:`flush_page`)."""
         stale = [key for key in self._entries if key[0] == root_pfn]
+        if stale:
+            self.cycles.charge(TLB_ENTRY_FLUSH_CYCLES * len(stale),
+                               "tlb-flush-root")
         for key in stale:
             del self._entries[key]
 

@@ -20,6 +20,7 @@ differences that reproduce the paper's analysis:
 """
 
 from repro.hw.vmcb import SAVE_FIELDS
+from repro.sev.exit_policy import exit_policy
 
 
 class SevEsBoundary:
@@ -44,7 +45,6 @@ class SevEsBoundary:
         if not self._es_guest(vcpu):
             self._hypervisor._save_regs_direct(vcpu)
             return
-        from repro.core.policies import exit_policy
         cpu = self._machine.cpu
         self._vmsas[vcpu] = (vcpu.vmcb.copy(), cpu.regs.copy())
         policy = exit_policy(vcpu.vmcb.exit_reason)
@@ -62,7 +62,6 @@ class SevEsBoundary:
         if vmsa is None:
             self._hypervisor._restore_regs_direct(vcpu)
             return
-        from repro.core.policies import exit_policy
         cpu = self._machine.cpu
         vmsa_vmcb, vmsa_regs = vmsa
         policy = exit_policy(vmsa_vmcb.exit_reason)

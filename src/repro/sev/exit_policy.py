@@ -1,0 +1,77 @@
+"""Exit-reason exposure policies (paper Section 5.1).
+
+Per VM-exit reason: which guest registers the hypervisor may see, which
+it may legitimately update, and which VMCB fields it may write.  This
+table models the GHCB protocol's per-exit ABI — what SEV-ES hardware
+(and Fidelius's software shadow keeper, which the paper calls "a
+software version of SEV-ES") hands the hypervisor for each exit class.
+It lives in the SEV layer because it is a property of the hardware
+exposure contract; Fidelius core re-exports it for its policy engine.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.types import ExitReason
+
+
+@dataclass(frozen=True)
+class ExitPolicy:
+    """What the hypervisor may see and change for one exit reason."""
+
+    visible_regs: frozenset = frozenset()
+    writable_regs: frozenset = frozenset()
+    writable_vmcb: frozenset = frozenset()
+
+
+def _fs(*names):
+    return frozenset(names)
+
+
+#: Control/exit-information VMCB fields are never masked: the hypervisor
+#: needs them to dispatch (e.g. the NPF fault address in exitinfo2).
+ALWAYS_VISIBLE_VMCB = _fs(
+    "exitcode", "exitinfo1", "exitinfo2", "asid", "np_enable",
+    "nested_cr3", "intercepts", "event_injection",
+)
+
+#: Interrupt injection is a legitimate hypervisor duty on any exit.
+ALWAYS_WRITABLE_VMCB = _fs("event_injection")
+
+EXIT_POLICIES = {
+    # "if the exit reason is CPUID, then all states are masked except
+    # for specific four registers" (Section 5.1)
+    ExitReason.CPUID: ExitPolicy(
+        visible_regs=_fs("rax", "rcx"),
+        writable_regs=_fs("rax", "rbx", "rcx", "rdx"),
+        writable_vmcb=_fs("rip"),
+    ),
+    ExitReason.HYPERCALL: ExitPolicy(
+        visible_regs=_fs("rax", "rdi", "rsi", "rdx", "r10", "r8"),
+        writable_regs=_fs("rax"),
+        writable_vmcb=_fs("rip"),
+    ),
+    # "if it is due to a nested page fault, Fidelius will mask all guest
+    # states since the fault address ... is in the exitinfo field"
+    ExitReason.NPF: ExitPolicy(),
+    ExitReason.MSR: ExitPolicy(
+        visible_regs=_fs("rcx"),
+        writable_regs=_fs("rax", "rdx"),
+        writable_vmcb=_fs("rip"),
+    ),
+    ExitReason.IOIO: ExitPolicy(
+        visible_regs=_fs("rax", "rdx"),
+        writable_regs=_fs("rax"),
+        writable_vmcb=_fs("rip"),
+    ),
+    ExitReason.HLT: ExitPolicy(),
+    ExitReason.INTR: ExitPolicy(),
+    ExitReason.SHUTDOWN: ExitPolicy(),
+}
+
+
+def exit_policy(reason):
+    policy = EXIT_POLICIES.get(reason)
+    if policy is None:
+        # Unknown exits expose nothing and allow nothing: fail closed.
+        return ExitPolicy()
+    return policy

@@ -209,8 +209,8 @@ class Hypervisor:
         from repro.hw.iommu import Iommu, ProtectedDmaEngine
         if self.iommu is not None:
             raise XenError("IOMMU already enabled")
-        self.iommu = Iommu(self.machine,
-                           allocate_frame=self._alloc_iommu_table_page)
+        self.iommu = Iommu(NestedPageTable(
+            self.machine, allocate_frame=self._alloc_iommu_table_page))
         self.machine.dma = ProtectedDmaEngine(self.machine.memctrl,
                                               self.iommu)
         return self.iommu
@@ -424,6 +424,8 @@ class Hypervisor:
         ref = domain.grant_table.find_free_ref()
         entry = GrantEntry(permit=True, readonly=readonly,
                            target_domid=target_domid, gfn=gfn)
+        # fidelint: ignore[FID002] -- the software path: word_writer is
+        # the type 1 gate under Fidelius, so this write *is* gated.
         domain.grant_table.write_via(ref, entry, self.word_writer)
         return ref
 
@@ -461,6 +463,7 @@ class Hypervisor:
 
     def grant_revoke(self, domain, ref):
         """Granter-side removal of a grant entry."""
+        # fidelint: ignore[FID002] -- gated software path (word_writer).
         domain.grant_table.write_via(ref, EMPTY_ENTRY, self.word_writer)
 
     def _hc_evtchn_send(self, vcpu, port, *_):

@@ -36,6 +36,8 @@ class NestedPageTable:
         self._alloc = allocate_frame or machine.allocator.alloc
         self._walker = PageTableWalker(machine.memory, alloc_frame=self._alloc)
         self.root_pfn = self._alloc()
+        # fidelint: ignore[FID001] -- construction-time zeroing of a
+        # fresh table root, before the table carries any mapping.
         machine.memory.zero_frame(self.root_pfn)
         #: PFNs of every NPT page (root + intermediates), for protection.
         self.table_pfns = {self.root_pfn}

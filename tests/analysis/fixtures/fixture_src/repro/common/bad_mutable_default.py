@@ -1,0 +1,6 @@
+"""Fixture: mutable default argument (exactly one FID006)."""
+
+
+def remember(item, bucket=[]):
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,5 @@
+"""Fixture: ungated PIT mutation from eval (exactly one FID002)."""
+
+
+def sneak_classify(fid, pfn, owner, usage):
+    fid.pit.classify(pfn, owner, usage)

@@ -1,0 +1,10 @@
+"""Fixture: un-priced state mutation in hardware (exactly one FID004)."""
+
+
+class RogueDevice:
+    def __init__(self):
+        self.writes = 0
+
+    def poke(self, value):
+        self.writes += 1
+        return value

@@ -1,0 +1,3 @@
+"""Fixture: hardware importing Fidelius core (exactly one FID003)."""
+
+from repro.core import gates  # noqa: F401

@@ -1,0 +1,7 @@
+"""Fixture: ambient randomness, even in workloads (exactly one FID007)."""
+
+import random
+
+
+def jitter():
+    return random.random()

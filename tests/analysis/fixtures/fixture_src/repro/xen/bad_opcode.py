@@ -1,0 +1,7 @@
+"""Fixture: a privileged encoding spelled in bytes (exactly one FID008).
+
+The literal embeds the mov-cr0 encoding at an unaligned offset inside
+benign filler, the way a gadget would hide it.
+"""
+
+IMPLANT = b"\x90\x90\x0f\x22\xc0\x90"

@@ -1,0 +1,5 @@
+"""Fixture: raw frame access from the xen layer (exactly one FID001)."""
+
+
+def steal_frame(machine, pfn):
+    return machine.memory.read_frame(pfn)

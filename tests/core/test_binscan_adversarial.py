@@ -1,0 +1,126 @@
+"""Adversarial inputs for the binary scanner (paper Section 4.1.2).
+
+The monopoly rule only holds if the scanner sees encodings the way the
+CPU does: at any byte offset, overlapping other instructions, and in
+deterministic order.  These tests poke exactly those corners — and
+document the one known gap (encodings straddling a page boundary).
+"""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE, PTE_NX, PTE_PRESENT
+from repro.common.types import PRIV_OPCODES, PrivOp
+from repro.core.binscan import scan_bytes, scan_executable_pages
+from repro.hw.machine import Machine
+
+WRMSR = PRIV_OPCODES[PrivOp.WRMSR]
+VMRUN = PRIV_OPCODES[PrivOp.VMRUN]
+MOV_CR0 = PRIV_OPCODES[PrivOp.MOV_CR0]
+
+
+class TestScanBytes:
+    def test_unaligned_hit_inside_benign_bytes(self):
+        # mov rbp, rsp; then WRMSR hidden at offset 3.
+        blob = b"\x48\x89\xe5" + WRMSR + b"\x90"
+        hits = scan_bytes(blob, base_va=0x4000)
+        assert [(h.op, h.va) for h in hits] == [(PrivOp.WRMSR, 0x4003)]
+
+    def test_tail_bytes_of_doubled_prefix(self):
+        # A stray 0x0f before the encoding: x86 can jump one byte in and
+        # fetch a real WRMSR, so the scanner must report offset 1.
+        blob = b"\x0f" + WRMSR
+        hits = scan_bytes(blob, base_va=0)
+        assert [(h.op, h.va) for h in hits] == [(PrivOp.WRMSR, 1)]
+
+    def test_adjacent_repeats_all_reported(self):
+        blob = MOV_CR0 * 3
+        hits = scan_bytes(blob, base_va=0x1000)
+        assert [h.va for h in hits] == [0x1000, 0x1003, 0x1006]
+        assert all(h.op is PrivOp.MOV_CR0 for h in hits)
+
+    def test_hits_sorted_by_va_regardless_of_op_order(self):
+        # Lay the ops out in the *reverse* of PRIV_OPCODES iteration
+        # order; the result must still come back VA-sorted.
+        ops = list(PRIV_OPCODES)
+        blob = b"\x90".join(PRIV_OPCODES[op] for op in reversed(ops))
+        hits = scan_bytes(blob, base_va=0)
+        vas = [h.va for h in hits]
+        assert vas == sorted(vas)
+        assert {h.op for h in hits} == set(ops)
+        # Explicitly shuffled op subset: same determinism.
+        subset = scan_bytes(blob, base_va=0,
+                            ops=[PrivOp.WRMSR, PrivOp.MOV_CR0])
+        assert [h.va for h in subset] == sorted(h.va for h in subset)
+
+    def test_shared_two_byte_prefix_not_confused(self):
+        # LGDT (0f 01 10) and VMRUN (0f 01 d8) share a two-byte prefix;
+        # a blob holding only VMRUN must not report LGDT.
+        hits = scan_bytes(VMRUN, base_va=0)
+        assert [h.op for h in hits] == [PrivOp.VMRUN]
+
+    def test_empty_and_clean_blobs(self):
+        assert scan_bytes(b"", base_va=0) == []
+        assert scan_bytes(b"\x90" * 64, base_va=0) == []
+
+
+class TestScanExecutablePages:
+    @pytest.fixture
+    def machine(self):
+        return Machine(frames=64, seed=7)
+
+    def _map_exec(self, machine, root, va, pfn, content):
+        page = bytearray(b"\x90" * PAGE_SIZE)
+        page[: len(content)] = content
+        machine.memory.write_frame(pfn, bytes(page))
+        machine.walker.map(root, va, pfn, PTE_PRESENT)
+
+    def test_finds_unaligned_encoding_at_absolute_va(self, machine):
+        root = machine.allocator.alloc()
+        machine.memory.zero_frame(root)
+        pfn = machine.allocator.alloc()
+        page = bytearray(b"\x90" * PAGE_SIZE)
+        offset = 0x7FB  # odd offset, deliberately unaligned
+        page[offset:offset + len(WRMSR)] = WRMSR
+        machine.memory.write_frame(pfn, bytes(page))
+        machine.walker.map(root, 0x40000, pfn, PTE_PRESENT)
+        hits = scan_executable_pages(machine, root)
+        assert [(h.op, h.va) for h in hits] == [(PrivOp.WRMSR,
+                                                 0x40000 + offset)]
+
+    def test_nx_pages_are_skipped(self, machine):
+        root = machine.allocator.alloc()
+        machine.memory.zero_frame(root)
+        pfn = machine.allocator.alloc()
+        self._map_exec(machine, root, 0x5000, pfn, WRMSR)
+        machine.walker.map(root, 0x5000, pfn, PTE_PRESENT | PTE_NX)
+        assert scan_executable_pages(machine, root) == []
+
+    def test_page_boundary_split_is_a_known_miss(self, machine):
+        """Documented limitation: an encoding whose bytes straddle two
+        virtually-contiguous executable pages is invisible to the
+        page-granular scan, even though the CPU would happily fetch it.
+        ``scan_bytes`` over the stitched bytes *does* see it, which is
+        what a fix would have to do."""
+        root = machine.allocator.alloc()
+        machine.memory.zero_frame(root)
+        pfn_a = machine.allocator.alloc()
+        pfn_b = machine.allocator.alloc()
+
+        page_a = bytearray(b"\x90" * PAGE_SIZE)
+        page_a[-2:] = VMRUN[:2]          # 0f 01 at the tail...
+        page_b = bytearray(b"\x90" * PAGE_SIZE)
+        page_b[0] = VMRUN[2]             # ...d8 at the next page's head
+        machine.memory.write_frame(pfn_a, bytes(page_a))
+        machine.memory.write_frame(pfn_b, bytes(page_b))
+        base = 0x10000
+        machine.walker.map(root, base, pfn_a, PTE_PRESENT)
+        machine.walker.map(root, base + PAGE_SIZE, pfn_b, PTE_PRESENT)
+
+        # The page-granular scan misses the straddling VMRUN.
+        assert scan_executable_pages(machine, root) == []
+
+        # Ground truth: stitched together, the encoding is right there.
+        stitched = bytes(page_a) + bytes(page_b)
+        hits = scan_bytes(stitched, base_va=base)
+        assert [(h.op, h.va) for h in hits] == [
+            (PrivOp.VMRUN, base + PAGE_SIZE - 2)]
