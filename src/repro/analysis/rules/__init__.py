@@ -10,6 +10,7 @@ FID005 silent-except     no bare except / silent broad except
 FID006 mutable-default   no mutable default arguments
 FID007 determinism       no ambient randomness or wall-clock time
 FID008 opcode-monopoly   privileged encodings live in two modules only
+FID009 fault-containment fault-injection machinery stays in repro.faults
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -21,4 +22,5 @@ from repro.analysis.rules import (  # noqa: F401
     mutable_defaults,
     determinism,
     opcode_literals,
+    fault_containment,
 )

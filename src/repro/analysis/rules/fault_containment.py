@@ -1,0 +1,51 @@
+"""FID009: fault containment — injection machinery stays in repro.faults.
+
+The chaos subsystem (:mod:`repro.faults`) arms fault plans by wrapping
+live *instances* from the outside; product code must carry no fault
+hooks of its own.  That containment is what makes "the production import
+graph can never reach a fault" an auditable property rather than a
+convention:
+
+* no module outside ``repro.faults`` may import ``repro.faults`` (the
+  layering DAG already forbids most of these, but this rule also covers
+  ``repro.attacks``, which FID003 otherwise lets import anything);
+* no module outside ``repro.faults`` may reference the injector's
+  ``_fault_injector`` marker attribute — product code that checks
+  "am I being injected?" is a fault hook by the back door.
+"""
+
+import ast
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+#: The instance attribute injectors plant on armed objects.
+MARKER_ATTRIBUTE = "_fault_injector"
+
+
+def _finding(module, lineno, message):
+    return Finding("FID009", "fault-containment", Severity.ERROR,
+                   module.name, module.rel_path, lineno, message)
+
+
+@rule("FID009", "fault-containment", Severity.ERROR,
+      "Fault-injection machinery outside repro.faults: imports of the "
+      "chaos package or references to the injector marker attribute.")
+def check(module, project):
+    if module.subpackage == "faults":
+        return
+    for target_name, lineno in module.imported_modules():
+        if target_name == "repro.faults" \
+                or target_name.startswith("repro.faults."):
+            yield _finding(
+                module, lineno,
+                "import of %s outside repro.faults: only the chaos "
+                "subsystem (and tests) may arm faults" % target_name)
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Attribute) \
+                and node.attr == MARKER_ATTRIBUTE:
+            yield _finding(
+                module, node.lineno,
+                "reference to %r outside repro.faults: product code "
+                "must not know whether it is being injected"
+                % MARKER_ATTRIBUTE)

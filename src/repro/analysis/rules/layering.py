@@ -3,7 +3,7 @@
 The simulator is a strict stack —
 
     common(0) < analysis/hw(1) < sev(2) < xen(3) < core(4)
-             < system/workloads(5) < cloud(6) < eval(7)
+             < system/workloads(5) < cloud(6) < eval(7) < faults(8)
 
 — and a module may import only *strictly lower* layers (or its own
 subpackage).  Two special cases: ``repro.attacks`` may import anything
@@ -26,6 +26,10 @@ LAYERS = {
     "workloads": 5,
     "cloud": 6,
     "eval": 7,
+    # The chaos subsystem sits above everything it arms (it drives the
+    # whole fleet plus the eval checks); FID009 separately guarantees
+    # nothing imports it back.
+    "faults": 8,
 }
 
 ATTACKS_IMPORTERS = frozenset({"eval"})

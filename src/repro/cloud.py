@@ -11,6 +11,14 @@ tenant-facing cloud of Fidelius hosts would do:
 
 Tenant identity survives migration: the :class:`Tenant` handle tracks
 where its domain currently lives.
+
+The control plane fails closed.  Hosts that fail attestation are
+quarantined (no further placement or migration targets until an operator
+lifts the quarantine); migrations retry across attested hosts with the
+failed ones excluded, and a tenant whose operation cannot complete stays
+where it was — :func:`~repro.core.migration.migrate_guest` guarantees
+the source is intact and re-enterable after any target-side failure.
+Every failure is recorded in :attr:`Cloud.events` for the operator.
 """
 
 from dataclasses import dataclass, field
@@ -55,6 +63,11 @@ class Cloud:
             for authority in self._authorities
         ]
         self.tenants = {}
+        #: Hosts failed closed: no placements or migration targets until
+        #: an operator calls :meth:`lift_quarantine`.
+        self.quarantined = set()
+        #: Operator-visible record of every failure and recovery step.
+        self.events = []
 
     def __len__(self):
         return len(self.hosts)
@@ -62,18 +75,45 @@ class Cloud:
     def host(self, index):
         return self.hosts[index]
 
+    def authority(self, index):
+        """Host ``index``'s hardware quote engine."""
+        return self._authorities[index]
+
+    def _record(self, kind, **details):
+        self.events.append((kind, details))
+
+    def event_kinds(self):
+        return [kind for kind, _ in self.events]
+
     # -- attestation -------------------------------------------------------------
 
     def attest_host(self, index):
-        """True if host ``index`` passes remote attestation right now."""
+        """True if host ``index`` passes remote attestation right now.
+
+        A host that fails is quarantined on the spot — fail closed: a
+        single bad quote mid-operation removes the host from the
+        placement pool until an operator investigates.
+        """
+        if index in self.quarantined:
+            return False
         host = self.hosts[index]
         verifier = self._verifiers[index]
         nonce = verifier.fresh_nonce(host.machine.rng)
         quote = self._authorities[index].quote(host.fidelius, nonce)
-        try:
-            return verifier.check(quote, nonce)
-        except ReproError:
-            return False
+        reason = verifier.explain(quote, nonce)
+        if reason is None:
+            return True
+        self.quarantined.add(index)
+        self._record("host-quarantined", host=index, reason=reason)
+        return False
+
+    def lift_quarantine(self, index):
+        """Operator override: re-admit a host if it attests cleanly now."""
+        self.quarantined.discard(index)
+        ok = self.attest_host(index)
+        if ok:
+            self._record("quarantine-lifted", host=index)
+        return ok
 
     def attested_hosts(self):
         return [i for i in range(len(self.hosts)) if self.attest_host(i)]
@@ -84,9 +124,9 @@ class Cloud:
         return len([t for t in self.tenants.values()
                     if t.host_index == index])
 
-    def pick_host(self):
+    def pick_host(self, exclude=()):
         """The least-loaded host that passes attestation."""
-        candidates = self.attested_hosts()
+        candidates = [i for i in self.attested_hosts() if i not in exclude]
         if not candidates:
             raise ReproError("no host in the fleet passes attestation")
         return min(candidates, key=self._load)
@@ -108,42 +148,111 @@ class Cloud:
 
     # -- mobility -------------------------------------------------------------------
 
-    def migrate_tenant(self, name, to_host_index):
-        """Move a tenant; its handle keeps working afterwards."""
-        tenant = self.tenants[name]
-        if to_host_index == tenant.host_index:
-            return tenant
-        if not self.attest_host(to_host_index):
-            raise ReproError("refusing to migrate onto an unattested host")
+    def _migrate_once(self, tenant, to_host_index):
+        """One migration attempt; updates the tenant only on success.
+
+        On failure the two-phase ``migrate_guest`` has already restored
+        the source, so the tenant handle stays valid where it is; the
+        failed target is re-attested (quarantining it if its quotes have
+        gone bad mid-operation) and the error propagates to the retry
+        loop or the caller.
+        """
         source = self.hosts[tenant.host_index]
         target = self.hosts[to_host_index]
-        domain, ctx = migrate_guest(source.fidelius, tenant.domain,
-                                    target.fidelius)
+        try:
+            domain, ctx = migrate_guest(source.fidelius, tenant.domain,
+                                        target.fidelius)
+        except ReproError as exc:
+            self._record("migrate-failed", tenant=tenant.name,
+                         source=tenant.host_index, target=to_host_index,
+                         reason=str(exc))
+            self.attest_host(to_host_index)
+            raise
         tenant.host_index = to_host_index
         tenant.domain = domain
         tenant.ctx = ctx
         return tenant
 
-    def evacuate(self, host_index):
-        """Migrate every tenant off one host (maintenance drain)."""
-        others = [i for i in self.attested_hosts() if i != host_index]
-        if not others:
-            raise ReproError("nowhere to evacuate to")
+    def migrate_tenant(self, name, to_host_index=None, retries=2):
+        """Move a tenant; its handle keeps working afterwards.
+
+        With an explicit destination this is a single fail-closed
+        attempt.  With ``to_host_index=None`` the destination is chosen
+        from the attested pool and retried up to ``retries`` further
+        times, excluding hosts that already failed; if every candidate
+        fails, the error propagates with the tenant still running on its
+        original host.
+        """
+        tenant = self.tenants[name]
+        if to_host_index is not None:
+            if to_host_index == tenant.host_index:
+                return tenant
+            if not self.attest_host(to_host_index):
+                raise ReproError("refusing to migrate onto an "
+                                 "unattested host")
+            return self._migrate_once(tenant, to_host_index)
+
+        excluded = {tenant.host_index}
+        last_error = None
+        for _ in range(1 + retries):
+            try:
+                destination = self.pick_host(exclude=excluded)
+            except ReproError:
+                break
+            try:
+                return self._migrate_once(tenant, destination)
+            except ReproError as exc:
+                excluded.add(destination)
+                last_error = exc
+        raise last_error if last_error is not None else ReproError(
+            "no attested destination for tenant %r" % name)
+
+    def evacuate(self, host_index, retries=2):
+        """Migrate every tenant off one host (maintenance drain).
+
+        Each tenant is retried across the remaining attested hosts with
+        failed destinations excluded.  If a tenant exhausts every
+        candidate the drain stops with that tenant (and any not yet
+        attempted) still intact on the source — never half-moved.
+        """
         moved = []
         for tenant in list(self.tenants.values()):
             if tenant.host_index != host_index:
                 continue
-            destination = min(others, key=self._load)
-            self.migrate_tenant(tenant.name, destination)
-            moved.append(tenant.name)
+            excluded = {host_index}
+            last_error = None
+            for _ in range(1 + retries):
+                candidates = [i for i in self.attested_hosts()
+                              if i not in excluded]
+                if not candidates:
+                    break
+                destination = min(candidates, key=self._load)
+                try:
+                    self._migrate_once(tenant, destination)
+                    moved.append(tenant.name)
+                    last_error = None
+                    break
+                except ReproError as exc:
+                    excluded.add(destination)
+                    last_error = exc
+            else:
+                last_error = last_error or ReproError(
+                    "evacuation retries exhausted")
+            if tenant.host_index == host_index:
+                self._record("evacuation-stalled", tenant=tenant.name,
+                             host=host_index)
+                raise last_error if last_error is not None else ReproError(
+                    "nowhere to evacuate to")
         return moved
 
     # -- lifecycle ----------------------------------------------------------------------
 
     def shutdown_tenant(self, name):
-        tenant = self.tenants.pop(name)
+        """Tear a tenant down; it is forgotten only once destroy succeeds."""
+        tenant = self.tenants[name]
         host = self.hosts[tenant.host_index]
         host.hypervisor.destroy_domain(tenant.domain)
+        del self.tenants[name]
 
     def inventory(self):
         """{host_index: [tenant names]} for every host."""

@@ -82,21 +82,33 @@ class RemoteVerifier:
         nonce = bytes(rng.getrandbits(8) for _ in range(16))
         return nonce
 
-    def check(self, quote, nonce):
-        """Raises :class:`ReproError` unless the quote is acceptable."""
+    def explain(self, quote, nonce):
+        """Why the quote is unacceptable, or None if it verifies.
+
+        A fresh nonce is consumed exactly when it passes the replay
+        checks, so a rejected quote still burns its nonce — replaying
+        the same challenge later can never succeed.
+        """
         if quote.nonce != nonce:
-            raise ReproError("attestation: stale or replayed quote")
+            return "attestation: stale or replayed quote"
         if nonce in self._used_nonces:
-            raise ReproError("attestation: nonce reuse")
+            return "attestation: nonce reuse"
         self._used_nonces.add(nonce)
         if not self._verify_signature(quote):
-            raise ReproError("attestation: bad quote signature")
+            return "attestation: bad quote signature"
         if quote.fidelius_measurement != self.golden_fidelius:
-            raise ReproError("attestation: Fidelius text does not match "
-                             "the golden measurement")
+            return ("attestation: Fidelius text does not match "
+                    "the golden measurement")
         if quote.xen_measurement != self.golden_xen:
-            raise ReproError("attestation: hypervisor text does not match "
-                             "the golden measurement")
+            return ("attestation: hypervisor text does not match "
+                    "the golden measurement")
+        return None
+
+    def check(self, quote, nonce):
+        """Raises :class:`ReproError` unless the quote is acceptable."""
+        reason = self.explain(quote, nonce)
+        if reason is not None:
+            raise ReproError(reason)
         return True
 
 

@@ -76,6 +76,9 @@ class Fidelius:
         #: SEV metadata (handles, nonces, owner keys) — see
         #: ``_sync_sev_metadata`` for the in-memory (unmapped) copy.
         self.sev_meta = {}
+        #: Idempotency registry for RECEIVE: package import-key -> domid,
+        #: so a replayed migration package cannot mint a duplicate domain.
+        self.received_imports = {}
         self.gates = GateKeeper(self)
         self.shadow = ShadowKeeper(self)
         self.write_policy = WritePolicyEngine(self)
@@ -432,6 +435,11 @@ class Fidelius:
         in pages unmapped from the hypervisor."""
         self.sev_meta.setdefault(domain.domid, {}).update(fields)
         self._sync_sev_metadata()
+
+    def drop_sev_metadata(self, domid):
+        """Discard a domain's metadata (rollback of a failed RECEIVE)."""
+        if self.sev_meta.pop(domid, None) is not None:
+            self._sync_sev_metadata()
 
     def _sync_sev_metadata(self):
         """Serialize the metadata into the unmapped frames so the

@@ -148,38 +148,44 @@ def boot_protected_guest(fidelius, name, image, guest_frames, tamper=None,
     domain = hypervisor.create_domain(name, guest_frames, sev=True,
                                       vcpus=vcpus)
 
-    handle = fidelius.firmware_call(
-        "receive_start", image.kwrap, image.origin_public, image.nonce,
-        policy=image.policy)
-    domain.sev_handle = handle
-    fidelius.record_sev_metadata(
-        domain, handle=handle, asid=domain.asid, nonce=image.nonce.hex())
-
-    # The hypervisor loads the transport bytes (still mapped: the domain
-    # is not yet protected, so it temporarily has write permission).
-    loaded = []
-    for index, transport in image.records:
-        pa = hypervisor.guest_frame_hpfn(domain, index) * PAGE_SIZE
-        machine.cpu.store(pa, transport)
-        loaded.append((index, pa))
-    if tamper is not None:
-        tamper(machine, domain)
-
-    for index, pa in loaded:
-        transport = machine.memctrl.dma_read(pa, PAGE_SIZE)
-        fidelius.firmware_call(
-            "receive_update", handle, transport, page_tweak(index), pa)
     try:
+        handle = fidelius.firmware_call(
+            "receive_start", image.kwrap, image.origin_public, image.nonce,
+            policy=image.policy)
+        domain.sev_handle = handle
+        fidelius.record_sev_metadata(
+            domain, handle=handle, asid=domain.asid, nonce=image.nonce.hex())
+
+        # The hypervisor loads the transport bytes (still mapped: the
+        # domain is not yet protected, so it temporarily has write
+        # permission).
+        loaded = []
+        for index, transport in image.records:
+            pa = hypervisor.guest_frame_hpfn(domain, index) * PAGE_SIZE
+            machine.cpu.store(pa, transport)
+            loaded.append((index, pa))
+        if tamper is not None:
+            tamper(machine, domain)
+
+        for index, pa in loaded:
+            transport = machine.memctrl.dma_read(pa, PAGE_SIZE)
+            fidelius.firmware_call(
+                "receive_update", handle, transport, page_tweak(index), pa)
         fidelius.firmware_call(
             "receive_finish", handle, image.measurement)
+        fidelius.firmware_call("activate", handle, domain.asid)
     except SevError:
+        # Fail closed: a boot that dies anywhere between RECEIVE_START
+        # and ACTIVATE leaves no half-built guest behind — the firmware
+        # context is decommissioned and the domain destroyed.
         fidelius.audit_event("boot-integrity-failure", domid=domain.domid)
-        fidelius.firmware_call("decommission", handle)
+        if domain.sev_handle is not None \
+                and domain.sev_handle in fidelius.firmware.handles():
+            fidelius.firmware_call("decommission", domain.sev_handle)
         domain.sev_handle = None
+        fidelius.drop_sev_metadata(domain.domid)
         hypervisor.destroy_domain(domain)
         raise
-
-    fidelius.firmware_call("activate", handle, domain.asid)
     # The guest kernel boots with its image pages marked encrypted in
     # its own page tables (C-bits).
     domain.encrypted_gfns.update(range(image.pages))

@@ -11,6 +11,16 @@ Live migration is not supported: SEND_START moves the guest context out
 of the RUNNING state, which stops execution — Fidelius's VMRUN gate
 refuses to re-enter a guest that is not RUNNING.
 
+Crash safety (fail closed): every operation here is transactional.
+``send_guest`` cancels the SEND on any mid-stream failure, so the source
+returns to RUNNING; ``receive_guest`` rolls the half-built target domain
+back (decommission + destroy) on any failure and is idempotent under
+replay (a package already imported returns the existing domain instead
+of minting a duplicate); ``migrate_guest`` only tears the source down
+*after* the target has verified the measurement and activated.  A failed
+migration therefore always leaves the tenant exactly where it was,
+re-enterable.
+
 One modelling note: SEV transport only makes sense for the pages the
 guest encrypts with K_vek.  Pages the guest deliberately keeps
 *unencrypted* (the shared I/O buffers) carry no secrets by construction
@@ -18,6 +28,7 @@ and are copied verbatim by the hypervisor, exactly as on unprotected
 hosts.
 """
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.common.constants import PAGE_SIZE
@@ -40,9 +51,18 @@ class MigrationPackage:
     encrypted_gfns: frozenset
     policy: int = 0
 
+    def import_key(self):
+        """What makes a replayed package recognizable on the target."""
+        return (self.name, self.nonce, self.measurement)
+
 
 def send_guest(source_fidelius, domain, target_public):
-    """Source half: stop the guest and produce a migration package."""
+    """Source half: stop the guest and produce a migration package.
+
+    Transactional: if any step after SEND_START fails, the SEND is
+    cancelled and the guest returns to RUNNING before the error
+    propagates — the source is never stranded mid-SEND.
+    """
     if domain.sev_handle is None:
         raise ReproError("domain has no SEV context to migrate")
     machine = source_fidelius.machine
@@ -52,18 +72,25 @@ def send_guest(source_fidelius, domain, target_public):
 
     kwrap = source_fidelius.firmware_call(
         "send_start", handle, target_public, nonce)
-
-    encrypted_records = []
-    plain_records = []
-    for gfn in range(domain.guest_frames):
-        pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
-        if gfn in domain.encrypted_gfns:
-            transport = source_fidelius.firmware_call(
-                "send_update", handle, pa, PAGE_SIZE, tweak=page_tweak(gfn))
-            encrypted_records.append((gfn, transport))
-        else:
-            plain_records.append((gfn, machine.memctrl.dma_read(pa, PAGE_SIZE)))
-    measurement = source_fidelius.firmware_call("send_finish", handle)
+    try:
+        encrypted_records = []
+        plain_records = []
+        for gfn in range(domain.guest_frames):
+            pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
+            if gfn in domain.encrypted_gfns:
+                transport = source_fidelius.firmware_call(
+                    "send_update", handle, pa, PAGE_SIZE,
+                    tweak=page_tweak(gfn))
+                encrypted_records.append((gfn, transport))
+            else:
+                plain_records.append(
+                    (gfn, machine.memctrl.dma_read(pa, PAGE_SIZE)))
+        measurement = source_fidelius.firmware_call("send_finish", handle)
+    except ReproError:
+        source_fidelius.firmware_call("send_cancel", handle)
+        source_fidelius.audit_event("migration-send-failed",
+                                    domid=domain.domid)
+        raise
 
     origin_public = source_fidelius.firmware.platform_public_key
     policy = source_fidelius.firmware.guest_policy(handle)
@@ -84,44 +111,103 @@ def send_guest(source_fidelius, domain, target_public):
     return package
 
 
+def cancel_send(source_fidelius, domain):
+    """Abort a completed-but-uncommitted SEND: the source guest goes back
+    to RUNNING and its next VMRUN passes the gate again."""
+    if domain.sev_handle is None:
+        raise ReproError("domain has no SEV context")
+    source_fidelius.firmware_call("send_cancel", domain.sev_handle)
+    source_fidelius.audit_event("migration-cancelled", domid=domain.domid)
+    return domain
+
+
+def _find_existing_import(target_fidelius, package):
+    """The live domain a replayed package already produced, if any."""
+    domid = target_fidelius.received_imports.get(package.import_key())
+    if domid is None:
+        return None
+    domain = target_fidelius.hypervisor.domains.get(domid)
+    if domain is None or domain.name != package.name:
+        # Stale registry entry: the earlier import has been destroyed,
+        # so a fresh import is legitimate (e.g. restore after shutdown).
+        del target_fidelius.received_imports[package.import_key()]
+        return None
+    return domain
+
+
 def receive_guest(target_fidelius, package):
-    """Target half: rebuild the guest from a migration package."""
+    """Target half: rebuild the guest from a migration package.
+
+    Idempotent: replaying a package that already produced a live domain
+    returns that domain instead of creating a duplicate.  Crash safe:
+    any failure rolls the half-built domain back (context decommissioned,
+    domain destroyed) before the error propagates.
+    """
+    existing = _find_existing_import(target_fidelius, package)
+    if existing is not None:
+        target_fidelius.audit_event("migration-replay-ignored",
+                                    domid=existing.domid)
+        return existing, existing.context()
+
     hypervisor = target_fidelius.hypervisor
     machine = target_fidelius.machine
     domain = hypervisor.create_domain(
         package.name, package.guest_frames, sev=True)
 
-    handle = target_fidelius.firmware_call(
-        "receive_start", package.kwrap, package.origin_public,
-        package.nonce, policy=package.policy)
-    domain.sev_handle = handle
-    target_fidelius.record_sev_metadata(
-        domain, handle=handle, asid=domain.asid)
+    try:
+        handle = target_fidelius.firmware_call(
+            "receive_start", package.kwrap, package.origin_public,
+            package.nonce, policy=package.policy)
+        domain.sev_handle = handle
+        target_fidelius.record_sev_metadata(
+            domain, handle=handle, asid=domain.asid)
 
-    for gfn, transport in package.encrypted_records:
-        pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
+        for gfn, transport in package.encrypted_records:
+            pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
+            target_fidelius.firmware_call(
+                "receive_update", handle, transport, page_tweak(gfn), pa)
         target_fidelius.firmware_call(
-            "receive_update", handle, transport, page_tweak(gfn), pa)
-    target_fidelius.firmware_call(
-        "receive_finish", handle, package.measurement)
-    for gfn, raw in package.plain_records:
-        pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
-        machine.memctrl.dma_write(pa, raw)
+            "receive_finish", handle, package.measurement)
+        for gfn, raw in package.plain_records:
+            pa = hypervisor.guest_frame_hpfn(domain, gfn) * PAGE_SIZE
+            machine.memctrl.dma_write(pa, raw)
 
-    target_fidelius.firmware_call("activate", handle, domain.asid)
+        target_fidelius.firmware_call("activate", handle, domain.asid)
+    except ReproError:
+        target_fidelius.audit_event("migration-receive-failed",
+                                    domid=domain.domid)
+        if domain.sev_handle is not None \
+                and domain.sev_handle in target_fidelius.firmware.handles():
+            target_fidelius.firmware_call("decommission", domain.sev_handle)
+        domain.sev_handle = None
+        target_fidelius.drop_sev_metadata(domain.domid)
+        hypervisor.destroy_domain(domain)
+        raise
+
     domain.encrypted_gfns.update(package.encrypted_gfns)
     target_fidelius.protect_domain(domain)
+    target_fidelius.received_imports[package.import_key()] = domain.domid
     target_fidelius.audit_event("migration-received", domid=domain.domid)
     return domain, domain.context()
 
 
 def migrate_guest(source_fidelius, domain, target_fidelius):
-    """Full migration: send, tear down the source, receive on the target."""
+    """Full migration, two-phase: the source is torn down only *after*
+    the target has verified the measurement and activated the guest.
+
+    Any target-side failure cancels the SEND, leaving the source domain
+    intact, RUNNING, and re-enterable — the tenant is never lost.
+    """
     package = send_guest(
         source_fidelius, domain,
         target_fidelius.firmware.platform_public_key)
+    try:
+        received = receive_guest(target_fidelius, package)
+    except ReproError:
+        cancel_send(source_fidelius, domain)
+        raise
     source_fidelius.hypervisor.destroy_domain(domain)
-    return receive_guest(target_fidelius, package)
+    return received
 
 
 def snapshot_guest(fidelius, domain):
@@ -139,7 +225,6 @@ def restore_guest(fidelius, package, name=None):
     """VM restore: RECEIVE the snapshot back as a fresh domain (new
     handle, new ASID, fresh K_vek) on the same host."""
     if name is not None:
-        import dataclasses
         package = dataclasses.replace(package, name=name)
     domain, ctx = receive_guest(fidelius, package)
     fidelius.audit_event("snapshot-restored", domid=domain.domid)

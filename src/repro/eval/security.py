@@ -65,6 +65,27 @@ def permission_matrix(system=None):
     return rows
 
 
+def plaintext_leak_scan(system, secrets):
+    """Scan raw DRAM for secrets that must never sit in the clear.
+
+    ``secrets`` is an iterable of ``(label, needle_bytes)``.  Returns a
+    list of violation strings (empty = no leak): one per secret found in
+    any frame of the cold-boot dump — the boundary every protected-guest
+    secret must stay behind, whatever faults the platform absorbed.
+    """
+    violations = []
+    dump = system.machine.cold_boot_dump()
+    for label, needle in secrets:
+        if not needle:
+            continue
+        for pfn in sorted(dump):
+            if needle in dump[pfn]:
+                violations.append("secret %r in the clear at pfn %#x"
+                                  % (label, pfn))
+                break
+    return violations
+
+
 @dataclass(frozen=True)
 class InstructionRow:
     instruction: str

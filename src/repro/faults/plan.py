@@ -1,0 +1,123 @@
+"""Fault plans: deterministic, seed-driven schedules of injected faults.
+
+A plan is a tuple of :class:`FaultSpec` entries.  Each spec names an
+injection *site* (a layer boundary the injectors know how to arm), an
+*action* the site supports, and a trigger predicate: either the nth
+matching call at that site, or a per-call probability.  Probability
+draws come from the armed machine's own seeded RNG, so a (machine seed,
+plan) pair reproduces the identical fault schedule byte for byte —
+the FID007 determinism discipline extends to the chaos itself.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ReproError
+
+#: SEV firmware commands the injector can fail (the migration and
+#: lifecycle surface; LAUNCH is covered through receive/activate).
+FIRMWARE_METHODS = (
+    "send_start",
+    "send_update",
+    "send_finish",
+    "receive_start",
+    "receive_update",
+    "receive_finish",
+    "activate",
+)
+
+#: site -> actions the injector supports there.
+SITE_ACTIONS = dict(
+    [("firmware.%s" % method, ("error",)) for method in FIRMWARE_METHODS]
+    + [
+        ("dma.read", ("flip", "drop")),
+        ("dma.write", ("flip", "drop")),
+        ("attest.quote", ("garbage", "stale")),
+        ("ring.pop_request", ("drop", "dup")),
+        ("ring.push_response", ("drop", "dup")),
+    ]
+)
+
+DEFAULT_SITES = tuple(sorted(SITE_ACTIONS))
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: where, what, and when it fires.
+
+    ``nth > 0`` fires on exactly the nth matching call; ``nth == 0``
+    fires per call with ``probability`` (drawn from the armed machine's
+    RNG).  ``count`` bounds how many times the spec may fire in total.
+    """
+
+    site: str
+    action: str
+    nth: int = 0
+    probability: float = 0.0
+    count: int = 1
+
+    def __post_init__(self):
+        actions = SITE_ACTIONS.get(self.site)
+        if actions is None:
+            raise ReproError("unknown fault site %r" % (self.site,))
+        if self.action not in actions:
+            raise ReproError("site %r does not support action %r "
+                             "(supported: %s)" % (self.site, self.action,
+                                                  ", ".join(actions)))
+        if self.nth < 0 or not 0.0 <= self.probability <= 1.0:
+            raise ReproError("bad trigger for %r" % (self.site,))
+        if self.nth == 0 and self.probability == 0.0:
+            raise ReproError("spec for %r can never fire: give nth or "
+                             "probability" % (self.site,))
+
+    def describe(self):
+        trigger = ("call #%d" % self.nth if self.nth
+                   else "p=%.3f" % self.probability)
+        return "%s %s (%s, up to %d)" % (self.site, self.action, trigger,
+                                         self.count)
+
+
+class FaultPlan:
+    """An immutable schedule of faults, shared by every armed injector."""
+
+    def __init__(self, specs=()):
+        self.specs = tuple(specs)
+
+    def __len__(self):
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def for_site(self, site):
+        """(index, spec) pairs targeting ``site``, in plan order."""
+        return [(i, s) for i, s in enumerate(self.specs) if s.site == site]
+
+    def sites(self):
+        return sorted({s.site for s in self.specs})
+
+    def describe(self):
+        return "; ".join(s.describe() for s in self.specs) or "(empty plan)"
+
+    @classmethod
+    def random(cls, seed, nfaults=3, sites=DEFAULT_SITES):
+        """A deterministic plan drawn from ``seed``.
+
+        The same seed always yields the same plan; the soak harness uses
+        one plan per scenario seed so a failing schedule can be replayed
+        exactly from its seed alone.
+        """
+        rng = random.Random(seed)
+        specs = []
+        for _ in range(nfaults):
+            site = rng.choice(list(sites))
+            action = rng.choice(list(SITE_ACTIONS[site]))
+            if rng.random() < 0.5:
+                specs.append(FaultSpec(site, action,
+                                       nth=rng.randrange(1, 6)))
+            else:
+                specs.append(FaultSpec(
+                    site, action,
+                    probability=round(rng.uniform(0.05, 0.35), 3),
+                    count=rng.randrange(1, 3)))
+        return cls(specs)

@@ -1,0 +1,207 @@
+"""The chaos soak harness: scripted fleet workloads under injected faults.
+
+One scenario = one seed.  The seed fixes both the fault plan
+(:meth:`~repro.faults.plan.FaultPlan.random`) and the fleet (every
+host's machine RNG), so a failing schedule replays byte for byte from
+the seed alone — run the same seed twice and :func:`schedule_bytes`
+returns identical bytes.
+
+The workload launches tenants with secret payloads, drives encrypted
+disk I/O, migrates every tenant, evacuates a host and shuts a tenant
+down, with faults armed at every boundary.  After each operation, and
+once more after disarming, the harness asserts the two paper-level
+properties the fault injection exists to defend:
+
+* **placement** — every tenant is running on exactly one host (its
+  domain live on the host its handle names, no duplicate incarnations
+  anywhere), or its operation raised cleanly and it stayed put;
+* **confidentiality** — no tenant secret appears in any host's raw DRAM
+  (:func:`repro.eval.security.plaintext_leak_scan`), whatever faults
+  the platform absorbed.
+
+The final phase also re-enters every surviving tenant (proving a
+cancelled migration really leaves the source RUNNING) and runs the full
+:func:`repro.core.invariants.check_invariants` audit on every host.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.cloud import Cloud
+from repro.common.errors import ReproError
+from repro.core.invariants import check_invariants
+from repro.eval.security import plaintext_leak_scan
+from repro.faults.inject import arm_cloud, schedule_bytes
+from repro.faults.plan import FaultPlan
+from repro.system import GuestOwner
+from repro.xen import hypercalls as hc
+
+#: The fixed seed set CI soaks over (acceptance floor: 20 seeds).
+DEFAULT_SEEDS = tuple(range(20))
+
+
+@dataclass
+class SoakResult:
+    """Everything one scenario observed, for assertions and replay."""
+
+    seed: int
+    completed_ops: list = field(default_factory=list)
+    failed_ops: list = field(default_factory=list)   # (op, error string)
+    violations: list = field(default_factory=list)
+    schedule: bytes = b""
+    survivors: int = 0
+
+    @property
+    def clean(self):
+        return not self.violations
+
+    def describe(self):
+        return ("seed=%d ok=%d failed-clean=%d faults=%d survivors=%d %s"
+                % (self.seed, len(self.completed_ops), len(self.failed_ops),
+                   len(self.schedule.splitlines()), self.survivors,
+                   "CLEAN" if self.clean else "VIOLATED"))
+
+
+def _secret(seed, name):
+    """A high-entropy-looking needle unique to (scenario, tenant)."""
+    return (b"SOAK-SECRET|%s|seed=%d|" % (name.encode(), seed)) * 4
+
+
+def fleet_violations(cloud, secrets):
+    """The placement and confidentiality checks, against a live fleet."""
+    violations = []
+    for tenant in cloud.tenants.values():
+        host = cloud.host(tenant.host_index)
+        if host.hypervisor.domains.get(tenant.domain.domid) \
+                is not tenant.domain:
+            violations.append("tenant %r lost: domain %d not live on "
+                              "host %d" % (tenant.name, tenant.domain.domid,
+                                           tenant.host_index))
+        incarnations = sum(
+            1 for system in cloud.hosts
+            for domain in system.hypervisor.domains.values()
+            if domain.name == tenant.name)
+        if incarnations != 1:
+            violations.append("tenant %r has %d incarnations across the "
+                              "fleet" % (tenant.name, incarnations))
+    for index, system in enumerate(cloud.hosts):
+        for leak in plaintext_leak_scan(system, secrets):
+            violations.append("host %d: %s" % (index, leak))
+    return violations
+
+
+def _attempt(result, cloud, secrets, name, operation):
+    """Run one workload step; a clean ReproError is an accepted outcome,
+    anything the fleet checks flag afterwards is not."""
+    try:
+        operation()
+        result.completed_ops.append(name)
+    except ReproError as exc:
+        result.failed_ops.append((name, str(exc)))
+    result.violations.extend(
+        "%s: %s" % (name, v) for v in fleet_violations(cloud, secrets))
+
+
+def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4):
+    """One seeded scenario: build, arm, run the workload, verify."""
+    plan = FaultPlan.random(seed, nfaults=nfaults)
+    cloud = Cloud(hosts=hosts, frames=frames, seed=0xB000 + seed)
+    injectors = arm_cloud(cloud, plan)
+    result = SoakResult(seed=seed)
+    names = ["t%d" % i for i in range(tenants)]
+    secrets = [(name, _secret(seed, name)) for name in names]
+    disk_secret = _secret(seed, "disk")
+    secrets.append(("disk", disk_secret))
+
+    def launch(name, index):
+        def op():
+            cloud.launch_tenant(name, GuestOwner(seed=seed * 101 + index),
+                                payload=_secret(seed, name),
+                                guest_frames=32)
+        return op
+
+    def disk_io(name):
+        def op():
+            tenant = cloud.tenants.get(name)
+            if tenant is None:
+                return
+            host = cloud.host(tenant.host_index)
+            encoder = host.aesni_encoder_for(tenant.ctx)
+            _, frontend, _ = host.attach_disk(
+                tenant.domain, tenant.ctx, sectors=64, encoder=encoder)
+            injectors[tenant.host_index].arm_ring(frontend.ring)
+            frontend.write(0, disk_secret)
+            frontend.read(0, 1)
+        return op
+
+    def migrate(name):
+        def op():
+            if name in cloud.tenants:
+                cloud.migrate_tenant(name)
+        return op
+
+    def shutdown(name):
+        def op():
+            if name in cloud.tenants:
+                cloud.shutdown_tenant(name)
+        return op
+
+    for index, name in enumerate(names):
+        _attempt(result, cloud, secrets, "launch:" + name,
+                 launch(name, index))
+    _attempt(result, cloud, secrets, "disk-io", disk_io(names[0]))
+    for name in names:
+        _attempt(result, cloud, secrets, "migrate:" + name, migrate(name))
+    _attempt(result, cloud, secrets, "evacuate:0", lambda: cloud.evacuate(0))
+    _attempt(result, cloud, secrets, "shutdown:" + names[-1],
+             shutdown(names[-1]))
+
+    # Final phase: faults off, the fleet must stand on its own.
+    result.schedule = schedule_bytes(injectors)
+    for injector in injectors:
+        injector.disarm()
+    result.violations.extend(
+        "final: %s" % v for v in fleet_violations(cloud, secrets))
+    for tenant in cloud.tenants.values():
+        try:
+            tenant.ctx.hypercall(hc.HC_SCHED_YIELD)
+        except ReproError as exc:
+            result.violations.append(
+                "final: tenant %r not re-enterable: %s" % (tenant.name, exc))
+    for index, system in enumerate(cloud.hosts):
+        result.violations.extend(
+            "final: host %d invariant: %s" % (index, v)
+            for v in check_invariants(system))
+    result.survivors = len(cloud.tenants)
+    return result
+
+
+def soak(seeds=DEFAULT_SEEDS, **scenario_kwargs):
+    """Run every seed; returns the list of :class:`SoakResult`."""
+    return [run_scenario(seed, **scenario_kwargs) for seed in seeds]
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.soak",
+        description="chaos-soak the Fidelius fleet across seeded "
+                    "fault schedules")
+    parser.add_argument("--seeds", type=int, default=len(DEFAULT_SEEDS),
+                        help="number of seeds (0..N-1) to soak")
+    parser.add_argument("--hosts", type=int, default=3)
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--nfaults", type=int, default=4)
+    args = parser.parse_args(argv)
+    results = soak(range(args.seeds), hosts=args.hosts,
+                   tenants=args.tenants, nfaults=args.nfaults)
+    for result in results:
+        print(result.describe())
+        for violation in result.violations:
+            print("  !! " + violation)
+    bad = [r for r in results if not r.clean]
+    print("%d/%d scenarios clean" % (len(results) - len(bad), len(results)))
+    return 1 if bad else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

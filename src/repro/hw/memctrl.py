@@ -32,7 +32,7 @@ from repro.common.constants import (
     LINE_TRANSFER_CYCLES,
     MAX_ASID,
 )
-from repro.common.errors import ReproError
+from repro.common.errors import PhysicalMemoryError, ReproError
 
 
 class KeySlotError(ReproError):
@@ -46,6 +46,8 @@ def line_tweak(line_pa):
 
 def split_lines(pa, length):
     """Split [pa, pa+length) into (line_pa, offset_in_line, chunk_len)."""
+    if length < 0:
+        raise PhysicalMemoryError("negative region length %d" % length)
     pieces = []
     cursor = pa
     remaining = length
@@ -192,6 +194,8 @@ class MemoryController:
 
     def dma_read(self, pa, length):
         """Device-initiated read: raw bus bytes, never decrypted."""
+        if length < 0:
+            raise PhysicalMemoryError("negative DMA length %d" % length)
         self._charge_transfer(length, False, "dma-read")
         return self.memory.read(pa, length)
 

@@ -273,6 +273,21 @@ class SevFirmware:
         ctx.require_state(GuestState.SENDING)
         return crypto.hmac_measure(ctx.tik, ctx.stream_digest())
 
+    def send_cancel(self, handle):
+        """SEND_CANCEL: abort an in-progress SEND.
+
+        The transport keys are discarded and the guest returns to
+        RUNNING, so a failed migration leaves the source re-enterable
+        (the real API's SEND_CANCEL, added for exactly this reason).
+        """
+        self._check_gate("SEND_CANCEL")
+        ctx = self._context(handle)
+        ctx.require_state(GuestState.SENDING)
+        ctx.tek = None
+        ctx.tik = None
+        ctx.reset_stream()
+        ctx.state = GuestState.RUNNING
+
     # -- receive group (boot from encrypted image / migration target / r-dom) -----------
 
     def receive_start(self, wrapped, peer_public, nonce, share_kvek_with=None,

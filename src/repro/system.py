@@ -120,6 +120,13 @@ class System:
             buffer_pages=buffer_pages)
         return disk, frontend, backend
 
+    def memory_contains(self, needle):
+        """True if ``needle`` appears anywhere in raw DRAM — what a
+        cold-boot attacker (or the hypervisor via DMA) would see.  Guest
+        secrets behind the memory encryption engine never match."""
+        return any(needle in frame
+                   for frame in self.machine.cold_boot_dump().values())
+
     def aesni_encoder_for(self, ctx):
         """Build the AES-NI encoder from the K_blk embedded in the
         booted kernel image (Section 4.3.3 step 4)."""

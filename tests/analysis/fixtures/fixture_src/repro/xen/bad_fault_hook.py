@@ -1,0 +1,11 @@
+"""Fixture: product code peeking at the fault-injector marker (FID009).
+
+Uses the attribute form (not an import of repro.faults) so FID003's
+layering check stays quiet and only the containment rule fires.
+"""
+
+
+def degrade_if_injected(fidelius):
+    if fidelius._fault_injector is not None:
+        return "observed"
+    return "normal"

@@ -197,12 +197,12 @@ def test_cli_json_output_on_fixture_tree(capsys):
     rc = main(["--root", FIXTURE_ROOT, "--no-baseline", "--format", "json"])
     assert rc == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["counts"]["error"] == 5
+    assert payload["counts"]["error"] == 6
     assert payload["counts"]["warning"] == 3
-    # 8 bad modules + 7 package __init__ files
-    assert payload["counts"]["modules"] == 15
+    # 9 bad modules + 7 package __init__ files
+    assert payload["counts"]["modules"] == 16
     rules_seen = {f["rule"] for f in payload["findings"]}
-    assert len(rules_seen) == 8
+    assert len(rules_seen) == 9
 
 
 def test_cli_select_runs_only_requested_rule(capsys):

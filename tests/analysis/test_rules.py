@@ -3,7 +3,7 @@
 The fixture tree under ``fixtures/fixture_src`` is a miniature ``repro``
 package with one known-bad module per rule.  Every module is crafted to
 trigger its own rule exactly once and no other rule at all, so the whole
-tree yields exactly eight findings — one per rule.
+tree yields exactly nine findings — one per rule.
 """
 
 import os
@@ -24,6 +24,7 @@ EXPECTED = {
     "FID006": ("repro.common.bad_mutable_default", Severity.WARNING),
     "FID007": ("repro.workloads.bad_determinism", Severity.ERROR),
     "FID008": ("repro.xen.bad_opcode", Severity.ERROR),
+    "FID009": ("repro.xen.bad_fault_hook", Severity.ERROR),
 }
 
 
@@ -50,9 +51,9 @@ def test_fixture_tree_yields_exactly_one_finding_per_rule():
 
 
 def test_fixture_tree_fails_even_without_strict():
-    # Five of the eight rules are errors, so plain mode already fails.
+    # Six of the nine rules are errors, so plain mode already fails.
     result = _fixture_result()
-    assert result.error_count == 5
+    assert result.error_count == 6
     assert result.warning_count == 3
     assert result.exit_code(strict=False) == 1
     assert result.exit_code(strict=True) == 1

@@ -1,0 +1,161 @@
+"""Crash consistency: recover from faults mid-operation, and prove the
+fault harness catches the lost-tenant bug it was built to prevent."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import (
+    PhysicalMemoryError,
+    ReproError,
+    SevError,
+    XenError,
+)
+from repro.core.migration import (
+    migrate_guest,
+    receive_guest,
+    restore_guest,
+    send_guest,
+    snapshot_guest,
+)
+from repro.faults.inject import arm_system
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.soak import fleet_violations
+from repro.cloud import Cloud
+from repro.system import GuestOwner, System
+from repro.xen import hypercalls as hc
+
+
+def _system(seed=0xC8A5):
+    return System.create(fidelius=True, frames=2048, seed=seed)
+
+
+def _stateful_guest(system, name="app"):
+    domain, ctx = system.boot_protected_guest(
+        name, GuestOwner(seed=0x33), payload=b"crash-consistent app",
+        guest_frames=32)
+    ctx.set_page_encrypted(5)
+    ctx.write(5 * PAGE_SIZE, b"durable state")
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    return domain, ctx
+
+
+def _plan(site, action="error"):
+    return FaultPlan([FaultSpec(site, action, nth=1)])
+
+
+class TestSnapshotRestore:
+    def test_fault_mid_restore_then_restore_again_succeeds(self):
+        system = _system()
+        domain, _ = _stateful_guest(system)
+        package = snapshot_guest(system.fidelius, domain)
+        system.hypervisor.destroy_domain(domain)
+
+        injector = arm_system(system, _plan("firmware.receive_update"))
+        with pytest.raises(SevError, match="injected failure"):
+            restore_guest(system.fidelius, package)
+        injector.disarm()
+
+        # The failed restore rolled back completely; the snapshot is
+        # still restorable and the guest state is intact.
+        restored, rctx = restore_guest(system.fidelius, package)
+        assert rctx.read(5 * PAGE_SIZE, 13) == b"durable state"
+        assert "migration-receive-failed" in system.fidelius.audit_kinds()
+        assert [d.name for d in
+                system.hypervisor.domains.values()].count("app") == 1
+
+    def test_dma_flip_mid_restore_never_leaks_plaintext(self):
+        # SEV has no DRAM integrity tree: a bit flip on the ciphertext
+        # path can corrupt the restored guest.  The invariant that must
+        # survive is confidentiality — flipped ciphertext stays
+        # ciphertext, and a failure (if any) is a clean ReproError.
+        system = _system()
+        domain, _ = _stateful_guest(system)
+        package = snapshot_guest(system.fidelius, domain)
+        system.hypervisor.destroy_domain(domain)
+        injector = arm_system(
+            system, FaultPlan([FaultSpec("dma.write", "flip", nth=2)]))
+        try:
+            restore_guest(system.fidelius, package)
+        except ReproError:
+            pass
+        injector.disarm()
+        assert not system.memory_contains(b"durable state")
+        assert not system.memory_contains(b"crash-consistent app")
+
+
+class TestLostTenantDetection:
+    """The acceptance gate: a re-broken ``migrate_guest`` (source torn
+    down before the target commits) must be caught by these checks."""
+
+    def _broken_migrate(self, source_fidelius, domain, target_fidelius):
+        # The pre-fix ordering, reconstructed: destroy the source first,
+        # then try to receive.  A receive failure now loses the tenant.
+        package = send_guest(source_fidelius, domain,
+                             target_fidelius.firmware.platform_public_key)
+        source_fidelius.hypervisor.destroy_domain(domain)
+        return receive_guest(target_fidelius, package)
+
+    def test_fixed_migrate_keeps_the_source_under_the_same_fault(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xD1)
+        cloud.launch_tenant("t", GuestOwner(seed=9), payload=b"pp",
+                            guest_frames=16, host_index=0)
+        injector = arm_system(cloud.host(1),
+                              _plan("firmware.receive_finish"),
+                              label="host1")
+        with pytest.raises(SevError):
+            cloud.migrate_tenant("t", to_host_index=1)
+        injector.disarm()
+        assert fleet_violations(cloud, []) == []
+        cloud.tenants["t"].ctx.hypercall(hc.HC_SCHED_YIELD)
+
+    def test_broken_ordering_is_flagged_as_tenant_loss(self, monkeypatch):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xD2)
+        cloud.launch_tenant("t", GuestOwner(seed=9), payload=b"pp",
+                            guest_frames=16, host_index=0)
+        monkeypatch.setattr("repro.cloud.migrate_guest",
+                            self._broken_migrate)
+        injector = arm_system(cloud.host(1),
+                              _plan("firmware.receive_finish"),
+                              label="host1")
+        with pytest.raises(SevError):
+            cloud.migrate_tenant("t", to_host_index=1)
+        injector.disarm()
+        violations = fleet_violations(cloud, [])
+        assert violations and any("lost" in v for v in violations)
+
+
+class TestRingFaults:
+    def _disk_guest(self):
+        system = _system(seed=0xD15C)
+        domain, ctx = system.boot_protected_guest(
+            "io", GuestOwner(seed=2), payload=b"io app", guest_frames=48)
+        encoder = system.aesni_encoder_for(ctx)
+        _, frontend, _ = system.attach_disk(domain, ctx, sectors=32,
+                                            encoder=encoder)
+        return system, frontend
+
+    def test_dropped_ring_slot_fails_cleanly(self):
+        system, frontend = self._disk_guest()
+        injector = arm_system(system, _plan("ring.pop_request", "drop"))
+        injector.arm_ring(frontend.ring)
+        with pytest.raises(XenError):
+            frontend.write(0, b"never lands")
+        injector.disarm()
+        # The device is still usable after the glitch.
+        frontend.write(0, b"lands now")
+        assert frontend.read(0, 1)[:9] == b"lands now"
+
+    def test_duplicated_request_does_not_wedge_the_ring(self):
+        system, frontend = self._disk_guest()
+        injector = arm_system(system, _plan("ring.pop_request", "dup"))
+        injector.arm_ring(frontend.ring)
+        frontend.write(0, b"written once")
+        injector.disarm()
+        assert frontend.read(0, 1)[:12] == b"written once"
+
+
+class TestMemctrlGuards:
+    def test_negative_dma_length_is_rejected(self):
+        system = _system(seed=0x9E6)
+        with pytest.raises(PhysicalMemoryError):
+            system.machine.memctrl.dma_read(0, -4)

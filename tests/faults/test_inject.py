@@ -1,0 +1,94 @@
+"""HostInjector mechanics: triggers, arming, disarming, schedules."""
+
+import pytest
+
+from repro.common.errors import SevError
+from repro.faults.inject import HostInjector, arm_system, schedule_bytes
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.hw import Machine
+from repro.system import GuestOwner, System
+
+
+def _machine(seed=0xF00D):
+    return Machine(frames=64, seed=seed)
+
+
+class TestTriggers:
+    def test_nth_trigger_fires_on_exactly_that_call(self):
+        plan = FaultPlan([FaultSpec("dma.read", "flip", nth=3)])
+        injector = HostInjector(plan, _machine())
+        assert [injector.fire("dma.read") for _ in range(5)] == [
+            None, None, "flip", None, None]
+        assert injector.fired == [("host", "dma.read", 3, "flip")]
+
+    def test_count_bounds_total_firings(self):
+        plan = FaultPlan([
+            FaultSpec("dma.read", "drop", probability=1.0, count=2)])
+        injector = HostInjector(plan, _machine())
+        assert [injector.fire("dma.read") for _ in range(4)] == [
+            "drop", "drop", None, None]
+
+    def test_occurrence_counters_are_per_site(self):
+        plan = FaultPlan([FaultSpec("dma.write", "flip", nth=2)])
+        injector = HostInjector(plan, _machine())
+        assert injector.fire("dma.read") is None
+        assert injector.fire("dma.write") is None
+        assert injector.fire("dma.write") == "flip"
+
+    def test_probability_draws_replay_from_machine_seed(self):
+        plan = FaultPlan([
+            FaultSpec("dma.read", "flip", probability=0.3, count=99)])
+        runs = []
+        for _ in range(2):
+            injector = HostInjector(plan, _machine(seed=42))
+            runs.append([injector.fire("dma.read") for _ in range(30)])
+        assert runs[0] == runs[1]
+        assert "flip" in runs[0]
+
+    def test_flip_corrupts_exactly_one_byte(self):
+        plan = FaultPlan([FaultSpec("dma.read", "flip", nth=1)])
+        injector = HostInjector(plan, _machine())
+        data = bytes(32)
+        flipped = injector._flip(data)
+        assert len(flipped) == 32
+        assert sum(a != b for a, b in zip(data, flipped)) == 1
+
+
+class TestArming:
+    def test_armed_firmware_call_injects_then_disarm_restores(self):
+        system = System.create(fidelius=True, frames=1024, seed=0xA1)
+        plan = FaultPlan([FaultSpec("firmware.receive_start", "error", nth=1)])
+        injector = arm_system(system, plan)
+        assert "firmware_call" in vars(system.fidelius)
+        owner = GuestOwner(seed=7)
+        with pytest.raises(SevError, match="injected failure"):
+            system.boot_protected_guest("g", owner, payload=b"x",
+                                        guest_frames=16)
+        injector.disarm()
+        assert "firmware_call" not in vars(system.fidelius)
+        assert "_fault_injector" not in vars(system.fidelius)
+        # Pristine again: the same boot now succeeds.
+        system.boot_protected_guest("g", GuestOwner(seed=8), payload=b"x",
+                                    guest_frames=16)
+
+    def test_dma_drop_reads_zeros_and_flip_corrupts(self):
+        machine = _machine()
+        machine.memory.write(0, b"\xAA" * 16)
+        plan = FaultPlan([
+            FaultSpec("dma.read", "drop", nth=1),
+            FaultSpec("dma.read", "flip", nth=2),
+        ])
+        injector = HostInjector(plan, machine).arm_memctrl(machine.memctrl)
+        assert machine.memctrl.dma_read(0, 16) == bytes(16)
+        corrupted = machine.memctrl.dma_read(0, 16)
+        assert corrupted != b"\xAA" * 16
+        injector.disarm()
+        assert machine.memctrl.dma_read(0, 16) == b"\xAA" * 16
+
+    def test_schedule_bytes_serializes_fired_log(self):
+        plan = FaultPlan([FaultSpec("dma.read", "drop", nth=1)])
+        machine = _machine()
+        injector = HostInjector(plan, machine, label="hostX")
+        injector.arm_memctrl(machine.memctrl)
+        machine.memctrl.dma_read(0, 4)
+        assert schedule_bytes([injector]) == b"hostX dma.read #1 drop"

@@ -1,0 +1,60 @@
+"""FaultPlan and FaultSpec: validation, triggers, seeded determinism."""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.faults.plan import DEFAULT_SITES, SITE_ACTIONS, FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("firmware.frobnicate", "error", nth=1)
+
+    def test_unsupported_action_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("dma.read", "error", nth=1)
+
+    def test_never_firing_spec_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("dma.read", "flip")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ReproError):
+            FaultSpec("dma.read", "flip", probability=1.5)
+
+    def test_describe_mentions_trigger(self):
+        assert "call #3" in FaultSpec("dma.read", "flip", nth=3).describe()
+        assert "p=0.100" in FaultSpec(
+            "dma.read", "drop", probability=0.1).describe()
+
+    def test_every_declared_site_action_is_constructible(self):
+        for site, actions in SITE_ACTIONS.items():
+            for action in actions:
+                FaultSpec(site, action, nth=1)
+
+
+class TestFaultPlan:
+    def test_for_site_returns_indexed_specs_in_order(self):
+        plan = FaultPlan([
+            FaultSpec("dma.read", "flip", nth=1),
+            FaultSpec("attest.quote", "stale", nth=1),
+            FaultSpec("dma.read", "drop", nth=2),
+        ])
+        assert plan.for_site("dma.read") == [
+            (0, plan.specs[0]), (2, plan.specs[2])]
+        assert plan.for_site("ring.pop_request") == []
+
+    def test_random_plan_is_seed_deterministic(self):
+        a = FaultPlan.random(1234, nfaults=6)
+        b = FaultPlan.random(1234, nfaults=6)
+        assert a.specs == b.specs
+        assert FaultPlan.random(1235, nfaults=6).specs != a.specs
+
+    def test_random_plan_respects_site_subset(self):
+        plan = FaultPlan.random(9, nfaults=8, sites=("dma.read",))
+        assert plan.sites() == ["dma.read"]
+
+    def test_default_sites_cover_all_boundaries(self):
+        prefixes = {site.split(".")[0] for site in DEFAULT_SITES}
+        assert prefixes == {"firmware", "dma", "attest", "ring"}
