@@ -43,16 +43,23 @@ def load_baseline(path):
 
 
 def write_baseline(path, findings):
-    """Write a baseline accepting every (unsuppressed) finding given."""
+    """Write a baseline accepting every (unsuppressed) finding given.
+
+    Entries are sorted on (rule, module, line *text*, occurrence) — the
+    same inputs the fingerprint hashes — so regenerating the file after
+    unrelated edits that only shift line numbers produces a byte-stable
+    result."""
     entries = [
         {
             "rule": finding.rule_id,
             "module": finding.module,
             "line": finding.line_text,
+            "occurrence": finding.occurrence,
             "fingerprint": finding.fingerprint,
         }
         for finding in sorted(
-            findings, key=lambda f: (f.rule_id, f.module, f.line))
+            findings,
+            key=lambda f: (f.rule_id, f.module, f.line_text, f.occurrence))
     ]
     payload = {"version": BASELINE_VERSION, "entries": entries}
     with open(path, "w", encoding="utf-8") as handle:

@@ -5,11 +5,14 @@ under ``--strict``), 2 usage error.
 """
 
 import argparse
+import importlib
 import json
 import os
 import sys
+import textwrap
 
-from repro.analysis.baseline import default_baseline_path, write_baseline
+from repro.analysis.baseline import default_baseline_path, load_baseline, \
+    write_baseline
 from repro.analysis.engine import analyze
 from repro.analysis.registry import all_rules
 
@@ -20,12 +23,25 @@ def _default_root():
     return os.path.dirname(os.path.dirname(here))       # .../src
 
 
+def _rules_epilog():
+    lines = ["rules:"]
+    for rule_obj in all_rules():
+        lines.append("  %s  %-22s %s" % (
+            rule_obj.rule_id, rule_obj.name, rule_obj.severity.value))
+    lines.append("")
+    lines.append("use --explain FIDxxx for the full rationale and a "
+                 "fixed example")
+    return "\n".join(lines)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="fidelint",
         description="Static architecture & capability checker for the "
                     "Fidelius reproduction: proves at the source level "
-                    "that no code path sidesteps the enforcement layers.")
+                    "that no code path sidesteps the enforcement layers.",
+        epilog=_rules_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--root", default=None,
                         help="directory containing the repro package "
                              "(default: the src/ this tool runs from)")
@@ -40,13 +56,17 @@ def build_parser():
     parser.add_argument("--no-baseline", action="store_true",
                         help="ignore the baseline file")
     parser.add_argument("--write-baseline", action="store_true",
-                        help="accept every current finding into the "
-                             "baseline file and exit 0")
+                        help="regenerate the baseline file from every "
+                             "current finding (stable ordering; stale "
+                             "entries are pruned) and exit 0")
     parser.add_argument("--select", default=None, metavar="IDS",
                         help="comma-separated rule ids to run "
                              "(e.g. FID001,FID003)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list registered rules and exit")
+    parser.add_argument("--explain", nargs="+", default=None, metavar="ID",
+                        help="print a rule's full rationale (its module "
+                             "docstring) plus a fixed example, and exit")
     return parser
 
 
@@ -59,6 +79,9 @@ def main(argv=None):
                 rule_obj.rule_id, rule_obj.name, rule_obj.severity.value,
                 rule_obj.description))
         return 0
+
+    if args.explain:
+        return _explain(args.explain)
 
     root = os.path.abspath(args.root or _default_root())
     if not os.path.isdir(os.path.join(root, "repro")):
@@ -83,9 +106,13 @@ def main(argv=None):
 
     if args.write_baseline:
         path = baseline_path or default_baseline_path(root)
+        previous = load_baseline(path)
         entries = write_baseline(path, result.findings)
-        print("fidelint: wrote %d baseline entries to %s"
-              % (len(entries), path))
+        current = {entry["fingerprint"] for entry in entries}
+        pruned = sum(1 for fingerprint in previous
+                     if fingerprint not in current)
+        print("fidelint: wrote %d baseline entries to %s (%d stale "
+              "pruned)" % (len(entries), path, pruned))
         return 0
 
     if args.format == "json":
@@ -93,6 +120,28 @@ def main(argv=None):
     else:
         _render_human(result)
     return result.exit_code(strict=args.strict)
+
+
+def _explain(rule_ids):
+    rules_by_id = {r.rule_id: r for r in all_rules()}
+    for raw_id in rule_ids:
+        rule_obj = rules_by_id.get(raw_id.upper())
+        if rule_obj is None:
+            print("fidelint: unknown rule %s" % raw_id, file=sys.stderr)
+            return 2
+        doc = importlib.import_module(rule_obj.module).__doc__ or ""
+        print("%s %s (%s)%s" % (
+            rule_obj.rule_id, rule_obj.name, rule_obj.severity.value,
+            " [dataflow]" if rule_obj.needs_dataflow else ""))
+        print()
+        print(doc.strip())
+        if rule_obj.example:
+            print()
+            print("Fixed example:")
+            print(textwrap.indent(
+                textwrap.dedent(rule_obj.example).strip(), "    "))
+        print()
+    return 0
 
 
 def _render_human(result):

@@ -1,0 +1,423 @@
+"""Statement-level control-flow graphs over Python AST.
+
+One :class:`CfgNode` per simple statement or compound-statement header;
+edges carry a *kind*:
+
+* ``"normal"`` — ordinary fall-through / branch edges;
+* ``"exc"``    — the statement may raise and control transfers to the
+  innermost handler, ``finally`` block or the function's raise-exit;
+* ``"back"``   — a loop back-edge (body frontier or ``continue`` back to
+  the loop header);
+* ``"bypass"`` — the zero-iteration edge of a loop (header straight to
+  the code after the loop).  Marked separately so an analysis may adopt
+  the "loops run at least once" approximation (FID012 does) without
+  losing the edge for analyses that want it (FID010/FID011 follow it).
+
+Every CFG has three synthetic nodes: ``entry``, ``exit`` (reached by
+normal completion — falling off the end or ``return``) and
+``raise_exit`` (reached by escaping exceptions).
+
+``finally`` blocks are built once and shared by every way of reaching
+them (fall-through, exception, ``return``/``break``/``continue``
+unwinding); the builder records *pending continuations* on a
+``_FinallyFrame`` while the protected code is built and wires them from
+the ``finally`` body's frontier afterwards.  ``with`` statements are a
+``try``/``finally`` whose cleanup is one synthetic node — which is what
+makes "``with``-gates are balanced by construction" true downstream.
+
+Which statements can raise is deliberately coarse: anything whose
+header contains a call, a ``yield``/``await``, a subscript, a division
+or an ``assert`` gets an ``exc`` edge; ``raise`` always transfers.
+Attribute access and arithmetic are treated as non-raising — the
+analyses here care about call-shaped control flow, not about modelling
+every conceivable ``TypeError``.
+"""
+
+import ast
+
+NORMAL = "normal"
+EXC = "exc"
+BACK = "back"
+BYPASS = "bypass"
+
+
+class CfgNode:
+    """One CFG node: a synthetic marker or one statement (header)."""
+
+    __slots__ = ("nid", "kind", "stmt", "label")
+
+    def __init__(self, nid, kind, stmt=None, label=""):
+        self.nid = nid
+        self.kind = kind      # entry/exit/raise/stmt/test/loop-head/with/
+        self.stmt = stmt      # cleanup/dispatch/handler/join
+        self.label = label
+
+    @property
+    def lineno(self):
+        return getattr(self.stmt, "lineno", 0)
+
+    def __repr__(self):
+        return "<CfgNode %d %s L%d%s>" % (
+            self.nid, self.kind, self.lineno,
+            " " + self.label if self.label else "")
+
+
+class Cfg:
+    """The graph for one function: nodes, kinded edges, three exits."""
+
+    def __init__(self, name):
+        self.name = name
+        self.nodes = []
+        self.succs = {}           # nid -> [(dst_nid, edge_kind)]
+        self.entry = self._add_node("entry").nid
+        self.exit = self._add_node("exit").nid
+        self.raise_exit = self._add_node("raise").nid
+
+    def _add_node(self, kind, stmt=None, label=""):
+        node = CfgNode(len(self.nodes), kind, stmt, label)
+        self.nodes.append(node)
+        self.succs[node.nid] = []
+        return node
+
+    def add_edge(self, src, dst, kind=NORMAL):
+        if (dst, kind) not in self.succs[src]:
+            self.succs[src].append((dst, kind))
+
+    def preds(self, nid):
+        out = []
+        for src, edges in self.succs.items():
+            for dst, kind in edges:
+                if dst == nid:
+                    out.append((src, kind))
+        return out
+
+    def iter_stmt_nodes(self):
+        for node in self.nodes:
+            if node.stmt is not None:
+                yield node
+
+
+def header_exprs(node):
+    """The expressions *evaluated at* a CFG node (never a compound
+    statement's body — bodies are their own nodes)."""
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.kind == "test":
+        return [stmt.test]
+    if node.kind == "loop-head":
+        return [stmt.iter]
+    if node.kind == "with":
+        return [item.context_expr for item in stmt.items]
+    if node.kind in ("cleanup", "dispatch", "handler", "join"):
+        return []
+    # simple statements
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.AugAssign):
+        return [stmt.target, stmt.value]
+    if isinstance(stmt, ast.AnnAssign):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Return):
+        return [stmt.value] if stmt.value is not None else []
+    if isinstance(stmt, ast.Expr):
+        return [stmt.value]
+    if isinstance(stmt, ast.Raise):
+        return [e for e in (stmt.exc, stmt.cause) if e is not None]
+    if isinstance(stmt, ast.Assert):
+        return [e for e in (stmt.test, stmt.msg) if e is not None]
+    if isinstance(stmt, ast.Delete):
+        return list(stmt.targets)
+    return []
+
+
+def calls_in(node):
+    """Every ast.Call evaluated at this node, in source order.  Nested
+    function/lambda bodies are skipped: they run later, not here."""
+    out = []
+    for expr in header_exprs(node):
+        out.extend(_calls_in_expr(expr))
+    out.sort(key=lambda c: (c.lineno, c.col_offset))
+    return out
+
+
+def _calls_in_expr(expr):
+    out = []
+    stack = [expr]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(item, ast.Call):
+            out.append(item)
+        stack.extend(ast.iter_child_nodes(item))
+    return out
+
+
+_RAISE_PRONE_OPS = (ast.Div, ast.FloorDiv, ast.Mod)
+
+
+def _expr_can_raise(exprs):
+    stack = list(exprs)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, (ast.Lambda, ast.FunctionDef,
+                             ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        if isinstance(item, (ast.Call, ast.Yield, ast.YieldFrom,
+                             ast.Await, ast.Subscript)):
+            return True
+        if isinstance(item, ast.BinOp) and \
+                isinstance(item.op, _RAISE_PRONE_OPS):
+            return True
+        stack.extend(ast.iter_child_nodes(item))
+    return False
+
+
+def node_can_raise(node):
+    stmt = node.stmt
+    if isinstance(stmt, (ast.Raise, ast.Assert, ast.Import,
+                         ast.ImportFrom, ast.Delete)):
+        return True
+    return _expr_can_raise(header_exprs(node))
+
+
+def _is_catch_all(handler):
+    if handler.type is None:
+        return True
+    name = None
+    if isinstance(handler.type, ast.Name):
+        name = handler.type.id
+    elif isinstance(handler.type, ast.Attribute):
+        name = handler.type.attr
+    return name in ("Exception", "BaseException")
+
+
+class _FinallyFrame:
+    """A finally (or with-cleanup) block being built: jumps out of the
+    protected region stop here first; ``pending`` records where each
+    one continues once the block's own frontier is known."""
+
+    __slots__ = ("head", "pending")
+
+    def __init__(self, head):
+        self.head = head
+        self.pending = set()      # {(target_nid, edge_kind)}
+
+
+class _LoopFrame:
+    __slots__ = ("header", "after", "fin_depth")
+
+    def __init__(self, header, after, fin_depth):
+        self.header = header
+        self.after = after
+        self.fin_depth = fin_depth
+
+
+class _Builder:
+    def __init__(self, func):
+        self.func = func
+        self.cfg = Cfg(func.name)
+        self.fin_frames = []      # innermost last
+        self.loops = []
+
+    def build(self):
+        preds = [(self.cfg.entry, NORMAL)]
+        frontier = self._body(self.func.body, preds, self.cfg.raise_exit)
+        self._connect(frontier, self.cfg.exit)
+        return self.cfg
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _node(self, kind, stmt=None, label=""):
+        return self.cfg._add_node(kind, stmt, label)
+
+    def _connect(self, preds, dst_nid):
+        for src, kind in preds:
+            self.cfg.add_edge(src, dst_nid, kind)
+
+    def _route_jump(self, src_nid, target_nid, kind, fin_depth):
+        """Route a return/break/continue through every enclosing
+        finally frame deeper than ``fin_depth``."""
+        frames = self.fin_frames[fin_depth:]
+        if not frames:
+            self.cfg.add_edge(src_nid, target_nid, kind)
+            return
+        chain = frames[::-1]      # innermost first
+        self.cfg.add_edge(src_nid, chain[0].head, NORMAL)
+        for frame, outer in zip(chain, chain[1:]):
+            frame.pending.add((outer.head, NORMAL))
+        chain[-1].pending.add((target_nid, kind))
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def _body(self, stmts, preds, exc):
+        frontier = preds
+        for stmt in stmts:
+            if not frontier:
+                break             # unreachable code after return/raise
+            frontier = self._stmt(stmt, frontier, exc)
+        return frontier
+
+    def _stmt(self, stmt, preds, exc):
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds, exc)
+        if isinstance(stmt, (ast.While,)):
+            return self._loop(stmt, preds, exc, kind="test")
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds, exc, kind="loop-head")
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, preds, exc)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds, exc)
+        if isinstance(stmt, ast.Return):
+            node = self._node("stmt", stmt)
+            self._connect(preds, node.nid)
+            if node_can_raise(node):
+                self.cfg.add_edge(node.nid, exc, EXC)
+            self._route_jump(node.nid, self.cfg.exit, NORMAL, 0)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self._node("stmt", stmt)
+            self._connect(preds, node.nid)
+            self.cfg.add_edge(node.nid, exc, EXC)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self._node("stmt", stmt)
+            self._connect(preds, node.nid)
+            if self.loops:
+                loop = self.loops[-1]
+                self._route_jump(node.nid, loop.after.nid, NORMAL,
+                                 loop.fin_depth)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self._node("stmt", stmt)
+            self._connect(preds, node.nid)
+            if self.loops:
+                loop = self.loops[-1]
+                self._route_jump(node.nid, loop.header.nid, BACK,
+                                 loop.fin_depth)
+            return []
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # a nested def executes later; the def statement itself is
+            # a plain (non-raising) binding here
+            node = self._node("stmt", stmt)
+            self._connect(preds, node.nid)
+            return [(node.nid, NORMAL)]
+        node = self._node("stmt", stmt)
+        self._connect(preds, node.nid)
+        if node_can_raise(node):
+            self.cfg.add_edge(node.nid, exc, EXC)
+        return [(node.nid, NORMAL)]
+
+    # -- compound statements ---------------------------------------------------
+
+    def _if(self, stmt, preds, exc):
+        test = self._node("test", stmt)
+        self._connect(preds, test.nid)
+        if node_can_raise(test):
+            self.cfg.add_edge(test.nid, exc, EXC)
+        then_frontier = self._body(stmt.body, [(test.nid, NORMAL)], exc)
+        if stmt.orelse:
+            else_frontier = self._body(stmt.orelse, [(test.nid, NORMAL)], exc)
+        else:
+            else_frontier = [(test.nid, NORMAL)]
+        return then_frontier + else_frontier
+
+    def _loop(self, stmt, preds, exc, kind):
+        head = self._node(kind, stmt)
+        self._connect(preds, head.nid)
+        if node_can_raise(head):
+            self.cfg.add_edge(head.nid, exc, EXC)
+        after = self._node("join", stmt, label="loop-after")
+        self.loops.append(_LoopFrame(head, after, len(self.fin_frames)))
+        body_frontier = self._body(stmt.body, [(head.nid, NORMAL)], exc)
+        self.loops.pop()
+        for src, _edge_kind in body_frontier:
+            self.cfg.add_edge(src, head.nid, BACK)
+        # loop exits: the zero-iteration bypass plus each completed
+        # iteration's frontier (both through the else clause if present)
+        exit_preds = [(head.nid, BYPASS)]
+        exit_preds += [(src, NORMAL) for src, _k in body_frontier]
+        if stmt.orelse:
+            exit_preds = self._body(stmt.orelse, exit_preds, exc)
+        self._connect(exit_preds, after.nid)
+        return [(after.nid, NORMAL)]
+
+    def _try(self, stmt, preds, exc):
+        fin = None
+        if stmt.finalbody:
+            fin_head = self._node("join", stmt, label="finally")
+            fin = _FinallyFrame(fin_head.nid)
+        dispatch = None
+        if stmt.handlers:
+            dispatch = self._node("dispatch", stmt)
+        if dispatch is not None:
+            body_exc = dispatch.nid
+        elif fin is not None:
+            body_exc = fin.head
+        else:
+            body_exc = exc
+        outer_exc = fin.head if fin is not None else exc
+
+        if fin is not None:
+            self.fin_frames.append(fin)
+        body_frontier = self._body(stmt.body, preds, body_exc)
+        if stmt.orelse:
+            # exceptions in else are *not* caught by this try's handlers
+            body_frontier = self._body(stmt.orelse, body_frontier, outer_exc)
+
+        handler_frontier = []
+        if dispatch is not None:
+            for handler in stmt.handlers:
+                head = self._node("handler", handler)
+                self.cfg.add_edge(dispatch.nid, head.nid, NORMAL)
+                handler_frontier += self._body(
+                    handler.body, [(head.nid, NORMAL)], outer_exc)
+            if not any(_is_catch_all(h) for h in stmt.handlers):
+                # an unmatched exception propagates past the handlers
+                if fin is not None:
+                    self.cfg.add_edge(dispatch.nid, fin.head, EXC)
+                    fin.pending.add((exc, EXC))
+                else:
+                    self.cfg.add_edge(dispatch.nid, exc, EXC)
+
+        if fin is None:
+            return body_frontier + handler_frontier
+
+        self.fin_frames.pop()
+        normal_in = body_frontier + handler_frontier
+        self._connect(normal_in, fin.head)
+        # exceptional entries into the finally continue propagating
+        fin.pending.add((exc, EXC))
+        fin_frontier = self._body(stmt.finalbody,
+                                  [(fin.head, NORMAL)], exc)
+        for src, _k in fin_frontier:
+            for target, kind in sorted(fin.pending):
+                self.cfg.add_edge(src, target, kind)
+        return fin_frontier if normal_in else []
+
+    def _with(self, stmt, preds, exc):
+        head = self._node("with", stmt)
+        self._connect(preds, head.nid)
+        if node_can_raise(head):
+            # a failing context expression skips __exit__
+            self.cfg.add_edge(head.nid, exc, EXC)
+        cleanup = self._node("cleanup", stmt, label="with-exit")
+        frame = _FinallyFrame(cleanup.nid)
+        frame.pending.add((exc, EXC))
+        self.fin_frames.append(frame)
+        body_frontier = self._body(stmt.body, [(head.nid, NORMAL)],
+                                   cleanup.nid)
+        self.fin_frames.pop()
+        self._connect(body_frontier, cleanup.nid)
+        for target, kind in sorted(frame.pending):
+            self.cfg.add_edge(cleanup.nid, target, kind)
+        return [(cleanup.nid, NORMAL)]
+
+
+def build_cfg(func):
+    """The CFG of one ``ast.FunctionDef`` / ``ast.AsyncFunctionDef``."""
+    return _Builder(func).build()

@@ -1,0 +1,144 @@
+"""Path-complete cycle accounting (the flow upgrade of FID004).
+
+FID004 accepts a method as priced when a charge call appears *anywhere*
+in its body; a fast path that returns early without charging slips
+straight through.  This analysis asks the path-complete question: does
+every normal path that does hardware work pass a charge call first?
+
+The lattice: a fact is a ``frozenset`` of ``(did_work, did_charge)``
+pairs — one boolean pair per distinguishable path class reaching the
+program point.  Join is union.  A node contributes:
+
+* *work* — it stores into ``self`` state, or calls anything that is
+  neither charge-like, free (``len``/``range``-style queries), nor a
+  resolved non-working helper;
+* *charge* — it calls something whose name contains ``charge`` (the
+  ``CycleCounter.charge`` / ``_charge_transfer`` convention FID004
+  already keys on), or a resolved helper whose summary says it charges
+  on every normal path.
+
+Documented approximations (see ``docs/dataflow.md``):
+
+* ``bypass`` edges are ignored — loops are assumed to run at least one
+  iteration, so "the loop body charges" prices the method (a
+  zero-trip loop also did no per-line work worth pricing);
+* only *normal* exits are checked; paths that raise are free (the
+  machine charges for work done, not for faults);
+* exceptional edges carry the post-transfer fact (a statement that both
+  charges and raises is not double-flagged).
+"""
+
+import ast
+
+from repro.analysis.astutil import _is_self_state
+from repro.analysis.dataflow.cfg import BACK, EXC, NORMAL, calls_in
+from repro.analysis.dataflow.solver import ForwardAnalysis, fact_after, \
+    solve_forward
+
+#: call names that are pure queries / shape operations, not hardware work
+FREE_CALL_NAMES = frozenset({
+    "len", "range", "enumerate", "isinstance", "min", "max", "sorted",
+    "reversed", "zip", "abs", "sum", "any", "all", "iter", "next",
+    "getattr", "hasattr", "format", "join", "items", "keys", "values",
+    "get",
+})
+
+
+def _callee_name(call):
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _stores_self_state(node):
+    stmt = node.stmt
+    if node.kind != "stmt" or stmt is None:
+        return False
+    targets = []
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    elif isinstance(stmt, ast.Delete):
+        targets = stmt.targets
+    return any(_is_self_state(t) for t in targets)
+
+
+class ChargeAnalysis(ForwardAnalysis):
+    follow = frozenset({NORMAL, EXC, BACK})
+
+    def __init__(self, resolver):
+        self.resolver = resolver
+        self._flags = {}
+
+    def initial(self, cfg):
+        return frozenset({(False, False)})
+
+    def _node_flags(self, node):
+        cached = self._flags.get(node.nid)
+        if cached is not None:
+            return cached
+        work = _stores_self_state(node)
+        charge = False
+        for call in calls_in(node):
+            name = _callee_name(call)
+            if name is None:
+                work = True
+                continue
+            if "charge" in name:
+                charge = True
+                continue
+            if name in FREE_CALL_NAMES:
+                continue
+            summary = self.resolver(call) if self.resolver else None
+            if summary is not None and summary.always_charges:
+                charge = True
+            work = True
+        self._flags[node.nid] = (work, charge)
+        return work, charge
+
+    def transfer(self, fact, node):
+        work, charge = self._node_flags(node)
+        if not work and not charge:
+            return fact
+        return frozenset((pw or work, pc or charge) for pw, pc in fact)
+
+
+def uncharged_paths(fi, module, ctx, resolver):
+    """Line numbers of normal exits reachable with work done but no
+    charge taken (empty when the method prices every working path)."""
+    cfg = ctx.cfg_for(module, fi.node)
+    analysis = ChargeAnalysis(resolver)
+    facts = solve_forward(cfg, analysis)
+    offenders = []
+    for src, kind in cfg.preds(cfg.exit):
+        if kind != NORMAL:
+            continue
+        out = fact_after(cfg, analysis, facts, src)
+        if out is None:
+            continue
+        if any(work and not charged for work, charged in out):
+            node = cfg.nodes[src]
+            offenders.append(node.lineno or fi.node.lineno)
+    return sorted(set(offenders))
+
+
+def always_charges(fi, module, ctx, resolver):
+    """Summary bit: every reachable *normal* exit has charged (used to
+    credit helpers like ``MemoryController.dma_write`` at call sites)."""
+    cfg = ctx.cfg_for(module, fi.node)
+    analysis = ChargeAnalysis(resolver)
+    facts = solve_forward(cfg, analysis)
+    exit_preds = [(src, kind) for src, kind in cfg.preds(cfg.exit)
+                  if kind == NORMAL]
+    saw_exit = False
+    for src, _kind in exit_preds:
+        out = fact_after(cfg, analysis, facts, src)
+        if out is None:
+            continue
+        saw_exit = True
+        if any(not charged for _work, charged in out):
+            return False
+    return saw_exit

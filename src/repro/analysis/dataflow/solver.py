@@ -1,0 +1,84 @@
+"""A generic forward worklist solver over small join semilattices.
+
+An analysis provides:
+
+* ``initial(cfg)`` — the fact at the entry node;
+* ``transfer(fact, node)`` — the fact *after* a node, given the fact
+  before it (used for normal, back and bypass edges);
+* ``transfer_exc(fact, node)`` — the fact flowing along the node's
+  exceptional edge (defaults to ``transfer``; the gate analysis
+  overrides it so an ``_enter`` call that raises is not treated as
+  having opened the gate);
+* ``join(a, b)`` — the least upper bound (all analyses here use set
+  union over ``frozenset`` facts);
+* ``follow`` — optional set of edge kinds to propagate along (``None``
+  follows everything; FID012 drops ``"bypass"`` edges to adopt the
+  loops-run-at-least-once approximation).
+
+Facts must be hashable and the lattices finite (they are: taint tags
+are bounded by source sites, gate facts by open sites, charge facts by
+four states), so the worklist terminates.
+"""
+
+from collections import deque
+
+from repro.analysis.dataflow.cfg import EXC
+
+
+class ForwardAnalysis:
+    """Base class; subclasses override the hooks above."""
+
+    follow = None
+
+    def initial(self, cfg):
+        raise NotImplementedError
+
+    def join(self, a, b):
+        return a | b
+
+    def transfer(self, fact, node):
+        return fact
+
+    def transfer_exc(self, fact, node):
+        return self.transfer(fact, node)
+
+
+def solve_forward(cfg, analysis):
+    """Least fixpoint of ``analysis`` over ``cfg``; returns the dict
+    ``nid -> fact before that node`` (unreachable nodes are absent)."""
+    facts = {cfg.entry: analysis.initial(cfg)}
+    work = deque([cfg.entry])
+    queued = {cfg.entry}
+    while work:
+        nid = work.popleft()
+        queued.discard(nid)
+        node = cfg.nodes[nid]
+        before = facts[nid]
+        after_normal = analysis.transfer(before, node)
+        after_exc = None
+        for dst, kind in cfg.succs.get(nid, ()):
+            if analysis.follow is not None and kind not in analysis.follow:
+                continue
+            if kind == EXC:
+                if after_exc is None:
+                    after_exc = analysis.transfer_exc(before, node)
+                flowing = after_exc
+            else:
+                flowing = after_normal
+            old = facts.get(dst)
+            new = flowing if old is None else analysis.join(old, flowing)
+            if new != old:
+                facts[dst] = new
+                if dst not in queued:
+                    work.append(dst)
+                    queued.add(dst)
+    return facts
+
+
+def fact_after(cfg, analysis, facts, nid):
+    """The fact *after* node ``nid`` (normal out-edge), or None if the
+    node was unreachable."""
+    before = facts.get(nid)
+    if before is None:
+        return None
+    return analysis.transfer(before, cfg.nodes[nid])

@@ -1,0 +1,328 @@
+"""Secret-taint analysis: guest plaintext must not reach the host.
+
+The paper's confidentiality invariant (I1) is an information-flow
+property: data that exists *below* the encryption boundary — decrypted
+guest memory, unwrapped transport/measurement keys, the guest register
+file — must be re-protected (C-bit write, ``xex_encrypt``/``wrap_key``,
+record-layer ``seal``) before it reaches any location the hypervisor or
+a device can observe.
+
+Sources, sanitizers and sinks are classified by *call-site name*, not
+by resolved target — deliberately: ``xex_decrypt`` *is* ``xex_encrypt``
+(the XEX keystream is an involution), so only the name at the call site
+carries the author's intent.
+
+The lattice: a fact is a ``frozenset`` of ``(variable, tag)`` pairs,
+where a tag is ``("secret", origin, line)`` or ``("param", name)``
+(parameter tags are only seeded when computing helper summaries).
+Join is union.  Assignments to names are strong updates; stores into
+attributes/subscripts drop the taint (the analysis is intraprocedural
+per function — attribute state is out of scope, documented in
+``docs/dataflow.md``).  ``Compare`` results are clean (a boolean
+verdict, e.g. a MAC check, declassifies), as are hashes and MACs
+(one-way) and size-shaped builtins like ``len``.
+"""
+
+import ast
+
+from repro.analysis.astutil import receiver_token
+from repro.analysis.dataflow.cfg import calls_in
+from repro.analysis.dataflow.solver import ForwardAnalysis, solve_forward
+
+#: call-site names producing below-the-boundary data
+SOURCE_CALL_NAMES = {
+    "xex_decrypt": "decrypted bytes",
+    "decrypt_region": "decrypted guest region",
+    "unwrap_key": "unwrapped key",
+    "random_key": "fresh key material",
+    "derive_key": "derived key material",
+    "shared_secret": "DH shared secret",
+    "keystream": "raw keystream",
+}
+
+#: names whose *result* is protected again (safe to expose)
+SANITIZER_CALL_NAMES = frozenset({
+    "xex_encrypt", "encrypt_region", "wrap_key", "seal",
+})
+
+#: names whose result carries no payload information
+CLEAN_CALL_NAMES = frozenset({
+    "len", "range", "enumerate", "isinstance", "min", "max", "sorted",
+    "reversed", "zip", "abs", "sum", "any", "all", "iter", "next",
+    "getattr", "hasattr", "id", "hash", "repr",
+    "constant_time_equal", "hmac_measure",
+    "sha256", "sha512", "blake2b", "digest", "hexdigest",
+})
+
+#: union of names that make a flow solve worth running (prefilter)
+SOURCE_PREFILTER_NAMES = frozenset(SOURCE_CALL_NAMES) | {"read", "copy",
+                                                         "as_dict"}
+
+_REGISTER_RECEIVERS = frozenset({"regs", "_regs", "saved_gprs"})
+_REGISTER_SNAPSHOTS = frozenset({"copy", "as_dict"})
+
+#: (callee name, receiver tokens or None=any, data-arg positions or
+#:  None=every argument, what the sink is)
+SINKS = (
+    ("write", ("memory", "_memory"), (1,),
+     "raw DRAM (bypasses the encrypting memory controller)"),
+    ("write_frame", ("memory", "_memory"), (1,),
+     "raw DRAM (bypasses the encrypting memory controller)"),
+    ("dma_write", None, (1,),
+     "the DMA port (device- and dom0-visible bus bytes)"),
+    ("write", ("xenstore", "_xenstore", "xs", "store"), (1,),
+     "XenStore (read-write for the toolstack)"),
+    ("send", ("frontend", "_frontend", "backend", "_backend", "wire",
+              "channel", "events"), (0,),
+     "an unprotected ring/wire payload"),
+    ("deliver_to_guest", ("wire",), (0,),
+     "the relayed wire (driver-domain visible)"),
+    ("write_sectors", ("disk", "_disk"), None,
+     "dom0-visible disk blocks"),
+    ("audit_event", None, None,
+     "the audit log (observable by the operator)"),
+    ("_fire", None, None,
+     "an event-channel payload"),
+)
+
+_DATA_KWARG_NAMES = frozenset({"data", "payload", "value", "plaintext"})
+
+
+def _callee_name(call):
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _literal_true_kwarg(call, name):
+    for kw in call.keywords:
+        if kw.arg == name and isinstance(kw.value, ast.Constant):
+            return kw.value.value is True
+    return False
+
+
+def source_origin(call):
+    """The origin description if this call is a taint source."""
+    name = _callee_name(call)
+    if name in SOURCE_CALL_NAMES:
+        return SOURCE_CALL_NAMES[name]
+    if name == "read" and _literal_true_kwarg(call, "c_bit"):
+        return "C-bit plaintext read"
+    if name in _REGISTER_SNAPSHOTS and \
+            receiver_token(call.func) in _REGISTER_RECEIVERS:
+        return "guest register snapshot"
+    return None
+
+
+def match_sink(call):
+    """(data_positions, description) when the call is a sink."""
+    name = _callee_name(call)
+    if name is None:
+        return None
+    receiver = receiver_token(call.func)
+    for sink_name, receivers, positions, description in SINKS:
+        if name != sink_name:
+            continue
+        if receivers is not None and receiver not in receivers:
+            continue
+        return positions, description
+    return None
+
+
+def sink_data_args(call, positions):
+    """The argument expressions a sink exposes."""
+    if positions is None:
+        return list(call.args) + [kw.value for kw in call.keywords]
+    out = [call.args[i] for i in positions if i < len(call.args)]
+    out += [kw.value for kw in call.keywords
+            if kw.arg in _DATA_KWARG_NAMES]
+    return out
+
+
+class TaintAnalysis(ForwardAnalysis):
+    """Forward taint propagation for one function."""
+
+    def __init__(self, func_node, resolver, seed_params=False):
+        self.func_node = func_node
+        self.resolver = resolver
+        self.seed_params = seed_params
+
+    # -- lattice ---------------------------------------------------------------
+
+    def initial(self, cfg):
+        if not self.seed_params:
+            return frozenset()
+        args = self.func_node.args
+        params = [a.arg for a in args.args + args.kwonlyargs]
+        for extra in (args.vararg, args.kwarg):
+            if extra is not None:
+                params.append(extra.arg)
+        return frozenset((p, ("param", p)) for p in params if p != "self")
+
+    # -- expression evaluation -------------------------------------------------
+
+    def eval_expr(self, expr, env):
+        """The set of tags the value of ``expr`` may carry."""
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, frozenset())
+        if isinstance(expr, ast.Constant):
+            return frozenset()
+        if isinstance(expr, (ast.Lambda, ast.Compare)):
+            return frozenset()
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        tags = frozenset()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                tags |= self.eval_expr(child, env)
+        return tags
+
+    def _eval_call(self, call, env):
+        origin = source_origin(call)
+        if origin is not None:
+            return frozenset({("secret", origin, call.lineno)})
+        name = _callee_name(call)
+        if name in SANITIZER_CALL_NAMES or name in CLEAN_CALL_NAMES:
+            return frozenset()
+        summary = self.resolver(call) if self.resolver else None
+        if summary is not None:
+            if summary.returns_secret:
+                return frozenset(
+                    {("secret", "return of %s()" % name, call.lineno)})
+            if summary.returns_param:
+                return self._union_args(call, env)
+            return frozenset()
+        # unknown callee: the result may carry anything that went in,
+        # including the receiver (``tainted.strip()`` stays tainted)
+        tags = self._union_args(call, env)
+        if isinstance(call.func, ast.Attribute):
+            tags |= self.eval_expr(call.func.value, env)
+        return tags
+
+    def _union_args(self, call, env):
+        tags = frozenset()
+        for arg in call.args:
+            tags |= self.eval_expr(arg, env)
+        for kw in call.keywords:
+            tags |= self.eval_expr(kw.value, env)
+        return tags
+
+    # -- transfer --------------------------------------------------------------
+
+    def transfer(self, fact, node):
+        stmt = node.stmt
+        if stmt is None:
+            return fact
+        env = {}
+        for var, tag in fact:
+            env.setdefault(var, set()).add(tag)
+        env = {var: frozenset(tags) for var, tags in env.items()}
+
+        def rebind(bindings):
+            for var, tags in bindings:
+                env[var] = tags
+            return frozenset((var, tag) for var, tags in env.items()
+                             for tag in tags)
+
+        if node.kind == "stmt":
+            if isinstance(stmt, ast.Assign):
+                tags = self.eval_expr(stmt.value, env)
+                bindings = []
+                for target in stmt.targets:
+                    bindings += _bind_target(target, tags)
+                return rebind(bindings)
+            if isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                return rebind(_bind_target(stmt.target,
+                                           self.eval_expr(stmt.value, env)))
+            if isinstance(stmt, ast.AugAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                merged = env.get(stmt.target.id, frozenset()) | \
+                    self.eval_expr(stmt.value, env)
+                return rebind([(stmt.target.id, merged)])
+            if isinstance(stmt, ast.Delete):
+                bindings = [(t.id, frozenset()) for t in stmt.targets
+                            if isinstance(t, ast.Name)]
+                return rebind(bindings)
+            return fact
+        if node.kind == "loop-head" and \
+                isinstance(stmt, (ast.For, ast.AsyncFor)):
+            # iterating a tainted collection yields tainted elements
+            return rebind(_bind_target(stmt.target,
+                                       self.eval_expr(stmt.iter, env)))
+        if node.kind == "with":
+            bindings = []
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    bindings += _bind_target(
+                        item.optional_vars,
+                        self.eval_expr(item.context_expr, env))
+            return rebind(bindings)
+        if node.kind == "handler" and getattr(stmt, "name", None):
+            return rebind([(stmt.name, frozenset())])
+        return fact
+
+
+def _bind_target(target, tags):
+    if isinstance(target, ast.Name):
+        return [(target.id, tags)]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out = []
+        for elt in target.elts:
+            out += _bind_target(elt, tags)
+        return out
+    if isinstance(target, ast.Starred):
+        return _bind_target(target.value, tags)
+    return []      # attribute / subscript stores: taint is dropped
+
+
+def _env_at(fact):
+    env = {}
+    for var, tag in fact:
+        env.setdefault(var, set()).add(tag)
+    return {var: frozenset(tags) for var, tags in env.items()}
+
+
+def leaks_in_function(fi, module, ctx, resolver):
+    """(lineno, origin, sink description) per secret-to-sink flow."""
+    cfg = ctx.cfg_for(module, fi.node)
+    analysis = TaintAnalysis(fi.node, resolver, seed_params=False)
+    facts = solve_forward(cfg, analysis)
+    leaks = []
+    for node in cfg.iter_stmt_nodes():
+        before = facts.get(node.nid)
+        if before is None:
+            continue
+        env = _env_at(before)
+        for call in calls_in(node):
+            sink = match_sink(call)
+            if sink is None:
+                continue
+            positions, description = sink
+            tags = frozenset()
+            for arg in sink_data_args(call, positions):
+                tags |= analysis.eval_expr(arg, env)
+            secrets = sorted(t for t in tags if t[0] == "secret")
+            if secrets:
+                _kind, origin, src_line = secrets[0]
+                leaks.append((call.lineno, origin, src_line, description))
+    return leaks
+
+
+def returns_secret(fi, module, ctx, resolver):
+    """Summary bit: may this function return secret-tainted data?"""
+    cfg = ctx.cfg_for(module, fi.node)
+    analysis = TaintAnalysis(fi.node, resolver, seed_params=True)
+    facts = solve_forward(cfg, analysis)
+    for node in cfg.iter_stmt_nodes():
+        stmt = node.stmt
+        if not isinstance(stmt, ast.Return) or stmt.value is None:
+            continue
+        before = facts.get(node.nid)
+        if before is None:
+            continue
+        tags = analysis.eval_expr(stmt.value, _env_at(before))
+        if any(tag[0] == "secret" for tag in tags):
+            return True
+    return False

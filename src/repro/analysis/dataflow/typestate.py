@@ -1,0 +1,118 @@
+"""Gate typestate: every ``_enter`` is matched by ``_exit`` on every path.
+
+The paper's gates (Section 4.1.3) briefly suspend an enforcement
+mechanism — clear ``CR0.WP``, map an unmapped page — and must restore
+it before control can leave Fidelius, *including when the body raises*.
+The syntactic rules can check who may call the mutators (FID002) but
+not that the re-protect call dominates every exit.
+
+The lattice: a fact is a ``frozenset`` of ``(kind, open_line)`` pairs —
+the gates that may be open at this program point.  Join is union (open
+on *some* path is a finding).  Transfer details:
+
+* a call named ``_enter`` adds ``(kind, line)``; the first positional
+  argument gives the kind when it is a string literal, else the open is
+  dynamic (``kind=None``);
+* a call named ``_exit`` removes matching opens — a literal kind closes
+  that kind plus any dynamic open; a dynamic close closes everything
+  (optimistic: fewer false positives, the close is at least attempted);
+* along **exceptional** edges, closes still apply but opens do not:
+  an ``_enter`` that raises is treated as not having opened (the
+  primitive is check-then-commit — see ``GateKeeper._enter``);
+* calls in a ``with`` header are ignored entirely: a context-manager
+  gate closes in ``__exit__`` by construction, which the CFG models as
+  the cleanup node on every path out of the block;
+* a resolved helper whose summary says it opens a gate counts as an
+  open; one whose summary closes applies its close first.
+
+``_enter``/``_exit`` themselves are exempt — they are the primitive
+being modelled, not users of it.
+"""
+
+import ast
+
+from repro.analysis.dataflow.cfg import calls_in
+from repro.analysis.dataflow.solver import ForwardAnalysis, solve_forward
+
+OPEN_CALLS = frozenset({"_enter"})
+CLOSE_CALLS = frozenset({"_exit"})
+
+
+def _callee_name(call):
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _kind_arg(call):
+    if call.args and isinstance(call.args[0], ast.Constant) and \
+            isinstance(call.args[0].value, str):
+        return call.args[0].value
+    return None
+
+
+def _close(fact, kind):
+    if kind is None:
+        return frozenset()
+    return frozenset(pair for pair in fact
+                     if pair[0] not in (kind, None))
+
+
+class GateAnalysis(ForwardAnalysis):
+    def __init__(self, resolver):
+        self.resolver = resolver
+
+    def initial(self, cfg):
+        return frozenset()
+
+    def transfer(self, fact, node):
+        return self._apply(fact, node, include_opens=True)
+
+    def transfer_exc(self, fact, node):
+        return self._apply(fact, node, include_opens=False)
+
+    def _apply(self, fact, node, include_opens):
+        if node.kind == "with":
+            return fact      # with-gates are balanced by construction
+        for call in calls_in(node):
+            name = _callee_name(call)
+            if name in CLOSE_CALLS:
+                fact = _close(fact, _kind_arg(call))
+            elif name in OPEN_CALLS:
+                if include_opens:
+                    fact = fact | {(_kind_arg(call), call.lineno)}
+            else:
+                summary = self.resolver(call) if self.resolver else None
+                if summary is None:
+                    continue
+                if summary.closes_gate:
+                    fact = frozenset()
+                if summary.opens_gate and include_opens:
+                    fact = fact | {("via %s()" % name, call.lineno)}
+        return fact
+
+
+def unbalanced_opens(fi, module, ctx, resolver):
+    """[(open_line, kind, how_it_escapes)] for gates left open on some
+    path out of the function."""
+    cfg = ctx.cfg_for(module, fi.node)
+    facts = solve_forward(cfg, GateAnalysis(resolver))
+    normal = facts.get(cfg.exit, frozenset())
+    exceptional = facts.get(cfg.raise_exit, frozenset())
+    escapes = {}
+    for kind, line in exceptional:
+        escapes[(kind, line)] = "an exceptional path"
+    for kind, line in normal:
+        # normal-path escapes trump in the message: they are the
+        # plainer bug
+        escapes[(kind, line)] = "a fall-through/return path"
+    return sorted((line, kind, how)
+                  for (kind, line), how in escapes.items())
+
+
+def opens_unbalanced(fi, module, ctx, resolver):
+    """Summary bit: calling this function may leave a gate open (that
+    is the helper's *job* — its callers inherit the obligation)."""
+    return bool(unbalanced_opens(fi, module, ctx, resolver))

@@ -90,6 +90,11 @@ def analyze(root, rules=None, baseline_path=None, select=None):
                              % ", ".join(sorted(unknown)))
         rules = [r for r in rules if r.rule_id in wanted]
 
+    if any(getattr(r, "needs_dataflow", False) for r in rules):
+        # build the shared CFG/summary cache once, up front; a run of
+        # purely syntactic rules never touches it
+        project.dataflow.summaries
+
     baseline = load_baseline(baseline_path)
     matched_fingerprints = set()
     result = AnalysisResult(

@@ -9,6 +9,7 @@ unsafe or impossible to import.
 """
 
 import ast
+import hashlib
 import os
 import re
 
@@ -28,6 +29,10 @@ class ModuleInfo:
         self.source = source
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=path)
+        #: cache key for derived artifacts (CFGs): survives reloads of
+        #: identical content, invalidates on any edit
+        self.content_hash = hashlib.sha256(
+            source.encode("utf-8")).hexdigest()
         self.skip_file = bool(_SKIP_FILE_RE.search(source[:2048]))
         #: line number -> set of suppressed rule ids ("*" = all rules)
         self.suppressions = self._parse_suppressions()
@@ -110,6 +115,16 @@ class Project:
     def __init__(self, root, modules):
         self.root = root
         self.modules = modules            # name -> ModuleInfo
+        self._dataflow = None
+
+    @property
+    def dataflow(self):
+        """The per-run CFG/summary cache, built on first use so a run
+        of purely syntactic rules never pays for it."""
+        if self._dataflow is None:
+            from repro.analysis.dataflow.context import DataflowContext
+            self._dataflow = DataflowContext(self)
+        return self._dataflow
 
     @classmethod
     def load(cls, root):

@@ -4,10 +4,13 @@ A rule is a callable ``check(module, project)`` yielding
 :class:`~repro.analysis.findings.Finding` objects, registered with the
 :func:`rule` decorator.  Registration order is the stable report order;
 each rule carries an id (``FIDnnn``), a short kebab-case name, a default
-severity and a one-paragraph description used by ``--list-rules``.
+severity, a one-paragraph description used by ``--list-rules``, an
+optional *fixed example* shown by ``--explain``, and a
+``needs_dataflow`` capability flag — the engine builds the shared
+per-run CFG/summary cache only when a selected rule asks for it.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.analysis.findings import Severity
 
@@ -21,17 +24,23 @@ class Rule:
     severity: Severity
     description: str
     check: object
+    needs_dataflow: bool = False
+    example: str = ""
+    module: str = field(default="")    # defining module, for --explain
 
     def run(self, module, project):
         return self.check(module, project)
 
 
-def rule(rule_id, name, severity, description):
+def rule(rule_id, name, severity, description, needs_dataflow=False,
+         example=""):
     """Class-less rule registration decorator."""
     def register(func):
         if rule_id in _REGISTRY:
             raise ValueError("duplicate rule id %s" % rule_id)
-        _REGISTRY[rule_id] = Rule(rule_id, name, severity, description, func)
+        _REGISTRY[rule_id] = Rule(rule_id, name, severity, description,
+                                  func, needs_dataflow, example,
+                                  func.__module__)
         return func
     return register
 

@@ -11,6 +11,12 @@ FID006 mutable-default   no mutable default arguments
 FID007 determinism       no ambient randomness or wall-clock time
 FID008 opcode-monopoly   privileged encodings live in two modules only
 FID009 fault-containment fault-injection machinery stays in repro.faults
+FID010 secret-taint      decrypted data sanitized before host-visible sinks
+FID011 gate-typestate    every gate _enter matched by _exit on all paths
+FID012 path-cycle-accounting  every working repro.hw path charges cycles
+
+FID010–FID012 are flow-sensitive: they run over the shared dataflow
+layer (:mod:`repro.analysis.dataflow`) instead of bare AST matching.
 """
 
 from repro.analysis.rules import (  # noqa: F401
@@ -23,4 +29,7 @@ from repro.analysis.rules import (  # noqa: F401
     determinism,
     opcode_literals,
     fault_containment,
+    secret_taint,
+    gate_typestate,
+    path_cycles,
 )

@@ -79,7 +79,16 @@ DUNDER_PREFIX = "__"
 
 @rule("FID004", "cycle-accounting", Severity.WARNING,
       "Public state-touching method in repro.hw neither charges the "
-      "cycle model nor appears in the reviewed allowlist.")
+      "cycle model nor appears in the reviewed allowlist.",
+      example="""
+      # BAD: mutates hardware state for free
+      def insert(self, key, entry):
+          self._entries[key] = entry
+      # GOOD: price the operation in the shared cycle model
+      def insert(self, key, entry):
+          self._cycles.charge("tlb_insert")
+          self._entries[key] = entry
+      """)
 def check(module, project):
     if module.subpackage != "hw":
         return

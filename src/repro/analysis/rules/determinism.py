@@ -34,7 +34,13 @@ def _finding(module, lineno, message):
 
 @rule("FID007", "determinism", Severity.ERROR,
       "Ambient nondeterminism: unseeded random use, from-random imports, "
-      "time/secrets modules, wall-clock reads, os.urandom, uuid4.")
+      "time/secrets modules, wall-clock reads, os.urandom, uuid4.",
+      example="""
+      # BAD: different bytes every run — results unreproducible
+      nonce = os.urandom(16)
+      # GOOD: draw from the machine's seeded RNG
+      nonce = machine.rng.randbytes(16)
+      """)
 def check(module, project):
     for node in ast.walk(module.tree):
         if isinstance(node, ast.Import):

@@ -37,7 +37,19 @@ def _is_silent(body):
 
 @rule("FID005", "silent-except", Severity.WARNING,
       "Bare except clause, or except Exception/BaseException whose body "
-      "is only pass (silently swallows gate/policy violations).")
+      "is only pass (silently swallows gate/policy violations).",
+      example="""
+      # BAD: a PolicyViolation vanishes here
+      try:
+          gate.check(cpu)
+      except Exception:
+          pass
+      # GOOD: catch the narrow, expected failure
+      try:
+          gate.check(cpu)
+      except MissingRootError:
+          self._rebuild_root(cpu)
+      """)
 def check(module, project):
     for node in ast.walk(module.tree):
         if not isinstance(node, ast.ExceptHandler):

@@ -30,7 +30,13 @@ def _finding(module, lineno, message):
 
 @rule("FID009", "fault-containment", Severity.ERROR,
       "Fault-injection machinery outside repro.faults: imports of the "
-      "chaos package or references to the injector marker attribute.")
+      "chaos package or references to the injector marker attribute.",
+      example="""
+      # BAD (in repro.core.*): product code wiring in the injector
+      from repro.faults.injector import FaultPlan
+      # GOOD: faults wrap the product from outside (tests / repro.faults
+      # only); the product module stays injection-free
+      """)
 def check(module, project):
     if module.subpackage == "faults":
         return

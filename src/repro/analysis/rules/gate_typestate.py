@@ -1,0 +1,75 @@
+"""FID011: gate typestate — every ``_enter`` closed on every path.
+
+A Fidelius gate suspends an enforcement mechanism (clears ``CR0.WP``,
+maps an unmapped page, switches stacks with interrupts off); leaving
+one open past a function's exit — *especially* down an exception path —
+is precisely the "retrofit seam" failure mode the paper's Section 4.1.3
+gates exist to prevent.  The syntactic FID002 answers "who may call the
+mutators"; this rule answers "is the re-protect call reached on every
+CFG path out", which no amount of call-site matching can.
+
+Mechanics (see :mod:`repro.analysis.dataflow.typestate`): facts are
+sets of possibly-open ``(kind, line)`` gates; ``_exit`` closes,
+``with``-statement gates are balanced by construction (the cleanup node
+sits on every path out of the block, exceptional included), and a
+helper whose summary opens a gate passes the obligation to its caller.
+A gate still open at the normal exit or at the raise-exit is a finding
+at the ``_enter`` line.
+
+``_enter``/``_exit`` themselves are exempt (they are the primitive),
+and the attack corpus is out of scope (the adversary does not honor
+gate discipline; that is the point of the attacks).
+"""
+
+from repro.analysis.dataflow import typestate
+from repro.analysis.dataflow.summaries import called_names
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+EXCLUDED_SUBPACKAGES = frozenset({"attacks", "eval", "workloads",
+                                  "analysis"})
+
+_EXAMPLE = """\
+self._enter("type1")
+try:
+    body()
+finally:
+    self._exit("type1")   # reached on the exception path too
+"""
+
+
+@rule("FID011", "gate-typestate", Severity.ERROR,
+      "A gate _enter is not matched by _exit on every CFG path out of "
+      "the function (exceptional paths included).",
+      needs_dataflow=True, example=_EXAMPLE)
+def check(module, project):
+    if module.subpackage in EXCLUDED_SUBPACKAGES:
+        return
+    ctx = project.dataflow
+    for fi in ctx.index.functions_in(module.name):
+        if fi.name in typestate.OPEN_CALLS or \
+                fi.name in typestate.CLOSE_CALLS:
+            continue
+        names = called_names(fi.node)
+        if not names & typestate.OPEN_CALLS and \
+                not names & _opening_names(ctx):
+            continue
+        resolver = ctx.resolver_for(fi)
+        for line, kind, how in typestate.unbalanced_opens(
+                fi, module, ctx, resolver):
+            label = "gate %r" % kind if isinstance(kind, str) else "gate"
+            yield Finding(
+                "FID011", "gate-typestate", Severity.ERROR,
+                module.name, module.rel_path, line,
+                "%s opened here can leave %s without _exit "
+                "(close it in a finally/with)" % (label, how))
+
+
+def _opening_names(ctx):
+    names = getattr(ctx, "_open_names_cache", None)
+    if names is None:
+        sums = ctx.summaries
+        names = {fi.name for fi in ctx.index.functions
+                 if sums[fi.qualname].opens_gate}
+        ctx._open_names_cache = names
+    return names

@@ -44,7 +44,14 @@ ALLOWED_MODULES = frozenset({
 
 @rule("FID002", "gate-monopoly", Severity.ERROR,
       "PIT/GIT/NPT/grant-table mutating methods invoked outside the "
-      "repro.core gate modules (repro.attacks exempt by design).")
+      "repro.core gate modules (repro.attacks exempt by design).",
+      example="""
+      # BAD (in repro.xen.*): mutating the PIT directly
+      machine.pit.set_owner(pfn, domid)
+      # GOOD: request the transition through the gate layer
+      with gates.type1(cpu, machine):
+          machine.pit.set_owner(pfn, domid)
+      """)
 def check(module, project):
     if module.name in ALLOWED_MODULES or module.subpackage == "attacks":
         return

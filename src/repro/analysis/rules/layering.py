@@ -42,7 +42,13 @@ def _subpackage(dotted):
 
 @rule("FID003", "layering", Severity.ERROR,
       "Back-edge in the import DAG (common < hw < sev < xen < core < "
-      "system < cloud/eval); nothing but eval/tests imports attacks.")
+      "system < cloud/eval); nothing but eval/tests imports attacks.",
+      example="""
+      # BAD (in repro/hw/tlb.py): hw importing up into core
+      from repro.core.gates import GateKeeper
+      # GOOD: keep hw self-contained; core calls down into hw
+      from repro.common.types import Access
+      """)
 def check(module, project):
     source = module.subpackage
     if source == "":          # the repro facade package

@@ -28,7 +28,15 @@ def _is_mutable(node):
 
 @rule("FID006", "mutable-default", Severity.WARNING,
       "Mutable default argument (list/dict/set/… literal or constructor) "
-      "shared across calls.")
+      "shared across calls.",
+      example="""
+      # BAD: one dict shared by every call
+      def __init__(self, overrides={}):
+          self._overrides = overrides
+      # GOOD
+      def __init__(self, overrides=None):
+          self._overrides = dict(overrides or {})
+      """)
 def check(module, project):
     for node in ast.walk(module.tree):
         if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,

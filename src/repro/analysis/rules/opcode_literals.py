@@ -26,7 +26,13 @@ ENCODINGS = {encoding: op.value for op, encoding in PRIV_OPCODES.items()}
 
 @rule("FID008", "opcode-monopoly", Severity.ERROR,
       "Byte literal containing a restricted privileged-instruction "
-      "encoding outside repro.common.types / repro.core.binscan.")
+      "encoding outside repro.common.types / repro.core.binscan.",
+      example="""
+      # BAD: hand-rolled privileged encoding dodges the scanner tables
+      payload = b"\\x0f\\x01\\xd8"      # VMRUN
+      # GOOD: reference the single source of truth
+      payload = RESTRICTED_OPCODES["vmrun"]
+      """)
 def check(module, project):
     if module.name in ALLOWED_MODULES:
         return

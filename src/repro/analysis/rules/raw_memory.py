@@ -22,7 +22,13 @@ ALLOWED_SUBPACKAGES = frozenset({"hw", "attacks"})
 
 @rule("FID001", "raw-memory", Severity.ERROR,
       "Raw physical-frame access (read_frame/write_frame/zero_frame/dump "
-      "or PhysicalMemory._data) outside repro.hw and repro.attacks.")
+      "or PhysicalMemory._data) outside repro.hw and repro.attacks.",
+      example="""
+      # BAD (in repro.xen.*): bypasses the memory controller entirely
+      data = memory.read_frame(pfn)
+      # GOOD: go through the controller, which enforces the C-bit
+      data = machine.memctrl.read(pfn << 12, 4096)
+      """)
 def check(module, project):
     if module.subpackage in ALLOWED_SUBPACKAGES or module.subpackage == "":
         return

@@ -1,0 +1,74 @@
+"""FID010: secret taint — guest plaintext must not reach the host.
+
+Fidelius's confidentiality invariant (I1) is an information-flow
+property, not a call-site property: a value that originates *below*
+the encryption boundary — the output of ``xex_decrypt`` /
+``decrypt_region``, an unwrapped transport key, key material from
+``derive_key``/``random_key``/``shared_secret``, a C-bit plaintext
+read, a guest register snapshot — may only reach a hypervisor- or
+device-visible location after passing through a sanctioner
+(``xex_encrypt``/``encrypt_region``, ``wrap_key``, the record layer's
+``seal``).  Sinks are raw DRAM writes that bypass the memory
+controller, the DMA port, XenStore, ring/wire payloads, dom0-visible
+disk blocks, the audit log and event-channel payloads.
+
+The check is flow-sensitive per function (local variables, branches,
+loops, exception paths) and follows helper calls inside ``repro.*``
+through call summaries: a method that *returns* decrypted bytes taints
+its callers' variables.  Flows from a function's *parameters* to a sink
+are not tracked across functions — each function is analyzed with
+clean parameters — which is the documented v1 limitation (see
+``docs/dataflow.md``).
+
+The attack corpus, the harnesses (``eval``, ``workloads``) and the
+analyzer itself are out of scope: the adversary may exfiltrate all it
+wants, and the harnesses handle plaintext by design.
+"""
+
+from repro.analysis.dataflow import taint
+from repro.analysis.dataflow.summaries import called_names
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+EXCLUDED_SUBPACKAGES = frozenset({"attacks", "eval", "workloads",
+                                  "analysis", "faults"})
+
+_EXAMPLE = """\
+plaintext = crypto.xex_decrypt(key, tweak, blob)
+...
+memctrl.dma_write(pa, encrypt_region(kvek, pa, plaintext))  # re-protected
+"""
+
+
+@rule("FID010", "secret-taint", Severity.ERROR,
+      "A value derived from guest plaintext or key material reaches a "
+      "hypervisor-visible sink without passing through a sanctioner "
+      "(encrypt/wrap/seal).",
+      needs_dataflow=True, example=_EXAMPLE)
+def check(module, project):
+    if module.subpackage in EXCLUDED_SUBPACKAGES:
+        return
+    ctx = project.dataflow
+    for fi in ctx.index.functions_in(module.name):
+        names = called_names(fi.node)
+        if not names & taint.SOURCE_PREFILTER_NAMES and \
+                not names & _secret_returning_names(ctx):
+            continue
+        resolver = ctx.resolver_for(fi)
+        for line, origin, src_line, sink in taint.leaks_in_function(
+                fi, module, ctx, resolver):
+            yield Finding(
+                "FID010", "secret-taint", Severity.ERROR,
+                module.name, module.rel_path, line,
+                "%s (from line %d) reaches %s without re-protection"
+                % (origin, src_line, sink))
+
+
+def _secret_returning_names(ctx):
+    names = getattr(ctx, "_secret_names_cache", None)
+    if names is None:
+        sums = ctx.summaries
+        names = {fi.name for fi in ctx.index.functions
+                 if sums[fi.qualname].returns_secret}
+        ctx._secret_names_cache = names
+    return names

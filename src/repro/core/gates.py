@@ -51,8 +51,12 @@ class GateKeeper:
 
     def _enter(self, kind):
         cpu = self._cpu
+        # check, then commit: a refused entry must leave the CPU state
+        # untouched, so both refusals precede the first mutation
         if cpu.gate_active is not None:
             raise GateViolation(kind, "nested gate entry")
+        if cpu.cr3_root not in self._fid.valid_roots:
+            raise GateViolation(kind, "gate entered from a rogue address space")
         self._saved_irq = cpu.interrupts_enabled
         cpu.interrupts_enabled = False
         self._saved_stack = cpu.current_stack
@@ -89,8 +93,11 @@ class GateKeeper:
             self._fid.exec_monopolized(PrivOp.MOV_CR0, old_cr0 & ~CR0_WP)
             yield
         finally:
-            self._fid.exec_monopolized(PrivOp.MOV_CR0, old_cr0)
-            self._exit("type1")
+            # the gate must close even if restoring CR0 itself faults
+            try:
+                self._fid.exec_monopolized(PrivOp.MOV_CR0, old_cr0)
+            finally:
+                self._exit("type1")
 
     def guarded_write(self, va, data):
         """The gated write path installed as the hypervisor's
@@ -133,11 +140,14 @@ class GateKeeper:
             walker.write_entry(root, va, make_entry(pfn, flags))
             yield va
         finally:
-            walker.write_entry(root, va, 0)
-            # Mapping freshness: flush the stale entry (128 cycles,
-            # already part of the measured 339-cycle gate cost).
-            self._machine.tlb.flush_page(root, pfn)
-            self._exit("type3")
+            # the gate must close even if the withdrawal itself faults
+            try:
+                walker.write_entry(root, va, 0)
+                # Mapping freshness: flush the stale entry (128 cycles,
+                # already part of the measured 339-cycle gate cost).
+                self._machine.tlb.flush_page(root, pfn)
+            finally:
+                self._exit("type3")
 
     @contextmanager
     def firmware_gate(self):

@@ -47,9 +47,10 @@ class Tlb:
         """Drop every entry of one address space; per-entry INVLPG cost
         (same 128-cycle figure as :meth:`flush_page`)."""
         stale = [key for key in self._entries if key[0] == root_pfn]
-        if stale:
-            self.cycles.charge(TLB_ENTRY_FLUSH_CYCLES * len(stale),
-                               "tlb-flush-root")
+        if not stale:
+            return
+        self.cycles.charge(TLB_ENTRY_FLUSH_CYCLES * len(stale),
+                           "tlb-flush-root")
         for key in stale:
             del self._entries[key]
 

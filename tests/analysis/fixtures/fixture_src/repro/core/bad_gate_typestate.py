@@ -1,0 +1,17 @@
+"""Known-bad FID011 fixture: the gate survives the except path.
+
+``_exit`` sits after the ``try`` statement, so the re-raise inside the
+handler (and any non-ValueError escape from the body) leaves the gate
+open.  Syntactically an ``_exit`` is present — FID002-style call-site
+matching is satisfied — which is exactly the bug class only the
+path-complete typestate check can see.
+"""
+
+
+def risky_update(gatekeeper, table, key, value):
+    gatekeeper._enter("type1")
+    try:
+        table.apply(key, value)
+    except ValueError:
+        raise
+    gatekeeper._exit("type1")

@@ -1,0 +1,19 @@
+"""Known-bad FID012 fixture: the hit path mutates state for free.
+
+The method *does* charge the cycle model — FID004's anywhere-in-body
+check passes — but only on the miss path; the hit path stores into the
+device state without pricing the write.
+"""
+
+
+class BadPrefetcher:
+    def __init__(self, cycles):
+        self.cycles = cycles
+        self._lines = {}
+
+    def fill(self, pa, line):
+        if pa in self._lines:
+            self._lines[pa] = line
+            return
+        self.cycles.charge(200, "prefetch-fill")
+        self._lines[pa] = line

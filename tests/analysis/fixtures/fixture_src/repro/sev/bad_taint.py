@@ -1,0 +1,18 @@
+"""Known-bad FID010 fixture: decrypted guest bytes staged to host DRAM.
+
+The leak goes *through a helper call*: the function holding the sink
+never calls a source itself, so only the summary-aware flow analysis
+(not grep) can connect the two.
+"""
+
+
+def _fetch_plaintext(memctrl, pa):
+    """Pulls one protected block from below the C-bit boundary."""
+    return memctrl.read(pa, 64, c_bit=True)
+
+
+def stage_for_migration(memctrl, memory, pa):
+    block = _fetch_plaintext(memctrl, pa)
+    staged = block[:32]
+    memory.write(0x5000, staged)
+    return len(staged)

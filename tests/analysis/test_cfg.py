@@ -1,0 +1,291 @@
+"""Unit tests for the CFG builder and the forward solver.
+
+These pin the structural invariants the FID010–FID012 analyses lean
+on: edge kinds, the three synthetic exits, finally/with routing and
+the exceptional-edge transfer split.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow.cfg import (
+    BACK,
+    BYPASS,
+    EXC,
+    NORMAL,
+    build_cfg,
+    calls_in,
+    node_can_raise,
+)
+from repro.analysis.dataflow.solver import (
+    ForwardAnalysis,
+    fact_after,
+    solve_forward,
+)
+from repro.analysis.dataflow.typestate import GateAnalysis
+
+
+def _cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(n for n in tree.body if isinstance(n, ast.FunctionDef))
+    return build_cfg(func)
+
+
+def _edges(cfg):
+    return {(src, dst, kind)
+            for src, edges in cfg.succs.items()
+            for dst, kind in edges}
+
+
+def _node_by_line(cfg, lineno):
+    for node in cfg.iter_stmt_nodes():
+        if node.lineno == lineno:
+            return node
+    raise AssertionError("no node at line %d" % lineno)
+
+
+class _ReachedLines(ForwardAnalysis):
+    """Which statement lines may have executed before this point."""
+
+    def initial(self, cfg):
+        return frozenset()
+
+    def transfer(self, fact, node):
+        if node.stmt is not None:
+            return fact | {node.lineno}
+        return fact
+
+
+# ---------------------------------------------------------------- structure
+
+def test_straight_line_reaches_exit():
+    cfg = _cfg("""\
+        def f(x):
+            y = x
+            return y
+        """)
+    facts = solve_forward(cfg, _ReachedLines())
+    assert facts[cfg.exit] == frozenset({2, 3})
+    assert cfg.raise_exit not in facts      # nothing here can raise
+
+
+def test_call_gets_exc_edge_to_raise_exit():
+    cfg = _cfg("""\
+        def f(x):
+            y = g(x)
+            return y
+        """)
+    node = _node_by_line(cfg, 2)
+    assert node_can_raise(node)
+    assert (node.nid, cfg.raise_exit, EXC) in _edges(cfg)
+
+
+def test_if_without_else_keeps_the_skip_path():
+    cfg = _cfg("""\
+        def f(x):
+            if x:
+                y = 1
+            return x
+        """)
+    facts = solve_forward(cfg, _ReachedLines())
+    # line 3 executes on some paths but not all: present in the union
+    assert 3 in facts[cfg.exit]
+    # and the return is reachable straight from the test (skip path)
+    test_node = _node_by_line(cfg, 2)
+    ret_node = _node_by_line(cfg, 4)
+    assert (test_node.nid, ret_node.nid, NORMAL) in _edges(cfg)
+
+
+def test_loop_has_back_and_bypass_edges():
+    cfg = _cfg("""\
+        def f(xs):
+            for x in xs:
+                use(x)
+            return 0
+        """)
+    head = _node_by_line(cfg, 2)
+    kinds = {kind for src, dst, kind in _edges(cfg)
+             if src == head.nid or dst == head.nid}
+    assert BACK in kinds
+    assert BYPASS in kinds
+
+
+def test_code_after_raise_is_unreachable():
+    cfg = _cfg("""\
+        def f():
+            raise ValueError("no")
+            x = 1
+        """)
+    facts = solve_forward(cfg, _ReachedLines())
+    assert cfg.exit not in facts            # normal exit unreachable
+    assert facts[cfg.raise_exit] == frozenset({2})
+
+
+def test_return_routes_through_finally():
+    cfg = _cfg("""\
+        def f(x):
+            try:
+                return g(x)
+            finally:
+                cleanup()
+        """)
+    facts = solve_forward(cfg, _ReachedLines())
+    # the cleanup line is on the path to the normal exit
+    assert 5 in facts[cfg.exit]
+    # ... and on the exceptional one (g raising)
+    assert 5 in facts[cfg.raise_exit]
+
+
+def test_with_cleanup_sits_on_exceptional_exit():
+    cfg = _cfg("""\
+        def f(gate):
+            with gate:
+                work()
+            return 1
+        """)
+    cleanup = next(n for n in cfg.nodes if n.kind == "cleanup")
+    assert (cleanup.nid, cfg.raise_exit, EXC) in _edges(cfg)
+
+
+def test_non_catchall_handler_propagates_unmatched_exceptions():
+    cfg = _cfg("""\
+        def f(x):
+            try:
+                g(x)
+            except ValueError:
+                h(x)
+            return 0
+        """)
+    dispatch = next(n for n in cfg.nodes if n.kind == "dispatch")
+    assert (dispatch.nid, cfg.raise_exit, EXC) in _edges(cfg)
+
+
+def test_catchall_handler_swallows_the_exception():
+    cfg = _cfg("""\
+        def f(x):
+            try:
+                g(x)
+            except Exception:
+                pass
+            return 0
+        """)
+    dispatch = next(n for n in cfg.nodes if n.kind == "dispatch")
+    assert (dispatch.nid, cfg.raise_exit, EXC) not in _edges(cfg)
+
+
+def test_break_and_continue_target_the_right_nodes():
+    cfg = _cfg("""\
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+                continue
+            return 0
+        """)
+    edges = _edges(cfg)
+    head = _node_by_line(cfg, 2)
+    brk = _node_by_line(cfg, 4)
+    cont = _node_by_line(cfg, 5)
+    after = next(n for n in cfg.nodes if n.label == "loop-after")
+    assert (brk.nid, after.nid, NORMAL) in edges
+    assert (cont.nid, head.nid, BACK) in edges
+
+
+def test_calls_in_are_source_ordered_and_skip_lambdas():
+    tree = ast.parse("x = outer(inner(1), lambda: hidden())")
+    cfg = build_cfg(ast.parse("def f():\n    x = outer(inner(1), "
+                              "lambda: hidden())").body[0])
+    node = _node_by_line(cfg, 2)
+    names = [c.func.id for c in calls_in(node)]
+    assert names == ["outer", "inner"]
+    assert tree  # silence lint
+
+
+# ------------------------------------------------------------------- solver
+
+def test_solver_joins_branch_facts():
+    cfg = _cfg("""\
+        def f(x):
+            if x:
+                a = 1
+            else:
+                b = 2
+            return 0
+        """)
+    facts = solve_forward(cfg, _ReachedLines())
+    assert {3, 5} <= facts[cfg.exit]
+
+
+def test_fact_after_applies_transfer():
+    cfg = _cfg("""\
+        def f(x):
+            y = 1
+            return y
+        """)
+    analysis = _ReachedLines()
+    facts = solve_forward(cfg, analysis)
+    node = _node_by_line(cfg, 2)
+    assert 2 not in facts[node.nid]
+    assert 2 in fact_after(cfg, analysis, facts, node.nid)
+
+
+def test_follow_filter_drops_bypass_edges():
+    class NoBypass(_ReachedLines):
+        follow = {NORMAL, EXC, BACK}
+
+    cfg = _cfg("""\
+        def f(xs):
+            for x in xs:
+                work(x)
+            return 0
+        """)
+    facts = solve_forward(cfg, NoBypass())
+    # with the zero-trip edge dropped, every path to the exit saw the body
+    assert 3 in facts[cfg.exit]
+    paths = solve_forward(cfg, _ReachedLines())
+    assert 3 in paths[cfg.exit]     # union still contains it either way
+
+
+# --------------------------------------------------- gate typestate on CFGs
+
+def _gate_exit_facts(source):
+    cfg = _cfg(source)
+    facts = solve_forward(cfg, GateAnalysis(resolver=None))
+    return (facts.get(cfg.exit, frozenset()),
+            facts.get(cfg.raise_exit, frozenset()))
+
+
+def test_gate_balanced_in_finally_is_clean():
+    normal, exceptional = _gate_exit_facts("""\
+        def f(gk):
+            gk._enter("type1")
+            try:
+                work()
+            finally:
+                gk._exit("type1")
+        """)
+    assert normal == frozenset()
+    assert exceptional == frozenset()
+
+
+def test_gate_exit_after_try_leaks_on_exception():
+    normal, exceptional = _gate_exit_facts("""\
+        def f(gk):
+            gk._enter("type1")
+            work()
+            gk._exit("type1")
+        """)
+    assert normal == frozenset()
+    assert exceptional == {("type1", 2)}
+
+
+def test_enter_that_raises_did_not_open():
+    normal, exceptional = _gate_exit_facts("""\
+        def f(gk):
+            gk._enter("type1")
+            gk._exit("type1")
+        """)
+    # the only raise-prone statement is _enter itself; along its exc
+    # edge the open must not be recorded
+    assert exceptional == frozenset()
+    assert normal == frozenset()

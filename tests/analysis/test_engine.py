@@ -189,7 +189,8 @@ def test_cli_list_rules(capsys):
     assert main(["--list-rules"]) == 0
     out = capsys.readouterr().out
     for rule_id in ("FID001", "FID002", "FID003", "FID004",
-                    "FID005", "FID006", "FID007", "FID008"):
+                    "FID005", "FID006", "FID007", "FID008",
+                    "FID009", "FID010", "FID011", "FID012"):
         assert rule_id in out
 
 
@@ -197,12 +198,12 @@ def test_cli_json_output_on_fixture_tree(capsys):
     rc = main(["--root", FIXTURE_ROOT, "--no-baseline", "--format", "json"])
     assert rc == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["counts"]["error"] == 6
-    assert payload["counts"]["warning"] == 3
-    # 9 bad modules + 7 package __init__ files
-    assert payload["counts"]["modules"] == 16
+    assert payload["counts"]["error"] == 8
+    assert payload["counts"]["warning"] == 4
+    # 12 bad modules + 8 package __init__ files
+    assert payload["counts"]["modules"] == 20
     rules_seen = {f["rule"] for f in payload["findings"]}
-    assert len(rules_seen) == 9
+    assert len(rules_seen) == 12
 
 
 def test_cli_select_runs_only_requested_rule(capsys):
@@ -240,6 +241,78 @@ def test_cli_write_baseline_then_strict_passes(tmp_path, capsys):
     assert main(["--root", root, "--baseline", baseline_path,
                  "--strict"]) == 0
     capsys.readouterr()
+
+
+def test_cli_write_baseline_prunes_stale_entries(tmp_path, capsys):
+    root = _make_tree(tmp_path, "mod.py", """\
+        def f(x=[]):
+            return x
+        """)
+    baseline_path = str(tmp_path / "baseline.json")
+    assert main(["--root", root, "--baseline", baseline_path,
+                 "--write-baseline"]) == 0
+    capsys.readouterr()
+
+    # Fix the violation, regenerate: the old entry must be pruned and
+    # the regeneration must say so.
+    mod = os.path.join(root, "repro", "mod.py")
+    with open(mod, "w", encoding="utf-8") as handle:
+        handle.write("def f(x=None):\n    return x\n")
+    assert main(["--root", root, "--baseline", baseline_path,
+                 "--write-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 0 baseline entries" in out
+    assert "1 stale pruned" in out
+    assert load_baseline(baseline_path) == {}
+    assert main(["--root", root, "--baseline", baseline_path,
+                 "--strict"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_write_baseline_is_byte_stable(tmp_path, capsys):
+    root = _make_tree(tmp_path, "mod.py", """\
+        def f(x=[]):
+            return x
+
+
+        def g(y={}):
+            return y
+        """)
+    baseline_path = str(tmp_path / "baseline.json")
+    assert main(["--root", root, "--baseline", baseline_path,
+                 "--write-baseline"]) == 0
+    with open(baseline_path, "rb") as handle:
+        first = handle.read()
+    assert main(["--root", root, "--baseline", baseline_path,
+                 "--write-baseline"]) == 0
+    with open(baseline_path, "rb") as handle:
+        assert handle.read() == first
+    capsys.readouterr()
+
+
+def test_cli_explain_prints_rationale_and_example(capsys):
+    assert main(["--explain", "FID010", "FID011", "FID012"]) == 0
+    out = capsys.readouterr().out
+    assert "secret taint" in out
+    assert "gate-typestate" in out
+    assert "path-cycle-accounting" in out
+    assert "Fixed example:" in out
+    # works (case-insensitively) for the syntactic rules too
+    assert main(["--explain", "fid001"]) == 0
+    assert "raw-memory" in capsys.readouterr().out
+
+
+def test_cli_explain_unknown_rule_is_usage_error(capsys):
+    assert main(["--explain", "FID999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_help_lists_every_rule_id():
+    from repro.analysis.cli import build_parser
+    text = build_parser().format_help()
+    for rule_obj_id in ("FID001", "FID005", "FID009",
+                        "FID010", "FID011", "FID012"):
+        assert rule_obj_id in text
 
 
 # ------------------------------------------------- live tree + injected bug

@@ -3,7 +3,7 @@
 The fixture tree under ``fixtures/fixture_src`` is a miniature ``repro``
 package with one known-bad module per rule.  Every module is crafted to
 trigger its own rule exactly once and no other rule at all, so the whole
-tree yields exactly nine findings — one per rule.
+tree yields exactly twelve findings — one per rule.
 """
 
 import os
@@ -25,6 +25,9 @@ EXPECTED = {
     "FID007": ("repro.workloads.bad_determinism", Severity.ERROR),
     "FID008": ("repro.xen.bad_opcode", Severity.ERROR),
     "FID009": ("repro.xen.bad_fault_hook", Severity.ERROR),
+    "FID010": ("repro.sev.bad_taint", Severity.ERROR),
+    "FID011": ("repro.core.bad_gate_typestate", Severity.ERROR),
+    "FID012": ("repro.hw.bad_path_cycles", Severity.WARNING),
 }
 
 
@@ -51,10 +54,10 @@ def test_fixture_tree_yields_exactly_one_finding_per_rule():
 
 
 def test_fixture_tree_fails_even_without_strict():
-    # Six of the nine rules are errors, so plain mode already fails.
+    # Eight of the twelve rules are errors, so plain mode already fails.
     result = _fixture_result()
-    assert result.error_count == 6
-    assert result.warning_count == 3
+    assert result.error_count == 8
+    assert result.warning_count == 4
     assert result.exit_code(strict=False) == 1
     assert result.exit_code(strict=True) == 1
 
