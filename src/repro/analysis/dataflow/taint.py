@@ -32,17 +32,25 @@ from repro.analysis.dataflow.solver import ForwardAnalysis, solve_forward
 #: call-site names producing below-the-boundary data
 SOURCE_CALL_NAMES = {
     "xex_decrypt": "decrypted bytes",
+    "xex_line_decrypt": "decrypted cache line",
     "decrypt_region": "decrypted guest region",
     "unwrap_key": "unwrapped key",
     "random_key": "fresh key material",
     "derive_key": "derived key material",
     "shared_secret": "DH shared secret",
     "keystream": "raw keystream",
+    # The fast path's cached keystream line is key-derived secret
+    # material (see the memctrl module docstring): anything XORed from
+    # it outside a named sanitizer stays below the boundary.
+    "line_keystream_int": "cached keystream line (key-derived)",
+    "_reference_keystream": "raw keystream (reference path)",
+    "_reference_xex_decrypt": "decrypted bytes (reference path)",
 }
 
 #: names whose *result* is protected again (safe to expose)
 SANITIZER_CALL_NAMES = frozenset({
-    "xex_encrypt", "encrypt_region", "wrap_key", "seal",
+    "xex_encrypt", "xex_line_encrypt", "_reference_xex_encrypt",
+    "encrypt_region", "wrap_key", "seal",
 })
 
 #: names whose result carries no payload information

@@ -18,14 +18,38 @@ attacks and defences exercise:
 Key agreement is classic finite-field Diffie-Hellman over the RFC 3526
 1536-bit MODP group, standing in for the ECDH negotiation between the
 guest owner and the SEV firmware.
+
+Fast path vs. reference path
+----------------------------
+
+``keystream`` / ``xex_encrypt`` sit under every protected-guest memory
+access, so they are optimized for wall-clock speed: a SHA-256 midstate
+is precomputed once per ``(key, tweak)`` and ``hash.copy()``-ed per
+counter block, the XOR runs as one wide integer operation, and a
+bounded LRU caches the keystream of whole cache lines so a repeated
+touch of the same encrypted line costs one dict hit instead of two
+hashes.  The kept-simple originals survive as ``_reference_keystream``
+/ ``_reference_xex_encrypt``; the differential suite
+(``tests/hw/test_fastpath_equivalence.py``) pins the two bit-for-bit.
+
+The caches are *simulator* state, not architectural state: they are
+keyed by the key bytes themselves and therefore hold key-derived
+secret material.  ``forget_key`` drops every entry derived from a key
+and is called by the memory controller on key install/uninstall, so a
+rotated ASID can never be served (or retain) keystream of a retired
+key.  None of this affects cycle accounting — cycles are charged per
+architectural event by the hardware models, never per Python operation.
 """
 
 import hashlib
 import hmac as _hmac
+from collections import OrderedDict
 
-from repro.common.constants import KEY_BYTES, MEASUREMENT_BYTES
+from repro.common.constants import CACHE_LINE, KEY_BYTES, MEASUREMENT_BYTES
 
 _DIGEST_BYTES = 32
+#: counter blocks that make up one cached keystream line
+_LINE_BLOCKS = CACHE_LINE // _DIGEST_BYTES
 
 # RFC 3526 group 5 (1536-bit MODP); generator 2.
 DH_PRIME = int(
@@ -42,8 +66,180 @@ DH_PRIME = int(
 DH_GENERATOR = 2
 
 
+# -- keystream caches (simulator state; secret-bearing, see module doc) ------
+
+_MIDSTATE_CACHE_MAX = 1024
+_LINE_CACHE_MAX = 8192
+
+#: (key, tweak) -> sha256 object primed with ``key|tweak|``
+_midstate_cache = OrderedDict()
+#: (key, tweak) -> keystream bytes for counter blocks [0, _LINE_BLOCKS)
+_line_cache = OrderedDict()
+
+# plain module ints, not a dict: the hit counter rides the hot path
+_line_hits = 0
+_line_misses = 0
+_midstate_hits = 0
+_midstate_misses = 0
+_key_invalidations = 0
+
+
+def keystream_cache_stats():
+    """Counters and sizes of the keystream caches (perfbench reads these)."""
+    return {
+        "line_hits": _line_hits,
+        "line_misses": _line_misses,
+        "midstate_hits": _midstate_hits,
+        "midstate_misses": _midstate_misses,
+        "key_invalidations": _key_invalidations,
+        "line_entries": len(_line_cache),
+        "midstate_entries": len(_midstate_cache),
+    }
+
+
+def clear_keystream_cache():
+    """Drop every cached midstate and keystream line (tests/benchmarks)."""
+    _midstate_cache.clear()
+    _line_cache.clear()
+
+
+def forget_key(key):
+    """Purge all cached material derived from ``key``.
+
+    Key rotation hygiene: once a key leaves a controller slot, no
+    keystream derived from it may survive in simulator caches.
+    """
+    global _key_invalidations
+    key = bytes(key)
+    for cache in (_midstate_cache, _line_cache):
+        stale = [entry for entry in cache if entry[0] == key]
+        for entry in stale:
+            del cache[entry]
+    _key_invalidations += 1
+
+
+def _midstate(key, tweak):
+    """A SHA-256 primed with ``key|tweak|``, ready to ``.copy()`` per block."""
+    global _midstate_hits, _midstate_misses
+    entry = (key, tweak)
+    mid = _midstate_cache.get(entry)
+    if mid is not None:
+        _midstate_hits += 1
+        _midstate_cache.move_to_end(entry)
+        return mid
+    _midstate_misses += 1
+    mid = hashlib.sha256()
+    mid.update(key)
+    mid.update(b"|")
+    mid.update(tweak)
+    mid.update(b"|")
+    _midstate_cache[entry] = mid
+    if len(_midstate_cache) > _MIDSTATE_CACHE_MAX:
+        _midstate_cache.popitem(last=False)
+    return mid
+
+
+def _blocks(key, tweak, first_block, last_block):
+    """Concatenated counter blocks [first_block, last_block]."""
+    mid = _midstate(key, tweak)
+    out = bytearray()
+    for block in range(first_block, last_block + 1):
+        h = mid.copy()
+        h.update(block.to_bytes(8, "little"))
+        out += h.digest()
+    return out
+
+
+def line_keystream_int(key, line_pa):
+    """Keystream of the cache line at ``line_pa`` under ``key``, as one
+    little-endian integer: the wide-XOR operand of the fast data path.
+
+    LRU-cached per ``(key, line_pa)`` — the position tweak *is* the
+    line's physical address, so repeated touches of the same encrypted
+    line cost one dict hit instead of two SHA-256 compressions.  The
+    integer form lets the memory controller encrypt or decrypt a whole
+    line (or any byte range of it, by shift and mask) with a single
+    ``^``.
+    """
+    global _line_hits, _line_misses
+    entry = (key, line_pa)
+    ks = _line_cache.get(entry)
+    if ks is not None:
+        _line_hits += 1
+        _line_cache.move_to_end(entry)
+        return ks
+    _line_misses += 1
+    tweak = line_pa.to_bytes(8, "little")
+    ks = int.from_bytes(
+        bytes(_blocks(key, tweak, 0, _LINE_BLOCKS - 1)), "little")
+    _line_cache[entry] = ks
+    if len(_line_cache) > _LINE_CACHE_MAX:
+        _line_cache.popitem(last=False)
+    return ks
+
+
 def keystream(key, tweak, length, offset=0):
     """Deterministic keystream bytes for (key, tweak), starting at offset."""
+    if length <= 0:
+        return b""
+    first_block = offset // _DIGEST_BYTES
+    last_block = (offset + length - 1) // _DIGEST_BYTES
+    out = _blocks(key, tweak, first_block, last_block)
+    skip = offset - first_block * _DIGEST_BYTES
+    return bytes(out[skip:skip + length])
+
+
+def xex_line_encrypt(key, line_pa, data, offset=0):
+    """XEX of ``data`` confined to the cache line at ``line_pa``.
+
+    The fast-path spelling of ``xex_encrypt(key, line_pa tweak, data,
+    offset)``: one cached-keystream lookup, one wide XOR.  Bit-identical
+    to the reference construction; an involution like ``xex_encrypt``.
+    Requires ``offset + len(data) <= CACHE_LINE``.
+    """
+    global _line_hits
+    length = len(data)
+    # the cache-hit path of line_keystream_int, inlined: one call fewer
+    # on the per-line hot loop of the memory controller
+    entry = (key, line_pa)
+    ks = _line_cache.get(entry)
+    if ks is None:
+        ks = line_keystream_int(key, line_pa)
+    else:
+        _line_hits += 1
+        _line_cache.move_to_end(entry)
+    if length != CACHE_LINE:
+        ks = (ks >> (offset * 8)) & ((1 << (length * 8)) - 1)
+    word = int.from_bytes(data, "little") ^ ks
+    return word.to_bytes(length, "little")
+
+
+xex_line_decrypt = xex_line_encrypt
+
+
+def xex_encrypt(key, tweak, data, offset=0):
+    """Encrypt (or decrypt: the operation is an involution) ``data``.
+
+    ``offset`` is the byte position of ``data`` within the tweaked unit,
+    which makes the cipher byte-addressable: partial writes to an
+    encrypted cache line need no read-modify-write in the model.
+    """
+    length = len(data)
+    if length == 0:
+        return b""
+    ks = keystream(key, tweak, length, offset)
+    word = int.from_bytes(data, "little") ^ int.from_bytes(ks, "little")
+    return word.to_bytes(length, "little")
+
+
+xex_decrypt = xex_encrypt
+
+
+# -- kept-simple reference path (the equivalence oracle) ----------------------
+
+def _reference_keystream(key, tweak, length, offset=0):
+    """The original block-at-a-time keystream, kept verbatim as the
+    differential-test oracle for the optimized :func:`keystream`."""
     out = bytearray()
     first_block = offset // _DIGEST_BYTES
     last_block = (offset + length - 1) // _DIGEST_BYTES
@@ -59,18 +255,13 @@ def keystream(key, tweak, length, offset=0):
     return bytes(out[skip:skip + length])
 
 
-def xex_encrypt(key, tweak, data, offset=0):
-    """Encrypt (or decrypt: the operation is an involution) ``data``.
-
-    ``offset`` is the byte position of ``data`` within the tweaked unit,
-    which makes the cipher byte-addressable: partial writes to an
-    encrypted cache line need no read-modify-write in the model.
-    """
-    ks = keystream(key, tweak, len(data), offset)
+def _reference_xex_encrypt(key, tweak, data, offset=0):
+    """The original byte-at-a-time XOR, the oracle for :func:`xex_encrypt`."""
+    ks = _reference_keystream(key, tweak, len(data), offset)
     return bytes(a ^ b for a, b in zip(data, ks))
 
 
-xex_decrypt = xex_encrypt
+_reference_xex_decrypt = _reference_xex_encrypt
 
 
 def hmac_measure(key, data):
@@ -132,5 +323,12 @@ def unwrap_key(kek, wrapped):
 
 
 def random_key(rng):
-    """A fresh 16-byte key drawn from the supplied ``random.Random``."""
-    return bytes(rng.getrandbits(8) for _ in range(KEY_BYTES))
+    """A fresh 16-byte key drawn from the supplied ``random.Random``.
+
+    Drawn as one ``getrandbits(128)`` word instead of sixteen 8-bit
+    draws.  This consumes the underlying Mersenne-Twister stream
+    differently, so keys (and everything downstream of them) differ
+    from pre-PR-4 runs for the same seed — the seed bump is documented
+    in ``docs/performance.md``; no committed fixture pins the old bytes.
+    """
+    return rng.getrandbits(8 * KEY_BYTES).to_bytes(KEY_BYTES, "little")

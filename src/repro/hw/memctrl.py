@@ -18,6 +18,23 @@ Faithful structural properties (paper Sections 2.1, 2.2, 6.1, 6.2):
 * The DMA port moves raw bus bytes and never touches the keys, so DMA
   from the driver domain sees ciphertext of protected pages (and this is
   why the PV I/O path needs the Fidelius I/O encoding of Section 4.3.5).
+
+Threat-model note on the keystream cache: the fast data path leans on
+``repro.common.crypto``'s LRU keystream-line cache, which is keyed by
+the key bytes and therefore *holds key-derived secret material*.  That
+cache is simulator state, not architectural state — nothing in the
+modelled machine can address it, so it adds no attack surface to the
+model — but key lifetime hygiene still applies: ``install_key`` /
+``uninstall_key`` purge every entry derived from the outgoing key, so a
+re-ACTIVATEd ASID can neither be served stale keystream nor leave a
+retired key's stream lingering in host memory.  The *plaintext* line
+cache below is architectural and deliberately leaky (see above).
+
+The read/write fast paths (single-line short-circuit, skipped
+write-allocate on a full-line overwrite) change only wall-clock cost:
+cycle charges and all functional outputs are bit-identical to
+:class:`ReferenceMemoryController`, the kept-simple twin that the
+differential suite drives in lockstep with this class.
 """
 
 from collections import OrderedDict
@@ -44,10 +61,19 @@ def line_tweak(line_pa):
     return line_pa.to_bytes(8, "little")
 
 
+#: one encrypted line on the bus: transfer plus the AES-engine tax
+_ENC_LINE_CYCLES = LINE_TRANSFER_CYCLES + ENC_LINE_EXTRA_CYCLES
+
+
 def split_lines(pa, length):
     """Split [pa, pa+length) into (line_pa, offset_in_line, chunk_len)."""
     if length < 0:
         raise PhysicalMemoryError("negative region length %d" % length)
+    line_pa = (pa >> CACHE_LINE_SHIFT) << CACHE_LINE_SHIFT
+    off = pa - line_pa
+    if off + length <= CACHE_LINE:
+        # Dominant case: the region sits inside one line — no loop.
+        return [(line_pa, off, length)] if length else []
     pieces = []
     cursor = pa
     remaining = length
@@ -65,14 +91,17 @@ def encrypt_region(key, pa, plaintext):
     """Ciphertext bytes as they would sit on DRAM at ``pa`` under ``key``.
 
     Shared by the memory controller and the SEV firmware (which holds
-    guest keys directly and transforms memory images in place).
+    guest keys directly and transforms memory images in place).  Runs
+    on the cached-keystream wide-XOR fast path; bit-identical to the
+    reference construction (``crypto._reference_xex_encrypt`` per line).
     """
     out = bytearray()
     view = memoryview(plaintext)
+    pos = 0
     for line_pa, off, take in split_lines(pa, len(plaintext)):
-        chunk = bytes(view[:take])
-        view = view[take:]
-        out.extend(crypto.xex_encrypt(key, line_tweak(line_pa), chunk, offset=off))
+        chunk = view[pos:pos + take]
+        pos += take
+        out += crypto.xex_line_encrypt(key, line_pa, chunk, off)
     return bytes(out)
 
 
@@ -89,16 +118,33 @@ class MemoryController:
         self._slots = {}
         self._cache = OrderedDict()
         self._cache_lines = cache_lines
+        #: wall-clock diagnostics (no architectural meaning):
+        #: single-line fast-path uses and write-allocate reads avoided.
+        self.fast_single_line = 0
+        self.line_copies_avoided = 0
+
+    def perf_counters(self):
+        """Fast-path diagnostics for :meth:`Machine.perf_stats`."""
+        return {
+            "fast_single_line": self.fast_single_line,
+            "line_copies_avoided": self.line_copies_avoided,
+        }
 
     # -- key slot management (issued by the SEV firmware only) -------------
 
     def install_key(self, asid, key):
         if not 0 <= asid <= MAX_ASID:
             raise KeySlotError("ASID %d out of range" % asid)
+        old = self._slots.get(asid)
+        if old is not None:
+            # Key rotation: no keystream of the outgoing key may survive.
+            crypto.forget_key(old)
         self._slots[asid] = bytes(key)
 
     def uninstall_key(self, asid):
-        self._slots.pop(asid, None)
+        old = self._slots.pop(asid, None)
+        if old is not None:
+            crypto.forget_key(old)
 
     def slot_installed(self, asid):
         return asid in self._slots
@@ -112,10 +158,11 @@ class MemoryController:
     # -- plaintext cache ----------------------------------------------------
 
     def _cache_fill(self, line_pa, plaintext):
-        self._cache[line_pa] = bytes(plaintext)
-        self._cache.move_to_end(line_pa)
-        while len(self._cache) > self._cache_lines:
-            self._cache.popitem(last=False)
+        cache = self._cache
+        cache[line_pa] = bytes(plaintext)
+        cache.move_to_end(line_pa)
+        while len(cache) > self._cache_lines:
+            cache.popitem(last=False)
 
     def _cache_lookup(self, line_pa):
         line = self._cache.get(line_pa)
@@ -150,21 +197,99 @@ class MemoryController:
         if not c_bit:
             self._charge_transfer(length, False, "mem-read")
             return self.memory.read(pa, length)
-        key = self._key(asid)
-        out = bytearray()
-        for line_pa, off, take in split_lines(pa, length):
-            cached = self._cache_lookup(line_pa)
+        key = self._slots.get(asid)
+        if key is None:
+            raise KeySlotError("no key installed for ASID %d" % asid)
+        if length <= 0:
+            if length < 0:
+                raise PhysicalMemoryError("negative region length %d" % length)
+            return b""
+        line_pa = (pa >> CACHE_LINE_SHIFT) << CACHE_LINE_SHIFT
+        off = pa - line_pa
+        if off + length <= CACHE_LINE:
+            # Single-line fast path: no piece list, one slice out.
+            self.fast_single_line += 1
+            cached = self._cache.get(line_pa)
             if cached is not None:
                 # Plaintext hit regardless of who asks: the leak channel.
+                self._cache.move_to_end(line_pa)
                 self.cycles.charge(L1_HIT_CYCLES, "mem-read-cached")
-                out.extend(cached[off:off + take])
+                return cached[off:off + length]
+            plain_line = self._fill_line(key, line_pa)
+            if length == CACHE_LINE:
+                return plain_line
+            return plain_line[off:off + length]
+        # Multi-line: one raw span read covers every missing line (DRAM
+        # sits below the timing model; charges stay per line, in order).
+        pieces = split_lines(pa, length)
+        first_line = pieces[0][0]
+        raw_span = None
+        out = bytearray()
+        cache = self._cache
+        charge = self.cycles.charge
+        for line_pa, off, take in pieces:
+            cached = cache.get(line_pa)
+            if cached is not None:
+                cache.move_to_end(line_pa)
+                charge(L1_HIT_CYCLES, "mem-read-cached")
+                out += cached[off:off + take]
                 continue
-            self._charge_transfer(CACHE_LINE, True, "mem-read-enc")
-            raw_line = self.memory.read(line_pa, CACHE_LINE)
-            plain_line = crypto.xex_decrypt(key, line_tweak(line_pa), raw_line)
-            self._cache_fill(line_pa, plain_line)
-            out.extend(plain_line[off:off + take])
+            charge(_ENC_LINE_CYCLES, "mem-read-enc")
+            if raw_span is None:
+                span_len = pieces[-1][0] + CACHE_LINE - first_line
+                raw_span = self.memory.read(first_line, span_len)
+            rel = line_pa - first_line
+            plain_line = crypto.xex_line_decrypt(
+                key, line_pa, raw_span[rel:rel + CACHE_LINE])
+            cache[line_pa] = plain_line
+            cache.move_to_end(line_pa)
+            if len(cache) > self._cache_lines:
+                cache.popitem(last=False)
+            if take == CACHE_LINE:
+                out += plain_line
+            else:
+                out += plain_line[off:off + take]
         return bytes(out)
+
+    def _fill_line(self, key, line_pa):
+        """Miss path: fetch, decrypt (wide XOR) and cache one line."""
+        self.cycles.charge(_ENC_LINE_CYCLES, "mem-read-enc")
+        raw_line = self.memory.read(line_pa, CACHE_LINE)
+        plain_line = crypto.xex_line_decrypt(key, line_pa, raw_line)
+        # _cache_fill inlined; the decrypt output is already immutable
+        # bytes, so the defensive copy is skipped too.
+        cache = self._cache
+        cache[line_pa] = plain_line
+        cache.move_to_end(line_pa)
+        if len(cache) > self._cache_lines:
+            cache.popitem(last=False)
+        return plain_line
+
+    def _write_line(self, key, line_pa, off, chunk):
+        """Encrypt and store one chunk confined to a single line."""
+        self.cycles.charge(_ENC_LINE_CYCLES, "mem-write-enc")
+        take = len(chunk)
+        ct = crypto.xex_line_encrypt(key, line_pa, chunk, off)
+        cache = self._cache
+        if take == CACHE_LINE:
+            # Whole line overwritten: the write-allocate fetch would be
+            # patched over entirely, so skip it (same bytes, same charges).
+            self.memory.write(line_pa, ct)
+            self.line_copies_avoided += 1
+            cache[line_pa] = bytes(chunk)
+        else:
+            self.memory.write(line_pa + off, ct)
+            cached = cache.get(line_pa)
+            if cached is None:
+                # Write-allocate: fetch and decrypt the rest of the line.
+                raw_line = self.memory.read(line_pa, CACHE_LINE)
+                cached = crypto.xex_line_decrypt(key, line_pa, raw_line)
+            patched = bytearray(cached)
+            patched[off:off + take] = chunk
+            cache[line_pa] = bytes(patched)
+        cache.move_to_end(line_pa)
+        if len(cache) > self._cache_lines:
+            cache.popitem(last=False)
 
     def write(self, pa, data, c_bit=False, asid=HOST_ASID):
         """A CPU-side write; encrypts when the C-bit is set."""
@@ -173,22 +298,60 @@ class MemoryController:
             self._cache_invalidate(pa, len(data))
             self.memory.write(pa, data)
             return
-        key = self._key(asid)
+        key = self._slots.get(asid)
+        if key is None:
+            raise KeySlotError("no key installed for ASID %d" % asid)
+        length = len(data)
+        if length == 0:
+            return
+        line_pa = (pa >> CACHE_LINE_SHIFT) << CACHE_LINE_SHIFT
+        off = pa - line_pa
+        if off + length <= CACHE_LINE:
+            # Single-line fast path: no piece list, no chunk copies.
+            self.fast_single_line += 1
+            self._write_line(key, line_pa, off,
+                             data if isinstance(data, bytes) else bytes(data))
+            return
+        # Multi-line: encrypt line by line (charging in order) but issue
+        # a single contiguous ciphertext write and at most one raw span
+        # read for write-allocate — DRAM bytes come out identical to the
+        # per-line sequence because the pieces tile [pa, pa+length).
+        pieces = split_lines(pa, length)
+        first_line = pieces[0][0]
+        raw_span = None
+        ct_parts = []
         view = memoryview(data)
-        for line_pa, off, take in split_lines(pa, len(data)):
-            chunk = bytes(view[:take])
-            view = view[take:]
-            self._charge_transfer(CACHE_LINE, True, "mem-write-enc")
-            ct = crypto.xex_encrypt(key, line_tweak(line_pa), chunk, offset=off)
-            self.memory.write(line_pa + off, ct)
-            cached = self._cache_lookup(line_pa)
-            if cached is None:
-                # Write-allocate: fetch and decrypt the rest of the line.
-                raw_line = self.memory.read(line_pa, CACHE_LINE)
-                cached = crypto.xex_decrypt(key, line_tweak(line_pa), raw_line)
-            patched = bytearray(cached)
-            patched[off:off + take] = chunk
-            self._cache_fill(line_pa, patched)
+        pos = 0
+        cache = self._cache
+        charge = self.cycles.charge
+        for line_pa, off, take in pieces:
+            # memoryview slice: no bytes() copy on the way to the engine.
+            chunk = view[pos:pos + take]
+            pos += take
+            charge(_ENC_LINE_CYCLES, "mem-write-enc")
+            ct_parts.append(crypto.xex_line_encrypt(key, line_pa, chunk, off))
+            if take == CACHE_LINE:
+                self.line_copies_avoided += 1
+                cache[line_pa] = bytes(chunk)
+            else:
+                cached = cache.get(line_pa)
+                if cached is None:
+                    # Write-allocate from the pre-write span: decrypting
+                    # the old line then patching equals the reference's
+                    # decrypt-after-own-ct-write then patch.
+                    if raw_span is None:
+                        span_len = pieces[-1][0] + CACHE_LINE - first_line
+                        raw_span = self.memory.read(first_line, span_len)
+                    rel = line_pa - first_line
+                    cached = crypto.xex_line_decrypt(
+                        key, line_pa, raw_span[rel:rel + CACHE_LINE])
+                patched = bytearray(cached)
+                patched[off:off + take] = chunk
+                cache[line_pa] = bytes(patched)
+            cache.move_to_end(line_pa)
+            if len(cache) > self._cache_lines:
+                cache.popitem(last=False)
+        self.memory.write(pa, b"".join(ct_parts))
 
     # -- DMA port -------------------------------------------------------------
 
@@ -204,3 +367,78 @@ class MemoryController:
         self._charge_transfer(len(data), False, "dma-write")
         self._cache_invalidate(pa, len(data))
         self.memory.write(pa, data)
+
+
+class ReferenceMemoryController(MemoryController):
+    """The kept-simple twin of the optimized data path.
+
+    ``read``/``write`` here are the pre-optimization implementations,
+    running on ``crypto._reference_*`` (no midstates, no keystream
+    cache, byte-at-a-time XOR).  The differential suite drives this
+    class and :class:`MemoryController` in lockstep over randomized op
+    sequences and asserts byte-identical memory, byte-identical reads
+    and identical cycle ledgers; ``repro.eval.perfbench`` uses it as
+    the wall-clock baseline.  Do not optimize this class.
+    """
+
+    def read(self, pa, length, c_bit=False, asid=HOST_ASID):
+        if not c_bit:
+            self._charge_transfer(length, False, "mem-read")
+            return self.memory.read(pa, length)
+        key = self._key(asid)
+        out = bytearray()
+        for line_pa, off, take in _reference_split_lines(pa, length):
+            cached = self._cache_lookup(line_pa)
+            if cached is not None:
+                self.cycles.charge(L1_HIT_CYCLES, "mem-read-cached")
+                out.extend(cached[off:off + take])
+                continue
+            self._charge_transfer(CACHE_LINE, True, "mem-read-enc")
+            raw_line = self.memory.read(line_pa, CACHE_LINE)
+            plain_line = crypto._reference_xex_decrypt(
+                key, line_tweak(line_pa), raw_line)
+            self._cache_fill(line_pa, plain_line)
+            out.extend(plain_line[off:off + take])
+        return bytes(out)
+
+    def write(self, pa, data, c_bit=False, asid=HOST_ASID):
+        if not c_bit:
+            self._charge_transfer(len(data), False, "mem-write")
+            self._cache_invalidate(pa, len(data))
+            self.memory.write(pa, data)
+            return
+        key = self._key(asid)
+        view = memoryview(data)
+        for line_pa, off, take in _reference_split_lines(pa, len(data)):
+            chunk = bytes(view[:take])
+            view = view[take:]
+            self._charge_transfer(CACHE_LINE, True, "mem-write-enc")
+            ct = crypto._reference_xex_encrypt(
+                key, line_tweak(line_pa), chunk, offset=off)
+            self.memory.write(line_pa + off, ct)
+            cached = self._cache_lookup(line_pa)
+            if cached is None:
+                raw_line = self.memory.read(line_pa, CACHE_LINE)
+                cached = crypto._reference_xex_decrypt(
+                    key, line_tweak(line_pa), raw_line)
+            patched = bytearray(cached)
+            patched[off:off + take] = chunk
+            self._cache_fill(line_pa, patched)
+
+
+def _reference_split_lines(pa, length):
+    """The original loop-always ``split_lines``, kept for the reference
+    controller so its twin keeps zero fast-path code."""
+    if length < 0:
+        raise PhysicalMemoryError("negative region length %d" % length)
+    pieces = []
+    cursor = pa
+    remaining = length
+    while remaining:
+        line_pa = (cursor >> CACHE_LINE_SHIFT) << CACHE_LINE_SHIFT
+        off = cursor - line_pa
+        take = min(remaining, CACHE_LINE - off)
+        pieces.append((line_pa, off, take))
+        cursor += take
+        remaining -= take
+    return pieces

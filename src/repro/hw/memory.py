@@ -7,7 +7,7 @@ of Section 6.1 — it returns whatever an attacker with physical access
 would see.
 """
 
-from repro.common.constants import PAGE_SIZE
+from repro.common.constants import PAGE_SHIFT, PAGE_SIZE
 from repro.common.errors import PhysicalMemoryError
 from repro.common.types import frame_addr, page_offset, pfn_of
 
@@ -19,11 +19,9 @@ class PhysicalMemory:
         if frames <= 0:
             raise ValueError("need at least one physical frame")
         self.frames = frames
+        #: total bytes; precomputed — the bounds checks run per access
+        self.size = frames * PAGE_SIZE
         self._data = {}
-
-    @property
-    def size(self):
-        return self.frames * PAGE_SIZE
 
     def _frame(self, pfn):
         if not 0 <= pfn < self.frames:
@@ -42,6 +40,13 @@ class PhysicalMemory:
             raise PhysicalMemoryError(
                 "read [%#x, %#x) outside physical memory" % (pa, pa + length)
             )
+        off = pa & (PAGE_SIZE - 1)
+        if off + length <= PAGE_SIZE:
+            # Dominant case — a cache line never crosses a page boundary.
+            frame = self._data.get(pa >> PAGE_SHIFT)
+            if frame is None:
+                frame = self._frame(pa >> PAGE_SHIFT)
+            return bytes(frame[off:off + length])
         out = bytearray()
         while length:
             frame = self._frame(pfn_of(pa))
@@ -54,10 +59,18 @@ class PhysicalMemory:
 
     def write(self, pa, data):
         """Raw write of ``data`` at physical address ``pa``."""
-        if pa < 0 or pa + len(data) > self.size:
+        length = len(data)
+        if pa < 0 or pa + length > self.size:
             raise PhysicalMemoryError(
-                "write [%#x, %#x) outside physical memory" % (pa, pa + len(data))
+                "write [%#x, %#x) outside physical memory" % (pa, pa + length)
             )
+        off = pa & (PAGE_SIZE - 1)
+        if off + length <= PAGE_SIZE:
+            frame = self._data.get(pa >> PAGE_SHIFT)
+            if frame is None:
+                frame = self._frame(pa >> PAGE_SHIFT)
+            frame[off:off + length] = data
+            return
         view = memoryview(data)
         while view.nbytes:
             frame = self._frame(pfn_of(pa))

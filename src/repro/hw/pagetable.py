@@ -71,28 +71,38 @@ class PageTableWalker:
 
     def translate(self, root_pfn, va, access=Access.read(),
                   wp=True, smep=False, nxe=True):
-        """Translate ``va``; raises :class:`PageFault` like the hardware."""
+        """Translate ``va``; raises :class:`PageFault` like the hardware.
+
+        The walk is the slot-path fast loop of the simulator: the word
+        reader is bound once, the per-level slot address is computed
+        with shifts only, and the permission bits are folded as ints —
+        the semantics are exactly the general loop it replaced.
+        """
         if not 0 <= va < (1 << VA_BITS):
             raise PageFault(va, access.write, access.execute, access.user,
                             message="non-canonical virtual address %#x" % va)
+        read_word = self._read_word
         table_pfn = root_pfn
-        writable = True
-        user = True
-        nx = False
+        flags_and = PTE_WRITABLE | PTE_USER   # folded WRITABLE/USER bits
+        nx_or = 0                             # folded NX bit
         entry = 0
-        for level in range(PT_LEVELS, 0, -1):
-            entry_pa = frame_addr(table_pfn) + _index(va, level) * PTE_SIZE
-            entry = self._read_word(entry_pa)
+        shift = PAGE_SHIFT + 9 * (PT_LEVELS - 1)
+        for _ in range(PT_LEVELS):
+            slot = (va >> shift) & (ENTRIES_PER_TABLE - 1)
+            entry = read_word((table_pfn << PAGE_SHIFT) + slot * PTE_SIZE)
             if not entry & PTE_PRESENT:
                 raise PageFault(va, access.write, access.execute, access.user,
                                 present=False)
-            writable = writable and bool(entry & PTE_WRITABLE)
-            user = user and bool(entry & PTE_USER)
-            nx = nx or bool(entry & PTE_NX)
-            table_pfn = entry_pfn(entry)
+            flags_and &= entry
+            nx_or |= entry & PTE_NX
+            table_pfn = (entry & PTE_PFN_MASK) >> PAGE_SHIFT
+            shift -= 9
+        writable = bool(flags_and & PTE_WRITABLE)
+        user = bool(flags_and & PTE_USER)
+        nx = bool(nx_or)
         c_bit = bool(entry & PTE_C_BIT)
         self._check_permissions(va, access, writable, user, nx, wp, smep, nxe)
-        pa = frame_addr(table_pfn) | (va & (PAGE_SIZE - 1))
+        pa = (table_pfn << PAGE_SHIFT) | (va & (PAGE_SIZE - 1))
         return Translation(pa, writable, user, nx, c_bit)
 
     @staticmethod

@@ -12,7 +12,16 @@ The TLB matters to the paper in two ways:
 
 Entries cache (vpn -> pfn, writable, user, nx, c_bit) per address-space
 root.  ``CR0.WP`` is deliberately *not* part of the cached state.
+
+Replacement is true LRU (a lookup hit refreshes the entry; the
+least-recently-used entry across all roots is the victim), and a
+per-root secondary index makes ``flush_root`` O(entries of that root)
+instead of a scan of the whole TLB.  Neither structure changes what is
+charged: fills and hits are priced by the page-table walk that produced
+them, and the flush costs below are per-entry exactly as before.
 """
+
+from collections import OrderedDict
 
 from repro.common.constants import TLB_ENTRY_FLUSH_CYCLES
 
@@ -21,9 +30,13 @@ class Tlb:
     def __init__(self, cycles, capacity=1024):
         self.cycles = cycles
         self.capacity = capacity
-        self._entries = {}
+        #: (root_pfn, vpn) -> translation, in LRU order (oldest first).
+        self._entries = OrderedDict()
+        #: root_pfn -> set of vpns currently cached for that root.
+        self._by_root = {}
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def lookup(self, root_pfn, vpn):
         entry = self._entries.get((root_pfn, vpn))
@@ -31,28 +44,49 @@ class Tlb:
             self.misses += 1
         else:
             self.hits += 1
+            self._entries.move_to_end((root_pfn, vpn))
         return entry
 
     def insert(self, root_pfn, vpn, translation):
+        key = (root_pfn, vpn)
+        if key in self._entries:
+            self._entries[key] = translation
+            self._entries.move_to_end(key)
+            return
         if len(self._entries) >= self.capacity:
-            self._entries.pop(next(iter(self._entries)))
-        self._entries[(root_pfn, vpn)] = translation
+            victim, _ = self._entries.popitem(last=False)
+            self._drop_from_root_index(victim)
+            self.evictions += 1
+        self._entries[key] = translation
+        self._by_root.setdefault(root_pfn, set()).add(vpn)
+
+    def _drop_from_root_index(self, key):
+        root_pfn, vpn = key
+        vpns = self._by_root[root_pfn]
+        vpns.discard(vpn)
+        if not vpns:
+            del self._by_root[root_pfn]
 
     def flush_page(self, root_pfn, vpn):
         """INVLPG: drop one entry; costs the measured 128 cycles."""
         self.cycles.charge(TLB_ENTRY_FLUSH_CYCLES, "tlb-flush-entry")
-        self._entries.pop((root_pfn, vpn), None)
+        if self._entries.pop((root_pfn, vpn), None) is not None:
+            self._drop_from_root_index((root_pfn, vpn))
 
     def flush_root(self, root_pfn):
         """Drop every entry of one address space; per-entry INVLPG cost
-        (same 128-cycle figure as :meth:`flush_page`)."""
-        stale = [key for key in self._entries if key[0] == root_pfn]
-        if not stale:
+        (same 128-cycle figure as :meth:`flush_page`).
+
+        The per-root index makes this O(entries of ``root_pfn``); the
+        old implementation scanned every entry in the TLB."""
+        vpns = self._by_root.get(root_pfn)
+        if not vpns:
             return
-        self.cycles.charge(TLB_ENTRY_FLUSH_CYCLES * len(stale),
+        self.cycles.charge(TLB_ENTRY_FLUSH_CYCLES * len(vpns),
                            "tlb-flush-root")
-        for key in stale:
-            del self._entries[key]
+        for vpn in vpns:
+            del self._entries[(root_pfn, vpn)]
+        del self._by_root[root_pfn]
 
     def flush_all(self, reason="tlb-flush-all"):
         """MOV CR3 semantics: everything goes; cost scales with occupancy."""
@@ -60,6 +94,11 @@ class Tlb:
             TLB_ENTRY_FLUSH_CYCLES * max(1, len(self._entries) // 8), reason
         )
         self._entries.clear()
+        self._by_root.clear()
+
+    def root_index_sizes(self):
+        """root_pfn -> cached-entry count (perfbench/diagnostics)."""
+        return {root: len(vpns) for root, vpns in self._by_root.items()}
 
     def __len__(self):
         return len(self._entries)

@@ -1,0 +1,55 @@
+"""Smoke tests for ``repro.eval.perfbench`` at CI sizes.
+
+These do not assert speedup ratios — quick sizes on shared CI boxes
+are too noisy for that.  They assert the things that must never be
+flaky: the report schema, the in-run equivalence flags (the benches
+themselves raise if the fast path diverges from the reference twin),
+and the ``--json`` artifact contract that ``BENCH_simulator.json``
+consumers rely on.
+"""
+
+import json
+
+from repro.eval import perfbench
+
+BENCH_NAMES = ("keystream", "enc_rw_mix", "walker_tlb", "guest_macro")
+
+
+def test_run_all_quick_schema():
+    report = perfbench.run_all(quick=True)
+    assert report["schema"] == perfbench.SCHEMA
+    assert report["quick"] is True
+    assert set(report["benchmarks"]) == set(BENCH_NAMES)
+    for name in ("keystream", "enc_rw_mix", "guest_macro"):
+        bench = report["benchmarks"][name]
+        assert bench["optimized_s"] > 0
+        assert bench["reference_s"] > 0
+        assert bench["speedup"] > 0
+    assert report["benchmarks"]["walker_tlb"]["per_translation_us"] > 0
+    # the benches assert equivalence internally; the flags record it
+    assert report["benchmarks"]["enc_rw_mix"]["equivalent"] is True
+    assert report["benchmarks"]["guest_macro"]["digest_equal"] is True
+    assert report["benchmarks"]["guest_macro"]["cycles_equal"] is True
+    # counters come from the macro run's fast path
+    assert "keystream_cache" in report["counters"]
+    assert "memctrl" in report["counters"]
+    assert "tlb" in report["counters"]
+
+
+def test_format_report_mentions_every_bench():
+    report = perfbench.run_all(quick=True)
+    text = perfbench.format_report(report)
+    for name in BENCH_NAMES:
+        assert name in text
+
+
+def test_cli_json_artifact(tmp_path, capsys):
+    out = tmp_path / "BENCH_simulator.json"
+    rc = perfbench.main(["--quick", "--json", "--out", str(out)])
+    assert rc == 0
+    on_disk = json.loads(out.read_text())
+    assert on_disk["schema"] == perfbench.SCHEMA
+    assert set(on_disk["benchmarks"]) == set(BENCH_NAMES)
+    # stdout carries the same JSON for log scraping
+    printed = json.loads(capsys.readouterr().out)
+    assert printed == on_disk
