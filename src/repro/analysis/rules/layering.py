@@ -2,7 +2,7 @@
 
 The simulator is a strict stack —
 
-    common(0) < analysis/hw(1) < sev(2) < xen(3) < core(4)
+    common(0) < analysis/hw/runner(1) < sev(2) < xen(3) < core(4)
              < system/workloads(5) < cloud(6) < eval(7) < faults(8)
 
 — and a module may import only *strictly lower* layers (or its own
@@ -19,6 +19,10 @@ LAYERS = {
     "common": 0,
     "analysis": 1,
     "hw": 1,
+    # The sharded execution layer is pure infrastructure over common:
+    # it never learns what it runs, so eval/faults/attacks above it can
+    # all hand it work units without creating back-edges.
+    "runner": 1,
     "sev": 2,
     "xen": 3,
     "core": 4,

@@ -10,6 +10,7 @@ concedes to hardware (DMA replay and Rowhammer, Section 8).
 from dataclasses import dataclass
 
 from repro.attacks import control, grants, io, keys, memory, physical, state
+from repro.runner import WorkUnit, execute
 from repro.system import System
 
 #: Every registered attack, in a stable presentation order.
@@ -69,30 +70,42 @@ def _fresh_system(protected, seed, iommu=False):
                          iommu=iommu)
 
 
-def run_matrix(frames=2048, attacks=None, include_iommu=False):
+def _matrix_row(index, attack_fn, include_iommu):
+    """One attack case against fresh hosts — the shardable work unit.
+
+    Each case builds its own seeded systems, so the matrix is a list of
+    shared-nothing simulations the runner can spread across workers.
+    """
+    baseline = attack_fn(_fresh_system(False, seed=1000 + index))
+    fidelius = attack_fn(_fresh_system(True, seed=2000 + index))
+    iommu_succeeded = None
+    if include_iommu:
+        iommu_result = attack_fn(
+            _fresh_system(True, seed=3000 + index, iommu=True))
+        iommu_succeeded = iommu_result.succeeded
+    return MatrixRow(
+        name=attack_fn.attack_name,
+        paper_ref=attack_fn.paper_ref,
+        baseline_succeeded=baseline.succeeded,
+        fidelius_succeeded=fidelius.succeeded,
+        fidelius_blocked_by=fidelius.blocked_by,
+        expected_baseline=attack_fn.baseline_succeeds,
+        expected_fidelius_blocked=attack_fn.fidelius_blocks,
+        iommu_succeeded=iommu_succeeded,
+    )
+
+
+def run_matrix(frames=2048, attacks=None, include_iommu=False, jobs=1):
     """Run every attack against a fresh baseline and a fresh Fidelius
     host; with ``include_iommu`` a third column runs against a Fidelius
-    host with the IOMMU extension armed.  Returns :class:`MatrixRow`\\ s."""
-    rows = []
-    for index, attack_fn in enumerate(attacks or ALL_ATTACKS):
-        baseline = attack_fn(_fresh_system(False, seed=1000 + index))
-        fidelius = attack_fn(_fresh_system(True, seed=2000 + index))
-        iommu_succeeded = None
-        if include_iommu:
-            iommu_result = attack_fn(
-                _fresh_system(True, seed=3000 + index, iommu=True))
-            iommu_succeeded = iommu_result.succeeded
-        rows.append(MatrixRow(
-            name=attack_fn.attack_name,
-            paper_ref=attack_fn.paper_ref,
-            baseline_succeeded=baseline.succeeded,
-            fidelius_succeeded=fidelius.succeeded,
-            fidelius_blocked_by=fidelius.blocked_by,
-            expected_baseline=attack_fn.baseline_succeeds,
-            expected_fidelius_blocked=attack_fn.fidelius_blocks,
-            iommu_succeeded=iommu_succeeded,
-        ))
-    return rows
+    host with the IOMMU extension armed.  Returns :class:`MatrixRow`\\ s,
+    always in registration order — attack cases shard across ``jobs``
+    workers and the runner re-sorts the rows, so the printed matrix is
+    byte-identical to a serial run."""
+    units = [WorkUnit.of(index, _matrix_row, index, attack_fn,
+                         include_iommu)
+             for index, attack_fn in enumerate(attacks or ALL_ATTACKS)]
+    return execute(units, jobs=jobs).values()
 
 
 def format_matrix(rows):

@@ -21,8 +21,10 @@ the source is intact and re-enterable after any target-side failure.
 Every failure is recorded in :attr:`Cloud.events` for the operator.
 """
 
+from collections import deque
 from dataclasses import dataclass, field
 
+from repro.common import crypto
 from repro.common.errors import ReproError
 from repro.core.attestation import (
     AttestationAuthority,
@@ -47,7 +49,11 @@ class Tenant:
 class Cloud:
     """A fleet of identically built Fidelius hosts."""
 
-    def __init__(self, hosts=2, frames=4096, seed=0xC10D):
+    #: default ring-buffer capacity for :attr:`events`
+    DEFAULT_EVENT_LOG_LIMIT = 4096
+
+    def __init__(self, hosts=2, frames=4096, seed=0xC10D,
+                 event_log_limit=DEFAULT_EVENT_LOG_LIMIT):
         if hosts < 1:
             raise ReproError("a cloud needs at least one host")
         self.hosts = [System.create(fidelius=True, frames=frames,
@@ -66,8 +72,12 @@ class Cloud:
         #: Hosts failed closed: no placements or migration targets until
         #: an operator calls :meth:`lift_quarantine`.
         self.quarantined = set()
-        #: Operator-visible record of every failure and recovery step.
-        self.events = []
+        #: Operator-visible record of failure and recovery steps — a
+        #: ring buffer (long soaks otherwise grow it without bound).
+        #: Only the newest ``event_log_limit`` events are retained;
+        #: :attr:`events_recorded` keeps the lifetime total.
+        self.events = deque(maxlen=event_log_limit)
+        self.events_recorded = 0
 
     def __len__(self):
         return len(self.hosts)
@@ -80,10 +90,46 @@ class Cloud:
         return self._authorities[index]
 
     def _record(self, kind, **details):
+        self.events_recorded += 1
         self.events.append((kind, details))
 
     def event_kinds(self):
+        """Kinds of the retained (newest) events, oldest first."""
         return [kind for kind, _ in self.events]
+
+    @property
+    def events_dropped(self):
+        """How many old events the ring buffer has already evicted."""
+        return self.events_recorded - len(self.events)
+
+    def perf_stats(self):
+        """Fleet-wide simulator fast-path counters, one call per cloud.
+
+        Sums every host's :meth:`~repro.hw.machine.Machine.perf_stats`
+        hierarchy counters.  The keystream cache is process-global (one
+        cache serves every machine), so it is reported once rather than
+        summed; the TLBs' per-root occupancy maps collapse into a total
+        entry count (root PFNs are meaningless across hosts).
+        """
+        per_host = [host.machine.perf_stats() for host in self.hosts]
+        memctrl = {}
+        for stats in per_host:
+            for key, value in stats["memctrl"].items():
+                memctrl[key] = memctrl.get(key, 0) + value
+        tlb = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+               "roots": 0, "root_index_entries": 0}
+        for stats in per_host:
+            host_tlb = stats["tlb"]
+            for key in ("hits", "misses", "evictions", "entries", "roots"):
+                tlb[key] += host_tlb[key]
+            tlb["root_index_entries"] += sum(
+                host_tlb["root_index_sizes"].values())
+        return {
+            "hosts": len(self.hosts),
+            "keystream_cache": crypto.keystream_cache_stats(),
+            "memctrl": memctrl,
+            "tlb": tlb,
+        }
 
     # -- attestation -------------------------------------------------------------
 

@@ -98,9 +98,20 @@ def keystream_cache_stats():
 
 
 def clear_keystream_cache():
-    """Drop every cached midstate and keystream line (tests/benchmarks)."""
+    """Drop every cached midstate and keystream line (tests/benchmarks).
+
+    Also zeroes the hit/miss counters, so every stats read is scoped
+    "since the last clear" — a benchmark that clears at its start then
+    reports identical counters whether it ran in the main process or in
+    a :mod:`repro.runner` worker shard.
+    """
+    global _line_hits, _line_misses, _midstate_hits, _midstate_misses
+    global _key_invalidations
     _midstate_cache.clear()
     _line_cache.clear()
+    _line_hits = _line_misses = 0
+    _midstate_hits = _midstate_misses = 0
+    _key_invalidations = 0
 
 
 def forget_key(key):

@@ -25,12 +25,13 @@ from repro.eval import (
     shadow_cost_benchmark,
 )
 from repro.eval import tables
+from repro.runner import add_jobs_argument
 
 
-def _fig(which):
+def _fig(which, jobs=1):
     title = {"fig5": "Figure 5: SPECCPU 2006 normalized overhead",
              "fig6": "Figure 6: PARSEC normalized overhead"}[which]
-    print(tables.format_figure(run_figure(which), title))
+    print(tables.format_figure(run_figure(which, jobs=jobs), title))
 
 
 def _table3():
@@ -54,9 +55,9 @@ def _xsa():
     print(tables.format_xsa(analyze_xsa()))
 
 
-def _attacks():
+def _attacks(jobs=1):
     from repro.attacks import format_matrix, run_matrix
-    print(format_matrix(run_matrix()))
+    print(format_matrix(run_matrix(jobs=jobs)))
 
 
 def _tables12():
@@ -65,16 +66,16 @@ def _tables12():
     print(tables.format_instruction_matrix(priv_instruction_matrix()))
 
 
-def _sensitivity():
+def _sensitivity(jobs=1):
     from repro.eval.sensitivity import (
         encryption_latency_sweep,
         exit_rate_sweep,
         format_exit_rate_sweep,
         format_latency_sweep,
     )
-    print(format_latency_sweep(encryption_latency_sweep()))
+    print(format_latency_sweep(encryption_latency_sweep(jobs=jobs)))
     print()
-    print(format_exit_rate_sweep(exit_rate_sweep()))
+    print(format_exit_rate_sweep(exit_rate_sweep(jobs=jobs)))
 
 
 def _report():
@@ -93,6 +94,14 @@ def _export():
         print("wrote", path)
 
 
+#: experiments whose independent work units shard across ``--jobs``
+PARALLEL_COMMANDS = {
+    "fig5": lambda jobs: _fig("fig5", jobs=jobs),
+    "fig6": lambda jobs: _fig("fig6", jobs=jobs),
+    "attacks": _attacks,
+    "sensitivity": _sensitivity,
+}
+
 COMMANDS = {
     "fig5": lambda: _fig("fig5"),
     "fig6": lambda: _fig("fig6"),
@@ -110,19 +119,27 @@ COMMANDS = {
 }
 
 
+def _dispatch(name, jobs):
+    if jobs != 1 and name in PARALLEL_COMMANDS:
+        PARALLEL_COMMANDS[name](jobs)
+    else:
+        COMMANDS[name]()
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment", choices=list(COMMANDS) + ["all"])
+    add_jobs_argument(parser)
     args = parser.parse_args(argv)
     if args.experiment == "all":
-        for name, command in COMMANDS.items():
+        for name in COMMANDS:
             print("=" * 72)
-            command()
+            _dispatch(name, args.jobs)
             print()
         return 0
-    COMMANDS[args.experiment]()
+    _dispatch(args.experiment, args.jobs)
     return 0
 
 

@@ -24,6 +24,7 @@ from repro.common.constants import (
     SHADOW_CHECK_CYCLES,
     VMEXIT_ROUNDTRIP_CYCLES,
 )
+from repro.runner import WorkUnit, execute
 from repro.workloads.profiles import PARSEC_PROFILES, SPEC_PROFILES
 from repro.workloads.tracegen import simulate_misses
 
@@ -73,11 +74,18 @@ def evaluate_profile(profile, instructions=200_000, seed=0xACE5,
                        misses, accesses)
 
 
-def run_figure(figure, instructions=200_000, seed=0xACE5):
-    """All rows of one figure: ``"fig5"`` (SPEC) or ``"fig6"`` (PARSEC)."""
+def run_figure(figure, instructions=200_000, seed=0xACE5, jobs=1):
+    """All rows of one figure: ``"fig5"`` (SPEC) or ``"fig6"`` (PARSEC).
+
+    Each benchmark is an independent seeded simulation, so rows shard
+    across ``jobs`` worker processes; the runner re-sorts them into
+    profile order, keeping the figure byte-identical to a serial run.
+    """
     profiles = {"fig5": SPEC_PROFILES, "fig6": PARSEC_PROFILES}[figure]
-    return [evaluate_profile(p, instructions=instructions, seed=seed)
-            for p in profiles]
+    units = [WorkUnit.of(p.name, evaluate_profile, p,
+                         instructions=instructions, seed=seed)
+             for p in profiles]
+    return execute(units, jobs=jobs).values()
 
 
 def average_overheads(results):

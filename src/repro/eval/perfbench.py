@@ -22,13 +22,19 @@ Four benchmarks, each warmup + repeat + median:
   digests and cycle deltas asserted.
 
 ``python -m repro.eval.perfbench --json`` writes ``BENCH_simulator.json``
-(schema ``fidelius-perfbench/1``) with per-benchmark timings/speedups
-plus the optimized machine's :meth:`Machine.perf_stats` counters, so
-future PRs can regress against it.
+(schema ``fidelius-perfbench/2``) with per-benchmark timings/speedups,
+the optimized machine's :meth:`Machine.perf_stats` counters, and a
+``sharding`` section (host CPU count, ``--jobs`` used, per-shard
+wall-clock and utilization from :mod:`repro.runner`), so ``BENCH_*``
+trajectories stay comparable across machines.  With ``--jobs N`` the
+four benchmarks run in separate worker processes; every deterministic
+field (cycle totals, digests, equivalence flags) is byte-identical to
+the serial run — :func:`deterministic_digest` is the comparison key.
 """
 
 import argparse
 import json
+import os
 import random
 import statistics
 import sys
@@ -38,6 +44,8 @@ import sys
 import time
 
 from repro.common import crypto
+from repro.runner import WorkUnit, add_jobs_argument, execute
+from repro.runner import merge as runner_merge
 from repro.common.constants import (
     PAGE_SIZE,
     PTE_NX,
@@ -53,7 +61,7 @@ from repro.hw.tlb import Tlb
 from repro.system import System
 from repro.workloads.guestprogs import CryptoWorker
 
-SCHEMA = "fidelius-perfbench/1"
+SCHEMA = "fidelius-perfbench/2"
 DEFAULT_OUTPUT = "BENCH_simulator.json"
 
 #: benchmark sizing; ``quick`` is the CI smoke profile
@@ -348,14 +356,26 @@ def guest_macro_bench(params):
 
 # -- driver ------------------------------------------------------------------
 
-def run_all(quick=False):
+#: The shardable benchmark set, in presentation order.
+BENCH_FNS = {
+    "keystream": keystream_bench,
+    "enc_rw_mix": enc_rw_mix_bench,
+    "walker_tlb": walker_tlb_bench,
+    "guest_macro": guest_macro_bench,
+}
+
+
+def _run_bench(name, params):
+    """Module-level dispatch so benchmark shards survive pickling."""
+    return BENCH_FNS[name](params)
+
+
+def run_all(quick=False, jobs=1):
     params = QUICK if quick else FULL
-    benchmarks = {
-        "keystream": keystream_bench(params),
-        "enc_rw_mix": enc_rw_mix_bench(params),
-        "walker_tlb": walker_tlb_bench(params),
-        "guest_macro": guest_macro_bench(params),
-    }
+    units = [WorkUnit.of(name, _run_bench, name, params)
+             for name in BENCH_FNS]
+    report = execute(units, jobs=jobs)
+    benchmarks = dict(zip(BENCH_FNS, report.values()))
     counters = benchmarks["guest_macro"].pop("perf_stats")
     return {
         "schema": SCHEMA,
@@ -363,7 +383,21 @@ def run_all(quick=False):
         "repeats": params["repeats"],
         "benchmarks": benchmarks,
         "counters": counters,
+        "sharding": {
+            "jobs": report.jobs,
+            "host_cpus": os.cpu_count() or 1,
+            "wall_s": report.wall_s,
+            "busy_s": report.busy_s,
+            "utilization": report.utilization(),
+            "shards": report.shard_counters(),
+        },
     }
+
+
+def deterministic_digest(report):
+    """Digest of the report minus wall-clock fields — equal across
+    ``--jobs`` settings and machines iff the modelled results are."""
+    return runner_merge.deterministic_digest(report)
 
 
 def format_report(report):
@@ -396,8 +430,9 @@ def main(argv=None):
                         help="output path for --json (default %(default)s)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke sizes (seconds, not minutes)")
+    add_jobs_argument(parser)
     args = parser.parse_args(argv)
-    report = run_all(quick=args.quick)
+    report = run_all(quick=args.quick, jobs=args.jobs)
     if args.json:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

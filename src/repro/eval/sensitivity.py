@@ -16,6 +16,7 @@ Two sweeps, both directly relevant to the paper's argument:
 from dataclasses import dataclass, replace
 
 from repro.eval.macro import evaluate_profile
+from repro.runner import WorkUnit, execute
 from repro.workloads.profiles import profile_by_name
 
 DEFAULT_LATENCIES = (0, 9, 18, 36, 54, 72)
@@ -28,33 +29,45 @@ class SweepPoint:
     overhead_pct: float
 
 
+def _latency_point(name, latency, instructions):
+    """One sweep point — a module-level function so shards can run it."""
+    result = evaluate_profile(profile_by_name(name),
+                              instructions=instructions,
+                              enc_extra_cycles=latency)
+    return SweepPoint(latency, result.fidelius_enc_overhead_pct
+                      - result.fidelius_overhead_pct)
+
+
+def _exit_rate_point(base_benchmark, rate, instructions):
+    profile = replace(profile_by_name(base_benchmark), vmexit_pki=rate)
+    result = evaluate_profile(profile, instructions=instructions)
+    return SweepPoint(rate, result.fidelius_overhead_pct)
+
+
 def encryption_latency_sweep(benchmarks=("mcf", "gcc", "hmmer"),
                              latencies=DEFAULT_LATENCIES,
-                             instructions=100_000):
-    """Fidelius-enc overhead as a function of engine latency."""
-    out = {}
-    for name in benchmarks:
-        profile = profile_by_name(name)
-        series = []
-        for latency in latencies:
-            result = evaluate_profile(profile, instructions=instructions,
-                                      enc_extra_cycles=latency)
-            series.append(SweepPoint(latency, result.fidelius_enc_overhead_pct
-                                     - result.fidelius_overhead_pct))
-        out[name] = series
-    return out
+                             instructions=100_000, jobs=1):
+    """Fidelius-enc overhead as a function of engine latency.
+
+    Every (benchmark, latency) point is an independent simulation, so
+    the sweep shards across ``jobs`` workers and merges back into the
+    same nested shape a serial run produces.
+    """
+    units = [WorkUnit.of((name, latency), _latency_point,
+                         name, latency, instructions)
+             for name in benchmarks for latency in latencies]
+    values = iter(execute(units, jobs=jobs).values())
+    return {name: [next(values) for _ in latencies]
+            for name in benchmarks}
 
 
 def exit_rate_sweep(base_benchmark="gcc", rates=DEFAULT_EXIT_RATES,
-                    instructions=100_000):
+                    instructions=100_000, jobs=1):
     """Fidelius (no encryption) overhead as a function of VM-exit rate."""
-    base = profile_by_name(base_benchmark)
-    series = []
-    for rate in rates:
-        profile = replace(base, vmexit_pki=rate)
-        result = evaluate_profile(profile, instructions=instructions)
-        series.append(SweepPoint(rate, result.fidelius_overhead_pct))
-    return series
+    units = [WorkUnit.of(rate, _exit_rate_point,
+                         base_benchmark, rate, instructions)
+             for rate in rates]
+    return execute(units, jobs=jobs).values()
 
 
 def format_latency_sweep(sweeps):

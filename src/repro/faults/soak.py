@@ -24,6 +24,8 @@ cancelled migration really leaves the source RUNNING) and runs the full
 :func:`repro.core.invariants.check_invariants` audit on every host.
 """
 
+import json
+import os
 from dataclasses import dataclass, field
 
 from repro.cloud import Cloud
@@ -32,6 +34,7 @@ from repro.core.invariants import check_invariants
 from repro.eval.security import plaintext_leak_scan
 from repro.faults.inject import arm_cloud, schedule_bytes
 from repro.faults.plan import FaultPlan
+from repro.runner import WorkUnit, add_jobs_argument, digest, execute
 from repro.system import GuestOwner
 from repro.xen import hypercalls as hc
 
@@ -175,9 +178,29 @@ def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4):
     return result
 
 
-def soak(seeds=DEFAULT_SEEDS, **scenario_kwargs):
+def soak_report(seeds=DEFAULT_SEEDS, jobs=1, **scenario_kwargs):
+    """Run every seed through the sharded runner; returns the
+    :class:`~repro.runner.executor.RunReport` (per-shard wall-clock,
+    utilization, diagnostic events) with results in seed order.
+
+    Every scenario is shared-nothing and fully seed-determined, so the
+    merged results are byte-identical whatever ``jobs`` is — the
+    ``parallel-equivalence`` CI job and
+    ``tests/runner/test_parallel_equivalence.py`` hold us to that.
+    """
+    units = [WorkUnit.of(seed, run_scenario, seed, **scenario_kwargs)
+             for seed in seeds]
+    return execute(units, jobs=jobs)
+
+
+def soak(seeds=DEFAULT_SEEDS, jobs=1, **scenario_kwargs):
     """Run every seed; returns the list of :class:`SoakResult`."""
-    return [run_scenario(seed, **scenario_kwargs) for seed in seeds]
+    return soak_report(seeds, jobs=jobs, **scenario_kwargs).values()
+
+
+def results_digest(results):
+    """Canonical digest of a soak sweep, for serial-vs-sharded diffs."""
+    return digest(results)
 
 
 def main(argv=None):
@@ -191,15 +214,43 @@ def main(argv=None):
     parser.add_argument("--hosts", type=int, default=3)
     parser.add_argument("--tenants", type=int, default=2)
     parser.add_argument("--nfaults", type=int, default=4)
+    add_jobs_argument(parser)
+    parser.add_argument("--bench-json", metavar="PATH", default=None,
+                        help="also write wall-clock/shard counters and "
+                             "the result digest as JSON (schema "
+                             "fidelius-soak-bench/1)")
     args = parser.parse_args(argv)
-    results = soak(range(args.seeds), hosts=args.hosts,
-                   tenants=args.tenants, nfaults=args.nfaults)
+    report = soak_report(range(args.seeds), jobs=args.jobs,
+                         hosts=args.hosts, tenants=args.tenants,
+                         nfaults=args.nfaults)
+    results = report.values()
     for result in results:
         print(result.describe())
         for violation in result.violations:
             print("  !! " + violation)
     bad = [r for r in results if not r.clean]
     print("%d/%d scenarios clean" % (len(results) - len(bad), len(results)))
+    print("digest sha256=%s" % results_digest(results))
+    # timing lines are diagnostics: excluded from equivalence diffs
+    print("# timing: wall=%.3fs busy=%.3fs jobs=%d utilization=%.2f"
+          % (report.wall_s, report.busy_s, report.jobs,
+             report.utilization()))
+    if args.bench_json:
+        bench = {
+            "schema": "fidelius-soak-bench/1",
+            "seeds": args.seeds,
+            "jobs": report.jobs,
+            "host_cpus": os.cpu_count() or 1,
+            "wall_s": report.wall_s,
+            "busy_s": report.busy_s,
+            "utilization": report.utilization(),
+            "clean": len(results) - len(bad),
+            "digest": results_digest(results),
+            "shards": report.shard_counters(),
+        }
+        with open(args.bench_json, "w") as fh:
+            json.dump(bench, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 1 if bad else 0
 
 

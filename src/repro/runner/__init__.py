@@ -1,0 +1,49 @@
+"""Sharded parallel execution with a deterministic merge.
+
+Everything above one :class:`~repro.system.System` — the chaos soak's
+seed sweep, the eval figure suites, the attack matrix, the sensitivity
+sweeps, the perfbench suite — is a list of shared-nothing simulations.
+This package runs such lists across worker processes (``--jobs N`` on
+every CLI it backs) while guaranteeing that the *aggregated output is
+byte-identical to the serial run*: results are re-sorted into plan
+order before merging, and :mod:`repro.runner.merge` provides the
+canonical digests that tests and CI compare.
+
+Layering: the runner sits beside ``repro.hw`` at the bottom of the
+stack — it knows nothing about guests, fleets or attacks.  Callers
+hand it module-level functions and picklable arguments; it hands back
+their results in a deterministic order, plus wall-clock shard counters
+for bench artifacts.
+"""
+
+from repro.runner.executor import (
+    RunnerError,
+    RunReport,
+    ShardResult,
+    execute,
+)
+from repro.runner.merge import canonical, deterministic_digest, digest
+from repro.runner.plan import Shard, ShardPlan, WorkUnit
+
+__all__ = [
+    "RunnerError",
+    "RunReport",
+    "Shard",
+    "ShardPlan",
+    "ShardResult",
+    "WorkUnit",
+    "canonical",
+    "deterministic_digest",
+    "digest",
+    "execute",
+]
+
+
+def add_jobs_argument(parser, default=1):
+    """The shared ``--jobs`` flag every runner-backed CLI exposes."""
+    parser.add_argument(
+        "--jobs", type=int, default=default, metavar="N",
+        help="worker processes for independent work units "
+             "(default %(default)s: serial, deterministic-tooling "
+             "friendly; results are byte-identical either way)")
+    return parser

@@ -1,0 +1,257 @@
+"""The shard executor: serial by default, a process pool on request.
+
+``execute(units, jobs=N)`` runs every :class:`~repro.runner.plan.WorkUnit`
+and returns a :class:`RunReport` whose results are re-sorted into the
+plan's submission order, so the aggregated output is byte-identical
+whatever ``jobs`` was and whichever worker finished first.
+
+* ``jobs=1`` (the default) runs everything in-process with no
+  ``multiprocessing`` machinery at all — the path the determinism
+  tooling audits, and the baseline the differential tests compare
+  against.
+* ``jobs>1`` dispatches shards to at most ``jobs`` concurrent worker
+  processes.  A worker that raises reports a per-unit error; a worker
+  that *dies* (segfault, ``os._exit``, OOM kill) fails only its own
+  shard, which is retried up to ``retries`` times before the shard is
+  marked failed.  Shards exceeding ``timeout_s`` are terminated and
+  retried the same way.  A shard still running long after the median
+  completed shard time is flagged as a straggler (diagnostic event
+  only; it is allowed to finish).
+
+Failures never silently truncate a run: :meth:`RunReport.values`
+raises :class:`RunnerError` listing every failed shard key.
+
+Wall-clock is inherently part of this module's contract (timeouts,
+straggler detection, utilization counters); every *modelled* quantity
+in the work units themselves still comes from the cycle counter.
+"""
+
+import multiprocessing
+import statistics
+# fidelint: ignore[FID007] -- the executor schedules and measures host
+# wall-clock (shard timeouts, straggler detection, utilization); it
+# never feeds time into modelled results, which remain pure functions
+# of their seeds.
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+
+from repro.common.errors import ReproError
+from repro.runner.plan import ShardPlan
+
+#: Parent poll cadence while workers run (seconds).
+_TICK_S = 0.05
+
+
+class RunnerError(ReproError):
+    """A shard failed after exhausting its retry budget."""
+
+
+@dataclass
+class ShardResult:
+    """Outcome of one work unit, wherever it ran."""
+
+    key: object
+    ok: bool
+    value: object = None
+    error: str = ""
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    worker: str = "serial"
+
+
+@dataclass
+class RunReport:
+    """Everything one ``execute`` call observed.
+
+    ``results`` is in plan submission order — the deterministic merge.
+    ``events`` (crashes, retries, timeouts, stragglers) are diagnostics
+    and may legitimately differ between runs; nothing deterministic may
+    be derived from them.
+    """
+
+    jobs: int
+    results: list
+    wall_s: float = 0.0
+    busy_s: float = 0.0
+    events: list = field(default_factory=list)
+
+    @property
+    def failed(self):
+        return [r for r in self.results if not r.ok]
+
+    def values(self):
+        """The unit return values in plan order; raises on any failure."""
+        bad = self.failed
+        if bad:
+            raise RunnerError(
+                "%d/%d shards failed: %s" % (
+                    len(bad), len(self.results),
+                    "; ".join("%r: %s" % (r.key, r.error.strip().splitlines()[-1]
+                                          if r.error else "unknown")
+                              for r in bad[:5])))
+        return [r.value for r in self.results]
+
+    def utilization(self):
+        """Busy worker time over available worker time, 0..1."""
+        if self.wall_s <= 0 or self.jobs <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / (self.wall_s * self.jobs))
+
+    def shard_counters(self):
+        """JSON-able per-shard wall-clock counters for bench artifacts."""
+        return [{"key": str(r.key), "ok": r.ok, "elapsed_s": r.elapsed_s,
+                 "attempts": r.attempts, "worker": r.worker}
+                for r in self.results]
+
+
+def _shard_worker(conn, shard):
+    """Child-process entry: run every unit, report per-unit outcomes.
+
+    Clean exceptions are caught per unit so one bad seed cannot take
+    its shard-mates down with it; only a hard death (crash, kill,
+    unpicklable result) loses the whole shard attempt.
+    """
+    out = []
+    for unit in shard.units:
+        t0 = time.perf_counter()
+        try:
+            value = unit.call()
+            out.append((unit.key, True, value, "",
+                        time.perf_counter() - t0))
+        except Exception:
+            out.append((unit.key, False, None, traceback.format_exc(),
+                        time.perf_counter() - t0))
+    conn.send(out)
+    conn.close()
+
+
+def execute(units_or_plan, jobs=1, timeout_s=None, retries=1,
+            straggler_factor=4.0, straggler_min_s=1.0, on_event=None):
+    """Run a plan (or a plain iterable of units) and merge the results.
+
+    ``on_event(kind, details)``, when given, mirrors every diagnostic
+    event as it happens (for live progress reporting).
+    """
+    if isinstance(units_or_plan, ShardPlan):
+        plan = units_or_plan
+    else:
+        plan = ShardPlan.single(list(units_or_plan))
+    events = []
+
+    def emit(kind, **details):
+        events.append((kind, details))
+        if on_event is not None:
+            on_event(kind, details)
+
+    t_start = time.perf_counter()
+    if jobs <= 1:
+        by_key = _execute_serial(plan)
+        jobs = 1
+    else:
+        by_key = _execute_parallel(plan, jobs, timeout_s, retries,
+                                   straggler_factor, straggler_min_s, emit)
+    wall_s = time.perf_counter() - t_start
+    ordered = [by_key[key] for key in plan.key_order]
+    busy_s = sum(r.elapsed_s for r in ordered)
+    return RunReport(jobs=jobs, results=ordered, wall_s=wall_s,
+                     busy_s=busy_s, events=events)
+
+
+def _execute_serial(plan):
+    by_key = {}
+    for shard in plan.shards:
+        for unit in shard.units:
+            t0 = time.perf_counter()
+            try:
+                value = unit.call()
+                by_key[unit.key] = ShardResult(
+                    unit.key, True, value,
+                    elapsed_s=time.perf_counter() - t0)
+            except Exception:
+                by_key[unit.key] = ShardResult(
+                    unit.key, False, error=traceback.format_exc(),
+                    elapsed_s=time.perf_counter() - t0)
+    return by_key
+
+
+def _execute_parallel(plan, jobs, timeout_s, retries,
+                      straggler_factor, straggler_min_s, emit):
+    ctx = multiprocessing.get_context()
+    pending = deque(plan.shards)
+    attempts = {shard.index: 0 for shard in plan.shards}
+    running = {}        # conn -> [shard, process, started_at, flagged]
+    by_key = {}
+    completed_s = []    # parent-side shard wall times, for the median
+
+    def fail_or_retry(shard, reason):
+        if attempts[shard.index] <= retries:
+            emit("shard-retried", shard=shard.index, keys=shard.keys,
+                 attempt=attempts[shard.index], reason=reason)
+            pending.append(shard)
+            return
+        emit("shard-failed", shard=shard.index, keys=shard.keys,
+             attempts=attempts[shard.index], reason=reason)
+        for unit in shard.units:
+            by_key[unit.key] = ShardResult(
+                unit.key, False, error=reason,
+                attempts=attempts[shard.index], worker="dead")
+
+    while pending or running:
+        while pending and len(running) < jobs:
+            shard = pending.popleft()
+            attempts[shard.index] += 1
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(target=_shard_worker,
+                                  args=(child_conn, shard))
+            process.daemon = True
+            process.start()
+            child_conn.close()
+            running[parent_conn] = [shard, process,
+                                    time.perf_counter(), False]
+
+        ready = connection.wait(list(running), timeout=_TICK_S)
+        now = time.perf_counter()
+        for conn in ready:
+            shard, process, started, _ = running.pop(conn)
+            try:
+                payload = conn.recv()
+            except EOFError:
+                payload = None
+            conn.close()
+            process.join()
+            if payload is None:
+                emit("worker-crashed", shard=shard.index, keys=shard.keys,
+                     exitcode=process.exitcode,
+                     attempt=attempts[shard.index])
+                fail_or_retry(shard, "worker crashed (exitcode %s)"
+                              % (process.exitcode,))
+                continue
+            completed_s.append(now - started)
+            for key, ok, value, error, unit_elapsed in payload:
+                by_key[key] = ShardResult(
+                    key, ok, value, error, unit_elapsed,
+                    attempts[shard.index], worker="pid:%d" % process.pid)
+
+        now = time.perf_counter()
+        for conn, state in list(running.items()):
+            shard, process, started, flagged = state
+            run_for = now - started
+            if timeout_s is not None and run_for > timeout_s:
+                process.terminate()
+                process.join()
+                del running[conn]
+                conn.close()
+                emit("shard-timeout", shard=shard.index, keys=shard.keys,
+                     after_s=run_for, attempt=attempts[shard.index])
+                fail_or_retry(shard, "timed out after %.2fs" % run_for)
+            elif not flagged and completed_s and run_for > straggler_min_s \
+                    and run_for > straggler_factor * max(
+                        statistics.median(completed_s), 1e-9):
+                state[3] = True
+                emit("straggler-detected", shard=shard.index,
+                     keys=shard.keys, running_s=run_for,
+                     median_s=statistics.median(completed_s))
+    return by_key

@@ -34,6 +34,13 @@ def test_run_all_quick_schema():
     assert "keystream_cache" in report["counters"]
     assert "memctrl" in report["counters"]
     assert "tlb" in report["counters"]
+    # schema/2: the sharding section carries cross-machine context
+    sharding = report["sharding"]
+    assert sharding["jobs"] == 1
+    assert sharding["host_cpus"] >= 1
+    assert sharding["wall_s"] > 0
+    assert [s["key"] for s in sharding["shards"]] == list(BENCH_NAMES)
+    assert all(s["ok"] and s["elapsed_s"] > 0 for s in sharding["shards"])
 
 
 def test_format_report_mentions_every_bench():

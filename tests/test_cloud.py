@@ -127,3 +127,59 @@ class TestInterruptInjection:
         domain, _ = host.create_plain_guest("irq2", guest_frames=8)
         with pytest.raises(XenError):
             host.hypervisor.inject_interrupt(domain.vcpu0, 4242)
+
+
+class TestEventRingBuffer:
+    def test_log_is_bounded(self):
+        cloud = Cloud(hosts=1, frames=1024, seed=0xE17, event_log_limit=4)
+        for i in range(10):
+            cloud._record("synthetic", index=i)
+        assert len(cloud.events) == 4
+        assert cloud.events_recorded == 10
+        assert cloud.events_dropped == 6
+
+    def test_newest_events_survive(self):
+        cloud = Cloud(hosts=1, frames=1024, seed=0xE18, event_log_limit=3)
+        for i in range(7):
+            cloud._record("k%d" % i)
+        assert cloud.event_kinds() == ["k4", "k5", "k6"]
+
+    def test_default_limit_keeps_small_logs_whole(self):
+        cloud = Cloud(hosts=1, frames=1024, seed=0xE19)
+        for i in range(5):
+            cloud._record("keep", index=i)
+        assert len(cloud.events) == 5
+        assert cloud.events_dropped == 0
+        assert cloud.events.maxlen == Cloud.DEFAULT_EVENT_LOG_LIMIT
+
+    def test_real_events_still_recorded(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xE1A, event_log_limit=8)
+        host1 = cloud.host(1)
+        host1.machine.memory.write(
+            host1.hypervisor.text.base_va + 0x600, b"\xCC")
+        assert cloud.attested_hosts() == [0]
+        assert "host-quarantined" in cloud.event_kinds()
+        assert cloud.events_recorded >= 1
+
+
+class TestFleetPerfStats:
+    def test_aggregates_across_hosts(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xF00)
+        cloud.launch_tenant("t0", GuestOwner(seed=1), payload=b"s",
+                            guest_frames=32)
+        stats = cloud.perf_stats()
+        assert stats["hosts"] == 2
+        per_host = [h.machine.perf_stats() for h in cloud.hosts]
+        for key in ("hits", "misses", "evictions", "entries", "roots"):
+            assert stats["tlb"][key] == sum(s["tlb"][key] for s in per_host)
+        assert stats["tlb"]["root_index_entries"] == sum(
+            sum(s["tlb"]["root_index_sizes"].values()) for s in per_host)
+        for key in per_host[0]["memctrl"]:
+            assert stats["memctrl"][key] == sum(
+                s["memctrl"][key] for s in per_host)
+
+    def test_keystream_cache_reported_once_not_summed(self):
+        from repro.common import crypto
+        cloud = Cloud(hosts=3, frames=2048, seed=0xF01)
+        assert cloud.perf_stats()["keystream_cache"] == \
+            crypto.keystream_cache_stats()

@@ -1,0 +1,139 @@
+"""Edge-path coverage for the round-robin scheduler: behaviour exactly
+at the quantum boundary, the ``_park``/re-enter path for tasks leaving
+the CPU, and ``max_rounds`` exhaustion semantics."""
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.common.errors import XenError
+from repro.common.types import CpuMode
+from repro.system import System
+from repro.xen import hypercalls as hc
+from repro.xen.scheduler import GuestTask, RoundRobinScheduler, TIMER_VECTOR
+
+
+@pytest.fixture
+def host():
+    return System.create(fidelius=False, frames=2048, seed=0x5CA)
+
+
+def _guest_writer(n):
+    """A program that touches guest memory every step (so every step
+    enters guest mode and pending vectors get delivered)."""
+    def program(ctx):
+        for i in range(n):
+            ctx.write(2 * PAGE_SIZE + 8 * i, i.to_bytes(8, "little"))
+            yield
+    return program
+
+
+def _pure_python(n):
+    """A 'blocked' program: never enters the guest, just burns steps."""
+    def program(ctx):
+        for _ in range(n):
+            yield
+    return program
+
+
+def _task(host, name, program, frames=16):
+    _domain, ctx = host.create_plain_guest(name, guest_frames=frames)
+    return GuestTask(name, ctx, program)
+
+
+class TestQuantumBoundary:
+    def test_finish_exactly_at_quantum_preempts_once(self, host):
+        """A task whose work equals the quantum is preempted at the
+        boundary (the scheduler cannot know the generator is spent) and
+        parked on the next round's first step."""
+        task = _task(host, "eq", _guest_writer(3))
+        scheduler = RoundRobinScheduler(host.hypervisor, quantum=3)
+        scheduler.run([task])
+        assert task.done and task.steps == 3
+        assert task.preemptions == 1
+        assert scheduler.rounds == 2
+
+    def test_finish_inside_quantum_is_never_preempted(self, host):
+        task = _task(host, "lt", _guest_writer(2))
+        scheduler = RoundRobinScheduler(host.hypervisor, quantum=3)
+        scheduler.run([task])
+        assert task.done and task.preemptions == 0
+        assert scheduler.rounds == 1
+
+    def test_one_timer_vector_per_preemption(self, host):
+        task = _task(host, "ticks", _guest_writer(7))
+        RoundRobinScheduler(host.hypervisor, quantum=2).run([task])
+        delivered = task.ctx.take_interrupts()
+        assert delivered.count(TIMER_VECTOR) == task.preemptions
+        assert task.preemptions == 3
+
+    def test_preemption_skipped_when_guest_not_on_cpu(self, host):
+        """_preempt is a no-op for a task that ran its quantum without
+        ever entering the guest — there is nothing to force out."""
+        task = _task(host, "blocked", _pure_python(6))
+        RoundRobinScheduler(host.hypervisor, quantum=2).run([task])
+        assert task.done and task.steps == 6
+        assert task.preemptions == 0
+        assert task.ctx.take_interrupts() == []
+
+
+class TestParkAndReenter:
+    def test_park_returns_cpu_to_host(self, host):
+        task = _task(host, "parked", _guest_writer(4))
+        RoundRobinScheduler(host.hypervisor, quantum=8).run([task])
+        assert host.machine.cpu.mode is CpuMode.HOST
+
+    def test_parked_guest_is_reenterable(self, host):
+        """After _park the domain is intact: its context re-enters the
+        guest and both hypercalls and reads still work."""
+        task = _task(host, "alive", _guest_writer(4))
+        RoundRobinScheduler(host.hypervisor, quantum=2).run([task])
+        task.ctx.hypercall(hc.HC_SCHED_YIELD)   # must not raise
+        assert int.from_bytes(task.ctx.read(2 * PAGE_SIZE + 24, 8),
+                              "little") == 3
+
+    def test_park_noop_for_task_that_never_entered(self, host):
+        task = _task(host, "ghost", _pure_python(2))
+        RoundRobinScheduler(host.hypervisor, quantum=4).run([task])
+        assert host.machine.cpu.mode is CpuMode.HOST
+
+    def test_unstarted_task_step_rejected(self, host):
+        task = _task(host, "cold", _pure_python(2))
+        with pytest.raises(XenError):
+            task.step()
+
+
+class TestMaxRounds:
+    def test_exhaustion_preserves_finished_peers(self, host):
+        """When a runaway task exhausts max_rounds, work the scheduler
+        already completed stays completed."""
+        finite = _task(host, "finite", _guest_writer(2))
+
+        def forever(ctx):
+            while True:
+                yield
+        endless = _task(host, "endless", forever)
+        scheduler = RoundRobinScheduler(host.hypervisor, quantum=2)
+        with pytest.raises(XenError):
+            scheduler.run([finite, endless], max_rounds=10)
+        assert finite.done
+        assert not endless.done
+
+    def test_rounds_accumulate_across_runs(self, host):
+        """`rounds` is a lifetime counter: a scheduler that already
+        spent its budget refuses further work under the same limit."""
+        first = _task(host, "first", _guest_writer(2))
+        scheduler = RoundRobinScheduler(host.hypervisor, quantum=1)
+        scheduler.run([first])
+        spent = scheduler.rounds
+        assert spent >= 2
+        second = _task(host, "second", _guest_writer(2))
+        with pytest.raises(XenError):
+            scheduler.run([second], max_rounds=spent)
+
+    def test_fresh_limit_allows_more_work(self, host):
+        first = _task(host, "a", _guest_writer(2))
+        scheduler = RoundRobinScheduler(host.hypervisor, quantum=1)
+        scheduler.run([first])
+        second = _task(host, "b", _guest_writer(2))
+        scheduler.run([second], max_rounds=scheduler.rounds + 10)
+        assert second.done
