@@ -9,7 +9,10 @@ layering back-edges, stray privileged-instruction encodings.
 Entry points:
 
 * CLI: ``python -m repro.analysis`` (or the ``fidelint`` console
-  script) — human or ``--format json`` output, ``--strict`` for CI.
+  script) — human or ``--format json`` output, ``--strict`` for CI,
+  ``--jobs N`` to shard the run through ``repro.runner`` (digest
+  byte-identical to serial), ``--state-report state.json`` for the
+  snapshot-state inventory artifact.
 * Library / pytest: :func:`repro.analysis.analyze` returns an
   :class:`~repro.analysis.engine.AnalysisResult`; the test suite runs
   it over the live tree (``tests/analysis/``).
@@ -21,7 +24,7 @@ with a justification) or by the committed baseline file
 
 from repro.analysis.baseline import default_baseline_path, load_baseline, \
     write_baseline
-from repro.analysis.engine import AnalysisResult, analyze
+from repro.analysis.engine import AnalysisResult, analyze, findings_digest
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.project import ModuleInfo, Project
 from repro.analysis.registry import Rule, all_rules, get_rule, rule
@@ -29,5 +32,6 @@ from repro.analysis.registry import Rule, all_rules, get_rule, rule
 __all__ = [
     "AnalysisResult", "Finding", "ModuleInfo", "Project", "Rule",
     "Severity", "all_rules", "analyze", "default_baseline_path",
-    "get_rule", "load_baseline", "rule", "write_baseline",
+    "findings_digest", "get_rule", "load_baseline", "rule",
+    "write_baseline",
 ]

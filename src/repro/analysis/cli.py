@@ -13,8 +13,10 @@ import textwrap
 
 from repro.analysis.baseline import default_baseline_path, load_baseline, \
     write_baseline
-from repro.analysis.engine import analyze
+from repro.analysis.engine import analyze, findings_digest
+from repro.analysis.project import Project
 from repro.analysis.registry import all_rules
+from repro.runner import add_jobs_argument
 
 
 def _default_root():
@@ -67,6 +69,13 @@ def build_parser():
     parser.add_argument("--explain", nargs="+", default=None, metavar="ID",
                         help="print a rule's full rationale (its module "
                              "docstring) plus a fixed example, and exit")
+    parser.add_argument("--state-report", default=None, metavar="PATH",
+                        help="write the snapshot-state inventory "
+                             "(registered/unregistered/stale module-global "
+                             "mutables, see FID014) as JSON and exit; "
+                             "non-zero if anything is unregistered or "
+                             "stale")
+    add_jobs_argument(parser)
     return parser
 
 
@@ -89,6 +98,9 @@ def main(argv=None):
               file=sys.stderr)
         return 2
 
+    if args.state_report:
+        return _write_state_report(root, args.state_report)
+
     baseline_path = None
     if not args.no_baseline:
         baseline_path = args.baseline or default_baseline_path(root)
@@ -99,7 +111,8 @@ def main(argv=None):
 
     try:
         result = analyze(root, baseline_path=None if args.write_baseline
-                         else baseline_path, select=select)
+                         else baseline_path, select=select,
+                         jobs=args.jobs)
     except ValueError as exc:
         print("fidelint: %s" % exc, file=sys.stderr)
         return 2
@@ -116,10 +129,38 @@ def main(argv=None):
         return 0
 
     if args.format == "json":
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        payload = result.to_dict()
+        payload["digest"] = findings_digest(result)
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         _render_human(result)
     return result.exit_code(strict=args.strict)
+
+
+def _write_state_report(root, path):
+    """The machine-readable snapshot-state inventory (FID014's view),
+    the seed artifact for deterministic snapshot/restore."""
+    from repro.analysis.rules.state_inventory import inventory
+    project = Project.load(root)
+    registered, unregistered, stale = inventory(project)
+    payload = {
+        "schema": "fidelint-state-report/1",
+        "registered": registered,
+        "unregistered": unregistered,
+        "stale": stale,
+        "counts": {
+            "registered": len(registered),
+            "unregistered": len(unregistered),
+            "stale": len(stale),
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("fidelint: state report: %d registered, %d unregistered, "
+          "%d stale -> %s" % (len(registered), len(unregistered),
+                              len(stale), path))
+    return 0 if not (unregistered or stale) else 1
 
 
 def _explain(rule_ids):
@@ -156,6 +197,7 @@ def _render_human(result):
              result.error_count, result.warning_count,
              len(result.suppressed), len(result.baselined),
              len(result.stale_baseline)))
+    print("fidelint: findings digest sha256=%s" % findings_digest(result))
 
 
 if __name__ == "__main__":

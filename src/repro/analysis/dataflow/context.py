@@ -25,6 +25,8 @@ class DataflowContext:
         self.cfg_hits = 0
         self._index = None
         self._summaries = None
+        self._callgraph = None
+        self._effects = None
 
     @property
     def index(self):
@@ -39,6 +41,24 @@ class DataflowContext:
             from repro.analysis.dataflow.summaries import compute_summaries
             self._summaries = compute_summaries(self)
         return self._summaries
+
+    @property
+    def callgraph(self):
+        """Project-wide call edges (built once, shared with effects)."""
+        if self._callgraph is None:
+            from repro.analysis.dataflow.callgraph import CallGraph
+            self._callgraph = CallGraph(self)
+        return self._callgraph
+
+    @property
+    def effects(self):
+        """qualname -> EffectSummary, the transitive-effect fixpoint.
+        Independent of :attr:`summaries`: a FID013-only run builds the
+        call graph and effects but never the taint/gate summaries."""
+        if self._effects is None:
+            from repro.analysis.dataflow.effects import compute_effects
+            self._effects = compute_effects(self)
+        return self._effects
 
     def module_of(self, fi):
         return self.project.modules[fi.module]

@@ -25,6 +25,7 @@ class Rule:
     description: str
     check: object
     needs_dataflow: bool = False
+    needs_effects: bool = False
     example: str = ""
     module: str = field(default="")    # defining module, for --explain
 
@@ -33,14 +34,16 @@ class Rule:
 
 
 def rule(rule_id, name, severity, description, needs_dataflow=False,
-         example=""):
+         needs_effects=False, example=""):
     """Class-less rule registration decorator."""
     def register(func):
         if rule_id in _REGISTRY:
             raise ValueError("duplicate rule id %s" % rule_id)
         _REGISTRY[rule_id] = Rule(rule_id, name, severity, description,
-                                  func, needs_dataflow, example,
-                                  func.__module__)
+                                  func, needs_dataflow=needs_dataflow,
+                                  needs_effects=needs_effects,
+                                  example=example,
+                                  module=func.__module__)
         return func
     return register
 

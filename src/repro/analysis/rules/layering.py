@@ -2,8 +2,9 @@
 
 The simulator is a strict stack —
 
-    common(0) < analysis/hw/runner(1) < sev(2) < xen(3) < core(4)
+    common(0) < hw/runner(1) < sev(2) < xen(3) < core(4)
              < system/workloads(5) < cloud(6) < eval(7) < faults(8)
+             < analysis(9)
 
 — and a module may import only *strictly lower* layers (or its own
 subpackage).  Two special cases: ``repro.attacks`` may import anything
@@ -17,7 +18,6 @@ from repro.analysis.registry import rule
 
 LAYERS = {
     "common": 0,
-    "analysis": 1,
     "hw": 1,
     # The sharded execution layer is pure infrastructure over common:
     # it never learns what it runs, so eval/faults/attacks above it can
@@ -34,6 +34,10 @@ LAYERS = {
     # whole fleet plus the eval checks); FID009 separately guarantees
     # nothing imports it back.
     "faults": 8,
+    # fidelint is tooling *over* the whole tree, imported by nothing in
+    # src; it sits on top so it may reuse the runner for --jobs without
+    # a back-edge, while no simulator layer may reach up into it.
+    "analysis": 9,
 }
 
 ATTACKS_IMPORTERS = frozenset({"eval"})

@@ -1,0 +1,21 @@
+"""Fixture: laundered ambient entropy (exactly one FID015).
+
+Every individual line here is FID007-clean: ``os.urandom`` is only
+*referenced* (never spelled as a call), and ``random.Random(seed)``
+carries an explicit seed argument.  Only the flow analysis sees that
+the "seed" is eight bytes of ambient entropy that travelled through an
+alias and a helper return.
+"""
+
+import os
+import random
+
+
+def _boot_entropy():
+    reader = os.urandom
+    return reader(8)
+
+
+def make_rng():
+    seed = int.from_bytes(_boot_entropy(), "big")
+    return random.Random(seed)

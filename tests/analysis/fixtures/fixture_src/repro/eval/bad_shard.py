@@ -1,0 +1,21 @@
+"""Fixture: shard function mutating a module global (exactly one FID013).
+
+``_leaky`` accumulates into ``_RESULTS`` — worker-process state the
+parallel merge silently drops.  The module lives in ``repro.eval`` so
+the unregistered binding itself is outside FID014's hw/sev/core/common
+scope: only the shard-purity rule fires, at the WorkUnit site.
+"""
+
+from repro.runner import WorkUnit, execute
+
+_RESULTS = []
+
+
+def _leaky(seed):
+    _RESULTS.append(seed * 3)
+    return seed
+
+
+def sweep(seeds):
+    units = [WorkUnit.of(seed, _leaky, seed) for seed in seeds]
+    return execute(units), _RESULTS

@@ -190,7 +190,8 @@ def test_cli_list_rules(capsys):
     out = capsys.readouterr().out
     for rule_id in ("FID001", "FID002", "FID003", "FID004",
                     "FID005", "FID006", "FID007", "FID008",
-                    "FID009", "FID010", "FID011", "FID012"):
+                    "FID009", "FID010", "FID011", "FID012",
+                    "FID013", "FID014", "FID015"):
         assert rule_id in out
 
 
@@ -198,12 +199,14 @@ def test_cli_json_output_on_fixture_tree(capsys):
     rc = main(["--root", FIXTURE_ROOT, "--no-baseline", "--format", "json"])
     assert rc == 1
     payload = json.loads(capsys.readouterr().out)
-    assert payload["counts"]["error"] == 8
+    assert payload["counts"]["error"] == 11
     assert payload["counts"]["warning"] == 4
-    # 12 bad modules + 8 package __init__ files
-    assert payload["counts"]["modules"] == 20
+    # 15 bad modules + 8 package __init__ files
+    assert payload["counts"]["modules"] == 23
     rules_seen = {f["rule"] for f in payload["findings"]}
-    assert len(rules_seen) == 12
+    assert len(rules_seen) == 15
+    # the digest travels with the JSON payload for --jobs equivalence checks
+    assert len(payload["digest"]) == 64
 
 
 def test_cli_select_runs_only_requested_rule(capsys):
@@ -311,7 +314,8 @@ def test_cli_help_lists_every_rule_id():
     from repro.analysis.cli import build_parser
     text = build_parser().format_help()
     for rule_obj_id in ("FID001", "FID005", "FID009",
-                        "FID010", "FID011", "FID012"):
+                        "FID010", "FID011", "FID012",
+                        "FID013", "FID014", "FID015"):
         assert rule_obj_id in text
 
 
