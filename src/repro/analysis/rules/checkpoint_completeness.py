@@ -1,0 +1,84 @@
+"""FID016: checkpoint-completeness — restore() rebuilds every derived cache.
+
+The checkpoint manifest deliberately omits process-global derived
+caches (they are recomputable by contract), which makes restore
+correct **only if** it resets them: a restored fleet sharing a process
+with whatever ran before the restore must not see that run's cache
+contents.  The module-state registry
+(:mod:`repro.common.state_registry`) is the audited inventory of that
+state, so the check is closed-loop: every entry classified
+``derived-cache`` must name a ``reset`` callable, and that callable
+must be reachable on the interprocedural call graph from every
+top-level ``restore`` function in ``repro.checkpoint`` — not
+"somewhere in the tree", but from the restore path itself.
+
+Findings aggregate to one per restore function, listing every entry
+whose reset is missing or unreachable, so a new cache registered
+without wiring its reset into restore fails CI with the full repair
+list in a single message.
+"""
+
+import ast
+
+from repro.common import state_registry
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import rule
+
+
+def _restore_defs(module):
+    for node in module.tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "restore":
+            yield node
+
+
+def _reachable_from(graph, root):
+    seen = {root}
+    frontier = [root]
+    while frontier:
+        for callee in graph.callees(frontier.pop()):
+            if callee not in seen:
+                seen.add(callee)
+                frontier.append(callee)
+    return seen
+
+
+@rule("FID016", "checkpoint-completeness", Severity.ERROR,
+      "Every state-registry entry classified derived-cache must have a "
+      "reset hook reachable from repro.checkpoint restore().",
+      needs_effects=True,
+      example="""
+      # BAD: restore rebuilds the graph but leaves stale caches behind
+      def restore(manifest, store):
+          return pickle.loads(store.get(manifest["graph"]))
+      # GOOD: every registered derived cache is reset on the way out
+      def restore(manifest, store):
+          target = pickle.loads(store.get(manifest["graph"]))
+          crypto.clear_keystream_cache()
+          return target
+      """)
+def check(module, project):
+    if module.subpackage != "checkpoint":
+        return
+    for node in _restore_defs(module):
+        root = "%s:restore" % module.name
+        reachable = _reachable_from(project.dataflow.callgraph, root)
+        missing = []
+        for entry in state_registry.all_entries():
+            if entry.classification != "derived-cache":
+                continue
+            if not entry.reset:
+                missing.append(
+                    "%s.%s has no registered reset hook"
+                    % (entry.module, entry.name))
+                continue
+            reset_qual = "%s:%s" % (entry.module, entry.reset)
+            if reset_qual not in reachable:
+                missing.append(
+                    "%s.%s is not reset (%s not reachable from %s)"
+                    % (entry.module, entry.name, reset_qual, root))
+        if missing:
+            yield Finding(
+                "FID016", "checkpoint-completeness", Severity.ERROR,
+                module.name, module.rel_path, node.lineno,
+                "restore() leaves derived caches stale: "
+                + "; ".join(missing))

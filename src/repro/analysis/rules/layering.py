@@ -3,8 +3,8 @@
 The simulator is a strict stack —
 
     common(0) < hw/runner(1) < sev(2) < xen(3) < core(4)
-             < system/workloads(5) < cloud(6) < eval(7) < faults(8)
-             < analysis(9)
+             < system/workloads(5) < cloud(6) < eval/checkpoint(7)
+             < faults(8) < analysis(9)
 
 — and a module may import only *strictly lower* layers (or its own
 subpackage).  Two special cases: ``repro.attacks`` may import anything
@@ -30,6 +30,10 @@ LAYERS = {
     "workloads": 5,
     "cloud": 6,
     "eval": 7,
+    # The serializer sits beside eval: it sees whole systems and clouds
+    # (layer 6 and below) but neither imports eval nor is imported by
+    # it; faults sits above so the chaos soak can checkpoint itself.
+    "checkpoint": 7,
     # The chaos subsystem sits above everything it arms (it drives the
     # whole fleet plus the eval checks); FID009 separately guarantees
     # nothing imports it back.

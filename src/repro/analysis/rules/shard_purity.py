@@ -9,7 +9,7 @@ free of the effects process boundaries do not replicate:
 * **unregistered global mutation** — state accumulated in one worker
   process silently vanishes from the merged result.  Mutating a
   registered ``derived-cache``/``counters`` binding is legal **only**
-  when its :mod:`~repro.analysis.state_registry` entry names a
+  when its :mod:`~repro.common.state_registry` entry names a
   ``reset`` callable (the keystream caches are fine *because*
   ``clear_keystream_cache`` exists and restore/workers can invoke it);
   writing a ``constant``-classified binding is always a bug;
@@ -31,7 +31,7 @@ pickling requirement already polices that shape at runtime.
 
 import ast
 
-from repro.analysis import state_registry
+from repro.common import state_registry
 from repro.analysis.astutil import dotted_name
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import rule
@@ -109,7 +109,7 @@ def check(module, project):
                     "shard function %s mutates unregistered module "
                     "global %s.%s (via %s): worker-process state is "
                     "lost by the merge; register it in "
-                    "repro.analysis.state_registry or return the value"
+                    "repro.common.state_registry or return the value"
                     % (label, gmod, gname, writer))
             elif entry.classification == "constant":
                 yield _finding(

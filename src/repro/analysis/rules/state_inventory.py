@@ -7,7 +7,7 @@ every module-level mutable binding in ``repro.hw`` / ``repro.sev`` /
 ``repro.core`` / ``repro.common`` — container displays, mutable
 constructor calls (``dict()``, ``OrderedDict()``...), and scalars
 rebound through ``global`` — must have a
-:mod:`~repro.analysis.state_registry` entry carrying one of the four
+:mod:`~repro.common.state_registry` entry carrying one of the four
 restore classifications (``derived-cache``, ``counters``, ``rng``,
 ``constant``), and every registry entry must still match a real
 binding (stale entries fire on the registry module itself, so the
@@ -25,7 +25,7 @@ unregistered binding via the strict FID014 step.
 
 import ast
 
-from repro.analysis import state_registry
+from repro.common import state_registry
 from repro.analysis.dataflow.effects import module_mutable_globals
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import rule
@@ -34,7 +34,7 @@ from repro.analysis.registry import rule
 SCOPED_SUBPACKAGES = frozenset({"hw", "sev", "core", "common"})
 
 #: where stale-registry findings attach
-REGISTRY_MODULE = "repro.analysis.state_registry"
+REGISTRY_MODULE = "repro.common.state_registry"
 
 
 def _finding(module, lineno, message):
@@ -86,12 +86,12 @@ def _reset_defined(project, entry):
 
 @rule("FID014", "state-inventory", Severity.ERROR,
       "Every module-level mutable binding in repro.hw/sev/core/common "
-      "must be registered in repro.analysis.state_registry with a "
+      "must be registered in repro.common.state_registry with a "
       "restore classification; stale entries fail too.",
       example="""
       # BAD: anonymous module-global cache — restore cannot know it
       _TLB_SCRATCH = {}
-      # GOOD: register it (repro/analysis/state_registry.py):
+      # GOOD: register it (repro/common/state_registry.py):
       #   ("repro.hw.tlb", "_TLB_SCRATCH", "derived-cache",
       #    "clear_tlb_scratch", "recomputable walk scratchpad"),
       """)
@@ -105,7 +105,7 @@ def check(module, project):
                     module, lineno,
                     "module-level mutable binding %r (%s) is not in the "
                     "snapshot-state registry: classify it in "
-                    "repro.analysis.state_registry (derived-cache / "
+                    "repro.common.state_registry (derived-cache / "
                     "counters / rng / constant)" % (name, kind))
             elif entry.reset and not _reset_defined(project, entry):
                 yield _finding(

@@ -1,104 +1,27 @@
-"""The module-global state registry: the snapshot/restore inventory.
+"""Tooling-facing alias of the snapshot-state registry.
 
-Deterministic snapshot/restore (ROADMAP item 5) needs one thing before
-any serializer can be written: a *complete, audited list* of every
-piece of module-level mutable state in the simulator core, with a
-classification that says what restore must do about it —
-
-``derived-cache``
-    Recomputable from durable state; restore may simply drop it, and a
-    sharded worker may keep it **only** because the registered
-    ``reset`` callable empties it (FID013 checks the annotation).
-``counters``
-    Diagnostic tallies; excluded from determinism digests, cleared by
-    the same ``reset`` as the cache they describe.
-``rng``
-    Seeded generator state; restore must re-seed, never copy.
-``constant``
-    Built once at import and never mutated afterwards; a shard
-    function that *writes* one is a bug wherever it happens.
-
-FID014 enforces that every module-level mutable binding in
-``repro.hw`` / ``repro.sev`` / ``repro.core`` / ``repro.common``
-appears here (and that no entry goes stale), and
-``fidelint --state-report`` emits the merged inventory as the
-machine-readable seed artifact for the snapshot work.
-
-This manifest is *data about* the analyzed tree, maintained next to
-the rules that read it; like every fidelint input it is matched purely
-syntactically — nothing here imports the modules it describes.
+The canonical registry moved to :mod:`repro.common.state_registry`
+(layer 0) so :mod:`repro.checkpoint` can fingerprint it into every
+manifest without a layering back-edge; fidelint's rules now import it
+from there too.  This alias keeps the long-standing tooling path
+``repro.analysis.state_registry`` working for docs, baselines and
+external scripts.
 """
 
-from collections import namedtuple
+from repro.common.state_registry import (  # noqa: F401
+    CLASSIFICATIONS,
+    REGISTRY,
+    StateEntry,
+    all_entries,
+    entries_for,
+    lookup,
+)
 
-#: the restore-semantics classes FID014 accepts
-CLASSIFICATIONS = frozenset({
-    "derived-cache", "counters", "rng", "constant",
-})
-
-StateEntry = namedtuple(
-    "StateEntry", "module name classification reset reason")
-
-
-def _build(entries):
-    table = {}
-    for module, name, classification, reset, reason in entries:
-        if classification not in CLASSIFICATIONS:
-            raise ValueError(
-                "%s.%s: unknown classification %r"
-                % (module, name, classification))
-        key = (module, name)
-        if key in table:
-            raise ValueError("duplicate registry entry %s.%s"
-                             % (module, name))
-        table[key] = StateEntry(module, name, classification, reset,
-                                reason)
-    return table
-
-
-#: (module, binding, classification, reset callable in that module or
-#:  None, why it is safe) — keep sorted by module then name
-REGISTRY = _build([
-    ("repro.common.crypto", "_key_invalidations", "counters",
-     "clear_keystream_cache",
-     "forget_key tally for cache diagnostics; never enters results"),
-    ("repro.common.crypto", "_line_cache", "derived-cache",
-     "clear_keystream_cache",
-     "whole-line keystream LRU; pure function of (key, line_pa)"),
-    ("repro.common.crypto", "_line_hits", "counters",
-     "clear_keystream_cache",
-     "cache-effectiveness tally reported by keystream_cache_stats"),
-    ("repro.common.crypto", "_line_misses", "counters",
-     "clear_keystream_cache",
-     "cache-effectiveness tally reported by keystream_cache_stats"),
-    ("repro.common.crypto", "_midstate_cache", "derived-cache",
-     "clear_keystream_cache",
-     "per-(key, tweak) hash midstate LRU; recomputable on demand"),
-    ("repro.common.crypto", "_midstate_hits", "counters",
-     "clear_keystream_cache",
-     "cache-effectiveness tally reported by keystream_cache_stats"),
-    ("repro.common.crypto", "_midstate_misses", "counters",
-     "clear_keystream_cache",
-     "cache-effectiveness tally reported by keystream_cache_stats"),
-    ("repro.common.types", "PRIV_OPCODES", "constant", None,
-     "privileged-encoding table built at import; FID008 guards the "
-     "only writers"),
-    ("repro.sev.exit_policy", "EXIT_POLICIES", "constant", None,
-     "VMEXIT policy table built at import and only ever read"),
-])
-
-
-def lookup(module, name):
-    """The :class:`StateEntry` for one binding, or None."""
-    return REGISTRY.get((module, name))
-
-
-def entries_for(module):
-    """Registered entries for one module, sorted by name."""
-    return sorted((e for (m, _n), e in REGISTRY.items() if m == module),
-                  key=lambda e: e.name)
-
-
-def all_entries():
-    """Every entry, sorted by (module, name) — report order."""
-    return [REGISTRY[key] for key in sorted(REGISTRY)]
+__all__ = [
+    "CLASSIFICATIONS",
+    "REGISTRY",
+    "StateEntry",
+    "all_entries",
+    "entries_for",
+    "lookup",
+]

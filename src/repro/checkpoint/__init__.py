@@ -1,0 +1,51 @@
+"""Deterministic checkpoint/restore for whole simulated machines.
+
+ROADMAP item 5: serialize full :class:`~repro.hw.machine.Machine` /
+:class:`~repro.cloud.Cloud` state — DRAM pages, per-ASID keys, VMCBs,
+page tables, TLB and cache contents, cycle ledgers, Fidelius metadata —
+into a content-addressed chunk store, and restore it bit-for-bit.
+
+The package splits into three modules:
+
+* :mod:`repro.checkpoint.store` — the content-addressed chunk store
+  (SHA-256 over canonical bytes, page-granular dedup) and the
+  crash-safe manifest/latest-pointer commit protocol;
+* :mod:`repro.checkpoint.snapshot` — ``snapshot()`` / ``restore()``
+  over live object graphs, with the ``fidelius-checkpoint/1`` manifest
+  format and its fail-closed format-version and state-registry guards;
+* :mod:`repro.checkpoint.bisect` — time-travel bisection of fault
+  schedules: replay a failing seed from the nearest checkpoint and
+  binary-search the fault-event window down to a minimal repro.
+
+Layering: the package sits beside ``repro.eval`` (layer 7) — above the
+fleet it serializes, below ``repro.faults`` so the chaos soak can
+checkpoint itself mid-run.  The bisect engine reaches the soak only
+through an ``importlib`` entry point supplied by its caller, never by
+importing upward.
+"""
+
+from repro.checkpoint.store import (
+    CheckpointError,
+    CheckpointStore,
+    ChunkStore,
+    MemoryChunkStore,
+)
+from repro.checkpoint.snapshot import (
+    MANIFEST_SCHEMA,
+    registry_fingerprint,
+    restore,
+    restore_latest,
+    snapshot,
+)
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointStore",
+    "ChunkStore",
+    "MANIFEST_SCHEMA",
+    "MemoryChunkStore",
+    "registry_fingerprint",
+    "restore",
+    "restore_latest",
+    "snapshot",
+]

@@ -1,0 +1,196 @@
+"""Time-travel bisection: shrink a failing soak to a minimal fault window.
+
+A failing chaos-soak seed fires some number of fault events; usually
+only a contiguous handful of them actually matter.  This module binary-
+searches that window: re-run the scenario with a
+:class:`~repro.faults.inject.FireWindow` admitting only firings
+``[skip, limit)`` — suppressed firings still consume budgets and RNG
+draws, so the trigger schedule is identical in every trial — and
+narrow ``limit`` down, then ``skip`` up, until the predicate is pinned
+to the smallest window that still reproduces it.
+
+The result is a ``fidelius-bisect/1`` artifact: seed, window, the
+admitted fault events, and (when a checkpoint directory is given) the
+in-seed checkpoint written nearest *before* the window opens — together
+a minimal ``(checkpoint, fault-window)`` repro recipe.
+
+Layering: this module sits below the fault layer, so it never imports
+it.  The scenario runner is named by dotted path (default
+``repro.faults.soak``) and loaded through :mod:`importlib`; it must
+expose ``run_scenario(seed, ..., window=)`` and a ``fire_window(skip,
+limit)`` factory — dependency inversion instead of an import back-edge.
+"""
+
+import importlib
+import json
+
+from repro.checkpoint.store import (
+    CheckpointError,
+    CheckpointStore,
+    atomic_write,
+)
+
+#: Artifact format version.
+ARTIFACT_SCHEMA = "fidelius-bisect/1"
+
+#: Dotted path of the default scenario runner module.
+DEFAULT_RUNNER = "repro.faults.soak"
+
+
+def predicate_holds(predicate, result):
+    """Does ``result`` exhibit the failure being bisected?
+
+    ``violations`` — any property violation; ``failed-op:<name>`` — the
+    named workload op raised (useful for pinning down which fault made
+    an operation fail cleanly when the run is otherwise violation-free).
+    """
+    if predicate == "violations":
+        return bool(result.violations)
+    if predicate.startswith("failed-op:"):
+        name = predicate[len("failed-op:"):]
+        return any(op == name for op, _ in result.failed_ops)
+    raise CheckpointError("unknown bisect predicate %r" % predicate)
+
+
+def bisect_fault_window(seed, predicate="violations",
+                        runner=DEFAULT_RUNNER, checkpoint_dir=None,
+                        every_events=1, **scenario_kwargs):
+    """Find the minimal fault-event window reproducing ``predicate``.
+
+    Returns the artifact dict.  ``checkpoint_dir`` (must be fresh, or
+    absent) makes the final verification run write in-seed checkpoints
+    so the artifact can name the one nearest before the window opens.
+    Binary search assumes the usual monotone case (more admitted faults
+    == at least as broken); whatever it converges to is then *verified*
+    to reproduce before an artifact is emitted, so a non-monotone
+    schedule can fail the bisection but never yield a false artifact.
+    """
+    module = importlib.import_module(runner)
+    trials = 0
+
+    def trial(skip, limit):
+        nonlocal trials
+        trials += 1
+        window = module.fire_window(skip, limit)
+        result = module.run_scenario(seed, window=window, **scenario_kwargs)
+        return predicate_holds(predicate, result)
+
+    baseline = module.run_scenario(seed, **scenario_kwargs)
+    if not predicate_holds(predicate, baseline):
+        raise CheckpointError(
+            "predicate %r does not hold on seed %d without a window: "
+            "nothing to bisect" % (predicate, seed))
+    total = len(baseline.schedule.splitlines())
+
+    # Smallest limit whose prefix window [0, limit) still reproduces.
+    lo, hi = 0, total
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if trial(0, mid):
+            hi = mid
+        else:
+            lo = mid + 1
+    limit = lo
+    # Largest skip for which [skip, limit) still reproduces.
+    lo, hi = 0, limit
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if trial(mid, limit):
+            lo = mid
+        else:
+            hi = mid - 1
+    skip = lo
+
+    # Verification run: the found window must reproduce, and (with a
+    # store) leaves the checkpoints the artifact points into.
+    manifest_name = None
+    verify_kwargs = dict(scenario_kwargs)
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        if store.latest() is not None:
+            raise CheckpointError(
+                "bisect checkpoint dir %r is not fresh: resuming a "
+                "windowed run from foreign checkpoints would not "
+                "reproduce" % checkpoint_dir)
+        verify_kwargs.update(checkpoint_dir=checkpoint_dir,
+                             every_events=every_events)
+    window = module.fire_window(skip, limit)
+    result = module.run_scenario(seed, window=window, **verify_kwargs)
+    if not predicate_holds(predicate, result):
+        raise CheckpointError(
+            "bisected window [%d, %d) does not reproduce %r: the fault "
+            "schedule is not monotone under windowing; bisect by hand "
+            "from the full schedule" % (skip, limit, predicate))
+    if checkpoint_dir is not None:
+        for name in store.manifest_names():
+            manifest = store.load_manifest(name)
+            if manifest.get("meta", {}).get("events", 0) <= skip:
+                manifest_name = name
+
+    return {
+        "schema": ARTIFACT_SCHEMA,
+        "seed": seed,
+        "predicate": predicate,
+        "runner": runner,
+        "params": dict(scenario_kwargs),
+        "total_events": total,
+        "window": {"skip": skip, "limit": limit},
+        "events": result.schedule.decode().splitlines(),
+        "trials": trials,
+        "checkpoint": {"dir": checkpoint_dir, "manifest": manifest_name},
+    }
+
+
+def write_artifact(artifact, path):
+    """Persist a bisect artifact as canonical JSON (atomically)."""
+    payload = (json.dumps(artifact, sort_keys=True, indent=1)
+               + "\n").encode()
+    atomic_write(path, payload)
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checkpoint.bisect",
+        description="binary-search a failing soak seed down to a "
+                    "minimal (checkpoint, fault-window) repro")
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--predicate", default="violations",
+                        help="'violations' or 'failed-op:<name>' "
+                             "(default %(default)s)")
+    parser.add_argument("--runner", default=DEFAULT_RUNNER,
+                        help="dotted module exposing run_scenario/"
+                             "fire_window (default %(default)s)")
+    parser.add_argument("--hosts", type=int, default=3)
+    parser.add_argument("--tenants", type=int, default=2)
+    parser.add_argument("--nfaults", type=int, default=4)
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="fresh directory for the verification "
+                             "run's in-seed checkpoints")
+    parser.add_argument("--every-events", type=int, default=1,
+                        metavar="N",
+                        help="verification-run checkpoint cadence")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="write the artifact JSON here")
+    args = parser.parse_args(argv)
+    artifact = bisect_fault_window(
+        args.seed, predicate=args.predicate, runner=args.runner,
+        checkpoint_dir=args.checkpoint_dir,
+        every_events=args.every_events,
+        hosts=args.hosts, tenants=args.tenants, nfaults=args.nfaults)
+    print("seed=%d predicate=%s window=[%d,%d) of %d events, %d trials"
+          % (artifact["seed"], artifact["predicate"],
+             artifact["window"]["skip"], artifact["window"]["limit"],
+             artifact["total_events"], artifact["trials"]))
+    for line in artifact["events"]:
+        print("  " + line)
+    if artifact["checkpoint"]["manifest"]:
+        print("checkpoint: %s in %s" % (artifact["checkpoint"]["manifest"],
+                                        artifact["checkpoint"]["dir"]))
+    if args.out:
+        write_artifact(artifact, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""The restore-equivalence oracle: ``restore(snapshot(x))`` == ``x``.
+
+A checkpoint is only trustworthy if a restored fleet is *semantically
+indistinguishable* from the one that was snapshotted — same bytes in
+DRAM, same cycle ledgers, same TLB and key-slot state, same RNG future.
+This harness proves it differentially: snapshot a live
+:class:`~repro.cloud.Cloud`, restore a clone from the chunks, then
+drive original and clone through an identical seeded stream of 1000+
+operations — guest reads and writes, hypercall traps, cross-host
+migrations, and key rotations (the paper's snapshot/restore path, which
+re-keys a guest under a fresh K_vek and ASID) — comparing
+per-op return values and, on a fixed cadence, every machine's
+:meth:`~repro.hw.machine.Machine.state_digest` and RNG state.
+
+Any divergence raises :class:`CheckpointError` naming the first step
+where the two fleets disagree.  The op stream is derived from its own
+``random.Random(seed)`` so the harness itself adds no hidden state;
+everything inside the fleets draws from the machines' own RNGs, which
+the snapshot round-trips.
+"""
+
+import random
+
+from repro.checkpoint.snapshot import restore, snapshot
+from repro.checkpoint.store import CheckpointError, MemoryChunkStore
+from repro.cloud import Cloud
+from repro.core import migration
+from repro.system import GuestOwner
+from repro.xen import hypercalls as hc
+
+#: Guest size for oracle tenants (pages).
+GUEST_FRAMES = 32
+
+
+def _op_stream(rng, nops, tenants):
+    """A seeded list of primitive op tuples, shared by both fleets."""
+    span = GUEST_FRAMES * 4096 - 256
+    ops = []
+    for _ in range(nops):
+        tenant = rng.randrange(tenants)
+        roll = rng.random()
+        if roll < 0.45:
+            length = rng.randrange(1, 129)
+            data = bytes(rng.getrandbits(8) for _ in range(length))
+            ops.append(("write", tenant, rng.randrange(span), data))
+        elif roll < 0.75:
+            ops.append(("read", tenant, rng.randrange(span),
+                        rng.randrange(1, 129)))
+        elif roll < 0.90:
+            ops.append(("yield", tenant))
+        elif roll < 0.96:
+            ops.append(("migrate", tenant))
+        else:
+            ops.append(("rotate", tenant))
+    return ops
+
+
+def _rotate(cloud, tenant):
+    """Re-key one tenant in place: SEND it to the local platform,
+    destroy the stopped source, RECEIVE it back as a fresh domain with
+    a fresh K_vek and ASID on the same host — the paper's §4.3.6
+    snapshot/restore path, which is the closest thing SEV has to key
+    rotation."""
+    host = cloud.host(tenant.host_index)
+    package = migration.snapshot_guest(host.fidelius, tenant.domain)
+    host.hypervisor.destroy_domain(tenant.domain)
+    domain, ctx = migration.restore_guest(host.fidelius, package)
+    tenant.domain = domain
+    tenant.ctx = ctx
+
+
+def _apply(cloud, op):
+    """Run one op tuple; returns whatever the guest observed.
+
+    Memory ops end with a SCHED_YIELD so the CPU is back in host mode
+    before the next op — the single physical CPU time-shares between
+    tenants, and only a yielded CPU can enter a different vCPU.
+    """
+    kind = op[0]
+    tenant = cloud.tenants["t%d" % op[1]]
+    if kind == "write":
+        tenant.ctx.write(op[2], op[3])
+        tenant.ctx.hypercall(hc.HC_SCHED_YIELD)
+        return None
+    if kind == "read":
+        data = tenant.ctx.read(op[2], op[3])
+        tenant.ctx.hypercall(hc.HC_SCHED_YIELD)
+        return data
+    if kind == "yield":
+        return tenant.ctx.hypercall(hc.HC_SCHED_YIELD)
+    if kind == "migrate":
+        cloud.migrate_tenant(tenant.name)
+        return tenant.host_index
+    if kind == "rotate":
+        _rotate(cloud, tenant)
+        return tenant.domain.asid
+    raise CheckpointError("unknown oracle op %r" % kind)
+
+
+def _fingerprint(cloud):
+    """Everything the lockstep comparison holds equal each check."""
+    return {
+        "machines": [host.machine.state_digest() for host in cloud.hosts],
+        "rng": [host.machine.rng.getstate() for host in cloud.hosts],
+        "tenants": {name: (t.host_index, t.domain.asid,
+                           t.domain.perf_stats())
+                    for name, t in cloud.tenants.items()},
+        "events": (cloud.events_recorded, cloud.event_kinds()),
+    }
+
+
+def _compare(cloud, clone, step):
+    a, b = _fingerprint(cloud), _fingerprint(clone)
+    for key in a:
+        if a[key] != b[key]:
+            raise CheckpointError(
+                "restore-equivalence violated at op %d: %s diverged "
+                "between the original fleet and its restored clone"
+                % (step, key))
+
+
+def lockstep_check(seed, nops=1000, hosts=3, tenants=2, frames=512,
+                   check_every=25):
+    """Snapshot, restore, and drive both fleets in lockstep.
+
+    Raises :class:`CheckpointError` at the first divergence; returns a
+    small report dict when the fleets stay equivalent through all
+    ``nops`` operations.
+    """
+    rng = random.Random(seed)
+    cloud = Cloud(hosts=hosts, frames=frames, seed=0xACE0 + seed)
+    for index in range(tenants):
+        cloud.launch_tenant(
+            "t%d" % index, GuestOwner(seed=seed * 7 + index),
+            payload=b"ORACLE|%d|%d|" % (seed, index),
+            guest_frames=GUEST_FRAMES)
+    store = MemoryChunkStore()
+    manifest = snapshot(cloud, store, kind="oracle",
+                        meta={"seed": seed})
+    clone = restore(manifest, store)
+    _compare(cloud, clone, step=0)
+
+    ops = _op_stream(rng, nops, tenants)
+    checks = 1
+    for step, op in enumerate(ops, 1):
+        got = _apply(cloud, op)
+        clone_got = _apply(clone, op)
+        if got != clone_got:
+            raise CheckpointError(
+                "restore-equivalence violated at op %d (%s): original "
+                "observed %r, clone observed %r"
+                % (step, op[0], got, clone_got))
+        if step % check_every == 0 or step == len(ops):
+            _compare(cloud, clone, step)
+            checks += 1
+    kinds = [op[0] for op in ops]
+    return {
+        "seed": seed,
+        "ops": len(ops),
+        "checks": checks,
+        "migrations": kinds.count("migrate"),
+        "rotations": kinds.count("rotate"),
+        "chunks": store.chunks_written,
+        "deduped": store.chunks_deduped,
+    }
+
+
+def main(argv=None):
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checkpoint.oracle",
+        description="differentially verify restore(snapshot(cloud)) "
+                    "stays in lockstep with the original")
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="seeds 0..N-1 to check (default %(default)s)")
+    parser.add_argument("--ops", type=int, default=1000)
+    parser.add_argument("--hosts", type=int, default=3)
+    parser.add_argument("--tenants", type=int, default=2)
+    args = parser.parse_args(argv)
+    for seed in range(args.seeds):
+        report = lockstep_check(seed, nops=args.ops, hosts=args.hosts,
+                                tenants=args.tenants)
+        print("seed=%d ops=%d checks=%d migrations=%d rotations=%d "
+              "LOCKSTEP" % (seed, report["ops"], report["checks"],
+                            report["migrations"], report["rotations"]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,175 @@
+"""Snapshot and restore of live simulator object graphs.
+
+``snapshot(target, store)`` serializes a :class:`~repro.system.System`,
+a :class:`~repro.cloud.Cloud`, a bare :class:`~repro.hw.machine.Machine`
+— or any picklable object graph that *contains* machines — into a
+:class:`~repro.checkpoint.store.CheckpointStore`:
+
+* every touched DRAM frame of every machine travels as one
+  content-addressed chunk (page-granular dedup: an idle fleet's
+  successive checkpoints share almost all their pages);
+* the remaining object graph — VMCBs, page tables, TLB and plaintext
+  cache contents, cycle ledgers, per-ASID key slots, RNG state,
+  Fidelius metadata (``received_imports``, quarantine, event ring) —
+  is pickled with the frames detached and stored as graph chunks;
+* the manifest records the format version and a fingerprint of the
+  audited module-state registry (:mod:`repro.common.state_registry`).
+
+``restore`` **fails closed**: a manifest with the wrong format version
+or a registry fingerprint that does not match the running tree is
+rejected before any state is touched — a checkpoint written under a
+different inventory of module-level state must not be half-restored.
+
+Process-global derived caches (the keystream cache) are *not* captured:
+they are wall-clock-transparent by contract, and restore resets them
+through their registered reset hooks — fidelint FID016 pins every
+``derived-cache`` registry entry to a reset reachable from
+:func:`restore`.
+"""
+
+import hashlib
+import pickle
+
+from repro.common import crypto
+from repro.common.constants import PAGE_SIZE
+from repro.common.state_registry import all_entries
+from repro.checkpoint.store import CheckpointError, CheckpointStore
+
+#: Format version: bump on any incompatible manifest or payload change.
+MANIFEST_SCHEMA = "fidelius-checkpoint/1"
+
+#: Graph pickle chunk size: small enough to dedup a mostly-unchanged
+#: graph's tail, large enough to keep per-chunk overhead trivial.
+GRAPH_CHUNK_BYTES = 1 << 18
+
+
+def registry_fingerprint():
+    """SHA-256 hex over the canonical module-state registry.
+
+    Every entry's identity, classification and reset hook enter the
+    hash, so *any* change to the audited inventory of module-level
+    state — new caches, reclassifications, renamed reset hooks —
+    changes the fingerprint and invalidates older checkpoints (fail
+    closed rather than silently restoring against different global
+    state assumptions).
+    """
+    lines = ["%s|%s|%s|%s" % (e.module, e.name, e.classification,
+                              e.reset or "-")
+             for e in all_entries()]
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _machines_of(target):
+    """Every :class:`Machine` inside ``target``, in canonical order."""
+    if hasattr(target, "hosts"):                       # Cloud
+        return [host.machine for host in target.hosts]
+    if hasattr(target, "machine"):                     # System
+        return [target.machine]
+    if hasattr(target, "memory") and hasattr(target, "memctrl"):
+        return [target]                                # bare Machine
+    raise CheckpointError(
+        "cannot find machines inside %r: pass machines= explicitly"
+        % type(target).__name__)
+
+
+def snapshot(target, store, kind="system", meta=None, machines=None):
+    """Serialize ``target`` into ``store``; returns the manifest dict.
+
+    ``machines`` overrides machine discovery for composite targets
+    (e.g. a dict bundling a cloud with harness bookkeeping).  When
+    ``store`` is a :class:`CheckpointStore` the caller typically
+    follows up with ``store.commit(manifest)``; with a bare chunk
+    store the manifest is the caller's to keep.
+    """
+    machines = _machines_of(target) if machines is None else list(machines)
+    page_records = []
+    detached = []
+    try:
+        for machine in machines:
+            stack = machine.memory.detached_frames()
+            frames = stack.__enter__()
+            detached.append(stack)
+            pages = {}
+            for pfn in sorted(frames):
+                pages[str(pfn)] = store.put(bytes(frames[pfn]))
+            page_records.append({"frames": machine.memory.frames,
+                                 "pages": pages})
+        graph = pickle.dumps(target, protocol=4)
+    finally:
+        while detached:
+            detached.pop().__exit__(None, None, None)
+    graph_chunks = [store.put(graph[i:i + GRAPH_CHUNK_BYTES])
+                    for i in range(0, len(graph), GRAPH_CHUNK_BYTES)]
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "registry": registry_fingerprint(),
+        "kind": kind,
+        "machines": page_records,
+        "graph": graph_chunks,
+        "graph_bytes": len(graph),
+        "meta": dict(meta or {}),
+    }
+
+
+def _check_guards(manifest):
+    schema = manifest.get("schema")
+    if schema != MANIFEST_SCHEMA:
+        raise CheckpointError(
+            "checkpoint format %r does not match this build's %r: "
+            "refusing to restore" % (schema, MANIFEST_SCHEMA))
+    fingerprint = manifest.get("registry")
+    if fingerprint != registry_fingerprint():
+        raise CheckpointError(
+            "checkpoint was written against a different module-state "
+            "registry (%s != %s): refusing to restore"
+            % (fingerprint, registry_fingerprint()))
+
+
+def restore(manifest, store, machines_of=None):
+    """Rebuild the object graph a manifest describes; fails closed.
+
+    The format-version and state-registry guards run before any chunk
+    is read.  After the graph and every DRAM page are back, the
+    process-global derived caches are reset (they may hold state from
+    whatever this process ran before the restore).  ``machines_of``
+    mirrors ``snapshot``'s ``machines=`` override for composite
+    targets: a callable mapping the unpickled graph to its machines,
+    in the order the snapshot listed them.
+    """
+    _check_guards(manifest)
+    graph = b"".join(store.get(digest) for digest in manifest["graph"])
+    if len(graph) != manifest.get("graph_bytes"):
+        raise CheckpointError("graph payload size mismatch")
+    target = pickle.loads(graph)
+    machines = _machines_of(target) if machines_of is None \
+        else list(machines_of(target))
+    records = manifest["machines"]
+    if len(machines) != len(records):
+        raise CheckpointError(
+            "manifest describes %d machines, graph contains %d"
+            % (len(records), len(machines)))
+    for machine, record in zip(machines, records):
+        if machine.memory.frames != record["frames"]:
+            raise CheckpointError("machine geometry mismatch")
+        machine.memory.import_frames(
+            (int(pfn), _page(store, digest))
+            for pfn, digest in record["pages"].items())
+    crypto.clear_keystream_cache()
+    return target
+
+
+def _page(store, digest):
+    raw = store.get(digest)
+    if len(raw) != PAGE_SIZE:
+        raise CheckpointError("page chunk %s is %d bytes, not one page"
+                              % (digest, len(raw)))
+    return raw
+
+
+def restore_latest(store):
+    """Restore the newest verifiable checkpoint of a
+    :class:`CheckpointStore`; returns ``(manifest, target)``."""
+    if not isinstance(store, CheckpointStore):
+        raise CheckpointError("restore_latest needs a CheckpointStore")
+    manifest = store.require_latest()
+    return manifest, restore(manifest, store)

@@ -129,6 +129,11 @@ class Cloud:
             "keystream_cache": crypto.keystream_cache_stats(),
             "memctrl": memctrl,
             "tlb": tlb,
+            "events": {
+                "recorded": self.events_recorded,
+                "retained": len(self.events),
+                "dropped": self.events_dropped,
+            },
         }
 
     # -- attestation -------------------------------------------------------------
@@ -154,11 +159,19 @@ class Cloud:
         return False
 
     def lift_quarantine(self, index):
-        """Operator override: re-admit a host if it attests cleanly now."""
+        """Operator override: re-admit a host if it attests cleanly now.
+
+        Both outcomes land in the event log — an operator replaying the
+        audit trail must see every lift *attempt*, not just the ones
+        that stuck (``attest_host`` also records the re-quarantine, so
+        a rejected lift shows up as the pair).
+        """
         self.quarantined.discard(index)
         ok = self.attest_host(index)
         if ok:
             self._record("quarantine-lifted", host=index)
+        else:
+            self._record("quarantine-lift-rejected", host=index)
         return ok
 
     def attested_hosts(self):

@@ -280,6 +280,32 @@ def hmac_measure(key, data):
     return _hmac.new(key, data, hashlib.sha256).digest()[:MEASUREMENT_BYTES]
 
 
+class ChainDigest:
+    """An incrementally extendable SHA-256 chain with plain-bytes state.
+
+    ``extend(chunk)`` advances ``state = SHA256(state || chunk)``.  Both
+    sides of a stream compute the same chain, so it serves the same
+    integrity role as a running ``hashlib`` object — but its entire
+    state is 32 picklable bytes, which ``repro.checkpoint`` needs to
+    serialize SEV contexts frozen mid-SEND/RECEIVE (the s-dom/r-dom
+    helper domains live permanently in those states).
+    """
+
+    EMPTY = bytes(32)
+
+    def __init__(self, state=None):
+        self._state = self.EMPTY if state is None else bytes(state)
+
+    def extend(self, chunk):
+        h = hashlib.sha256()
+        h.update(self._state)
+        h.update(chunk)
+        self._state = h.digest()
+
+    def digest(self):
+        return self._state
+
+
 def constant_time_equal(a, b):
     return _hmac.compare_digest(a, b)
 

@@ -62,11 +62,25 @@ class AttestationAuthority:
 
     def public_verifier(self):
         """The remote party's verification oracle for this machine."""
-        def verify(quote):
-            expected = self._sign(quote.fidelius_measurement,
-                                  quote.xen_measurement, quote.nonce)
-            return crypto.constant_time_equal(expected, quote.signature)
-        return verify
+        return QuoteVerifier(self)
+
+
+class QuoteVerifier:
+    """Signature-verification oracle for one authority's quotes.
+
+    A plain class rather than a closure so a :class:`RemoteVerifier`
+    holding it stays picklable (``repro.checkpoint`` serializes whole
+    clouds, verifiers included).  It never exposes the quote key: the
+    oracle recomputes the MAC inside the authority and compares.
+    """
+
+    def __init__(self, authority):
+        self._authority = authority
+
+    def __call__(self, quote):
+        expected = self._authority._sign(
+            quote.fidelius_measurement, quote.xen_measurement, quote.nonce)
+        return crypto.constant_time_equal(expected, quote.signature)
 
 
 class RemoteVerifier:

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from repro.common.constants import PAGE_SIZE
 from repro.common.errors import ReproError
 from repro.core.lifecycle import page_tweak
+from repro.xen.domain import GuestLedger
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,9 @@ class MigrationPackage:
     nonce: bytes
     encrypted_gfns: frozenset
     policy: int = 0
+    #: Exported :class:`~repro.xen.domain.GuestLedger` — the guest's
+    #: lifetime accounting travels with its memory image.
+    ledger: tuple = ()
 
     def import_key(self):
         """What makes a replayed package recognizable on the target."""
@@ -105,6 +109,7 @@ def send_guest(source_fidelius, domain, target_public):
         nonce=nonce,
         encrypted_gfns=frozenset(domain.encrypted_gfns),
         policy=policy,
+        ledger=domain.ledger.export(),
     )
     source_fidelius.audit_event("migration-sent", domid=domain.domid,
                                 pages=domain.guest_frames)
@@ -185,6 +190,10 @@ def receive_guest(target_fidelius, package):
         raise
 
     domain.encrypted_gfns.update(package.encrypted_gfns)
+    if package.ledger:
+        domain.ledger = GuestLedger.from_export(package.ledger)
+    # A migrated/restored guest starts on a cold TLB: new incarnation.
+    domain.ledger.tlb_epoch += 1
     target_fidelius.protect_domain(domain)
     target_fidelius.received_imports[package.import_key()] = domain.domid
     target_fidelius.audit_event("migration-received", domid=domain.domid)

@@ -33,6 +33,34 @@ INJECTED_STATUS = "INJECTED_FAULT"
 STALE_NONCE = bytes(16)
 
 
+class FireWindow:
+    """Admit only a contiguous slice of a run's would-be fault firings.
+
+    The time-travel bisector (:mod:`repro.checkpoint.bisect`) narrows a
+    failing soak down to a minimal fault window by re-running with
+    ``FireWindow(skip, limit)``: hits with global index < ``skip`` or
+    >= ``limit`` are *suppressed* — they still consume the spec budget,
+    still advance occurrence counters and still draw from the RNG (the
+    trigger schedule stays replay-identical), but their action is not
+    applied and they land in the injector's ``suppressed`` log instead
+    of ``fired``.  One window is shared by every injector of a run, so
+    the index is the chronological firing order across the whole fleet.
+    """
+
+    def __init__(self, skip=0, limit=None):
+        self.skip = skip
+        self.limit = limit
+        #: Hits seen so far across every injector sharing this window.
+        self.seen = 0
+
+    def admit(self):
+        index = self.seen
+        self.seen += 1
+        if index < self.skip:
+            return False
+        return self.limit is None or index < self.limit
+
+
 class HostInjector:
     """Arms one host's boundaries; deterministic given the host's RNG."""
 
@@ -42,6 +70,10 @@ class HostInjector:
         self.label = label
         #: Chronological firing log: (label, site, occurrence, action).
         self.fired = []
+        #: Hits a :class:`FireWindow` held back (same entry shape).
+        self.suppressed = []
+        #: Shared admission window, or None for fire-everything.
+        self.window = None
         self._counts = {}
         self._budget = {i: spec.count for i, spec in enumerate(plan.specs)}
         self._restorers = []
@@ -67,7 +99,11 @@ class HostInjector:
                 hit = self.machine.rng.random() < spec.probability
             if hit:
                 self._budget[index] -= 1
-                self.fired.append((self.label, site, occurrence, spec.action))
+                entry = (self.label, site, occurrence, spec.action)
+                if self.window is not None and not self.window.admit():
+                    self.suppressed.append(entry)
+                    return None
+                self.fired.append(entry)
                 return spec.action
         return None
 
@@ -191,6 +227,29 @@ class HostInjector:
         self._mark(ring)
         return self
 
+    # -- checkpoint support ------------------------------------------------------
+
+    def replay_state(self):
+        """Everything needed to resume this injector's trigger schedule
+        mid-run: per-site occurrence counters, remaining spec budgets,
+        the firing logs, and any in-flight duplicated ring request.
+        The shadowing wrappers themselves are *not* state — a resumed
+        run re-arms fresh wrappers on the restored objects."""
+        return {
+            "counts": dict(self._counts),
+            "budget": dict(self._budget),
+            "fired": list(self.fired),
+            "suppressed": list(self.suppressed),
+            "dup_request": self._dup_request,
+        }
+
+    def restore_replay_state(self, state):
+        self._counts = dict(state["counts"])
+        self._budget = dict(state["budget"])
+        self.fired = [tuple(entry) for entry in state["fired"]]
+        self.suppressed = [tuple(entry) for entry in state["suppressed"]]
+        self._dup_request = state["dup_request"]
+
     # -- teardown ----------------------------------------------------------------
 
     def disarm(self):
@@ -202,22 +261,24 @@ class HostInjector:
         return ["%s %s #%d %s" % entry for entry in self.fired]
 
 
-def arm_system(system, plan, label="host"):
+def arm_system(system, plan, label="host", window=None):
     """Arm one host: firmware commands and the DMA port."""
     injector = HostInjector(plan, system.machine, label=label)
+    injector.window = window
     injector.arm_fidelius(system.fidelius)
     injector.arm_memctrl(system.machine.memctrl)
     return injector
 
 
-def arm_cloud(cloud, plan):
+def arm_cloud(cloud, plan, window=None):
     """Arm a whole fleet: one injector per host (each draws trigger
     probabilities from its own machine's seeded RNG), attestation
-    included.  Returns the injectors in host order."""
+    included.  Returns the injectors in host order.  ``window`` (a
+    :class:`FireWindow`) is shared by every injector when given."""
     injectors = []
     for index in range(len(cloud)):
         injector = arm_system(cloud.host(index), plan,
-                              label="host%d" % index)
+                              label="host%d" % index, window=window)
         injector.arm_attestation(cloud.authority(index))
         injectors.append(injector)
     return injectors

@@ -22,24 +22,50 @@ properties the fault injection exists to defend:
 The final phase also re-enters every surviving tenant (proving a
 cancelled migration really leaves the source RUNNING) and runs the full
 :func:`repro.core.invariants.check_invariants` audit on every host.
+
+Crash resumability (``--checkpoint-dir`` / ``--resume``): long soaks
+checkpoint themselves through :mod:`repro.checkpoint` — completed-seed
+results every ``--checkpoint-every`` seeds into a *progress* store, and
+(optionally) the live fleet mid-scenario every ``--checkpoint-events``
+fault firings into a per-seed store.  A killed soak resumed from its
+checkpoints produces a report and digest byte-identical to the
+uninterrupted run; CI's ``resume-equivalence`` job SIGKILLs a 20-seed
+soak at seed 10 and holds us to that.
 """
 
 import json
 import os
+import signal
 from dataclasses import dataclass, field
 
+from repro.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    restore,
+    snapshot,
+)
 from repro.cloud import Cloud
 from repro.common.errors import ReproError
 from repro.core.invariants import check_invariants
 from repro.eval.security import plaintext_leak_scan
-from repro.faults.inject import arm_cloud, schedule_bytes
+from repro.faults.inject import FireWindow, arm_cloud, schedule_bytes
 from repro.faults.plan import FaultPlan
-from repro.runner import WorkUnit, add_jobs_argument, digest, execute
+from repro.runner import (
+    WorkUnit,
+    add_jobs_argument,
+    digest,
+    execute,
+    unit_checkpoint_path,
+)
 from repro.system import GuestOwner
 from repro.xen import hypercalls as hc
 
 #: The fixed seed set CI soaks over (acceptance floor: 20 seeds).
 DEFAULT_SEEDS = tuple(range(20))
+
+#: Manifest kinds this harness writes.
+PROGRESS_KIND = "soak-progress"
+INSEED_KIND = "soak-inseed"
 
 
 @dataclass
@@ -104,17 +130,26 @@ def _attempt(result, cloud, secrets, name, operation):
         "%s: %s" % (name, v) for v in fleet_violations(cloud, secrets))
 
 
-def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4):
-    """One seeded scenario: build, arm, run the workload, verify."""
-    plan = FaultPlan.random(seed, nfaults=nfaults)
-    cloud = Cloud(hosts=hosts, frames=frames, seed=0xB000 + seed)
-    injectors = arm_cloud(cloud, plan)
-    result = SoakResult(seed=seed)
+# -- scenario construction -------------------------------------------------------
+
+
+def _tenant_setup(seed, tenants):
+    """Tenant names and secret needles — pure functions of the seed, so
+    a resumed scenario recomputes them instead of checkpointing them."""
     names = ["t%d" % i for i in range(tenants)]
     secrets = [(name, _secret(seed, name)) for name in names]
     disk_secret = _secret(seed, "disk")
     secrets.append(("disk", disk_secret))
+    return names, secrets, disk_secret
 
+
+def _scenario_ops(cloud, injectors, seed, names, disk_secret):
+    """The scripted workload, as an ordered ``(name, thunk)`` list.
+
+    The list (names, order, closure behavior) is a pure function of the
+    scenario parameters, so a resumed run rebuilds it against the
+    restored fleet and continues from the checkpointed op index.
+    """
     def launch(name, index):
         def op():
             cloud.launch_tenant(name, GuestOwner(seed=seed * 101 + index),
@@ -148,17 +183,30 @@ def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4):
                 cloud.shutdown_tenant(name)
         return op
 
+    ops = []
     for index, name in enumerate(names):
-        _attempt(result, cloud, secrets, "launch:" + name,
-                 launch(name, index))
-    _attempt(result, cloud, secrets, "disk-io", disk_io(names[0]))
+        ops.append(("launch:" + name, launch(name, index)))
+    ops.append(("disk-io", disk_io(names[0])))
     for name in names:
-        _attempt(result, cloud, secrets, "migrate:" + name, migrate(name))
-    _attempt(result, cloud, secrets, "evacuate:0", lambda: cloud.evacuate(0))
-    _attempt(result, cloud, secrets, "shutdown:" + names[-1],
-             shutdown(names[-1]))
+        ops.append(("migrate:" + name, migrate(name)))
+    ops.append(("evacuate:0", lambda: cloud.evacuate(0)))
+    ops.append(("shutdown:" + names[-1], shutdown(names[-1])))
+    return ops
 
-    # Final phase: faults off, the fleet must stand on its own.
+
+def _drive(cloud, injectors, result, secrets, ops, start_at, checkpointer,
+           seed, params):
+    """Run the workload from op ``start_at``, checkpointing between ops."""
+    for index in range(start_at, len(ops)):
+        name, op = ops[index]
+        _attempt(result, cloud, secrets, name, op)
+        if checkpointer is not None:
+            checkpointer.after_op(cloud, injectors, result, seed,
+                                  index + 1, params)
+
+
+def _finish_scenario(cloud, injectors, result, secrets):
+    """Final phase: faults off, the fleet must stand on its own."""
     result.schedule = schedule_bytes(injectors)
     for injector in injectors:
         injector.disarm()
@@ -176,6 +224,145 @@ def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4):
             for v in check_invariants(system))
     result.survivors = len(cloud.tenants)
     return result
+
+
+# -- in-seed checkpointing -------------------------------------------------------
+
+
+def _events_seen(injectors):
+    """Total fault firings so far (admitted and window-suppressed)."""
+    return sum(len(i.fired) + len(i.suppressed) for i in injectors)
+
+
+def _rearm_cloud(cloud, injectors):
+    """Re-shadow the fleet's boundaries onto *existing* injectors (same
+    counters, same budgets) after a disarm-for-pickling window.  Disk
+    rings armed by earlier ops are not re-armed: each ring is only
+    driven within its own op, and in-seed checkpoints happen between
+    ops, so the omission is behavior-neutral."""
+    for index, injector in enumerate(injectors):
+        host = cloud.host(index)
+        injector.arm_fidelius(host.fidelius)
+        injector.arm_memctrl(host.machine.memctrl)
+        injector.arm_attestation(cloud.authority(index))
+
+
+class InSeedCheckpointer:
+    """Writes one scenario's mid-run resume points.
+
+    Every ``every_events`` fault firings, the live fleet, the partial
+    result and every injector's replay state go into ``store`` as a
+    ``soak-inseed`` checkpoint.  The injectors' instance-level wrappers
+    are unpicklable closures, so the protocol is disarm -> snapshot ->
+    re-arm; the wrappers carry no state (it all lives in the injector),
+    so the round trip is invisible to the run.
+    """
+
+    def __init__(self, store, every_events):
+        self.store = store
+        self.every_events = every_events
+        self._written_at = 0
+
+    def resync(self, injectors):
+        """Continue the firing cadence from a restored run's counters."""
+        self._written_at = _events_seen(injectors)
+
+    def after_op(self, cloud, injectors, result, seed, next_op, params):
+        if not self.every_events:
+            return
+        seen = _events_seen(injectors)
+        if seen - self._written_at < self.every_events:
+            return
+        self._written_at = seen
+        replay = [injector.replay_state() for injector in injectors]
+        for injector in injectors:
+            injector.disarm()
+        try:
+            payload = {"seed": seed, "params": params, "cloud": cloud,
+                       "result": result, "replay": replay,
+                       "next_op": next_op}
+            manifest = snapshot(
+                payload, self.store, kind=INSEED_KIND,
+                machines=[host.machine for host in cloud.hosts],
+                meta={"seed": seed, "next_op": next_op, "events": seen})
+            self.store.commit(manifest)
+        finally:
+            _rearm_cloud(cloud, injectors)
+
+
+def _resume_scenario(manifest, store, params, checkpointer, window):
+    """Pick one scenario back up from its newest in-seed checkpoint."""
+    if manifest.get("kind") != INSEED_KIND:
+        raise CheckpointError(
+            "checkpoint kind %r is not an in-seed soak checkpoint"
+            % manifest.get("kind"))
+    payload = restore(
+        manifest, store,
+        machines_of=lambda p: [h.machine for h in p["cloud"].hosts])
+    if payload["params"] != params:
+        raise CheckpointError(
+            "checkpoint parameters %r do not match this run's %r: "
+            "refusing to resume" % (payload["params"], params))
+    seed = payload["seed"]
+    cloud = payload["cloud"]
+    result = payload["result"]
+    plan = FaultPlan.random(seed, nfaults=params["nfaults"])
+    injectors = arm_cloud(cloud, plan, window=window)
+    for injector, state in zip(injectors, payload["replay"]):
+        injector.restore_replay_state(state)
+    if checkpointer is not None:
+        checkpointer.resync(injectors)
+    names, secrets, disk_secret = _tenant_setup(seed, params["tenants"])
+    ops = _scenario_ops(cloud, injectors, seed, names, disk_secret)
+    _drive(cloud, injectors, result, secrets, ops, payload["next_op"],
+           checkpointer, seed, params)
+    return _finish_scenario(cloud, injectors, result, secrets)
+
+
+def fire_window(skip=0, limit=None):
+    """Factory for :class:`repro.faults.inject.FireWindow`.
+
+    The time-travel bisector lives a layer *below* faults
+    (:mod:`repro.checkpoint.bisect`) and reaches this harness through
+    an ``importlib`` entry point; it obtains admission windows through
+    this factory instead of importing upward into the fault layer.
+    """
+    return FireWindow(skip, limit)
+
+
+def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4,
+                 checkpoint_dir=None, every_events=0, window=None):
+    """One seeded scenario: build, arm, run the workload, verify.
+
+    With ``checkpoint_dir`` the scenario is crash-resumable: an in-seed
+    checkpoint lands every ``every_events`` fault firings, and a store
+    that already holds one resumes from it instead of restarting —
+    byte-identical to the uninterrupted run.  ``window`` (from
+    :func:`fire_window`) restricts which fault firings are admitted,
+    for the bisector's fault-window search.
+    """
+    params = {"hosts": hosts, "tenants": tenants, "frames": frames,
+              "nfaults": nfaults}
+    checkpointer = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        checkpointer = InSeedCheckpointer(store, every_events)
+        manifest = store.latest()
+        if manifest is not None:
+            return _resume_scenario(manifest, store, params, checkpointer,
+                                    window)
+    plan = FaultPlan.random(seed, nfaults=nfaults)
+    cloud = Cloud(hosts=hosts, frames=frames, seed=0xB000 + seed)
+    injectors = arm_cloud(cloud, plan, window=window)
+    result = SoakResult(seed=seed)
+    names, secrets, disk_secret = _tenant_setup(seed, tenants)
+    ops = _scenario_ops(cloud, injectors, seed, names, disk_secret)
+    _drive(cloud, injectors, result, secrets, ops, 0, checkpointer,
+           seed, params)
+    return _finish_scenario(cloud, injectors, result, secrets)
+
+
+# -- sweeps ----------------------------------------------------------------------
 
 
 def soak_report(seeds=DEFAULT_SEEDS, jobs=1, **scenario_kwargs):
@@ -203,6 +390,92 @@ def results_digest(results):
     return digest(results)
 
 
+# -- resumable sweeps ------------------------------------------------------------
+
+
+def _progress_store(checkpoint_dir):
+    return CheckpointStore(os.path.join(checkpoint_dir, "progress"))
+
+
+def _write_progress(store, results, next_index, params):
+    payload = {"results": list(results), "next_index": next_index,
+               "params": params}
+    manifest = snapshot(payload, store, kind=PROGRESS_KIND, machines=[],
+                        meta={"next_index": next_index})
+    store.commit(manifest)
+
+
+def resumable_soak(seeds, checkpoint_dir, every_seeds=5, every_events=0,
+                   resume=False, jobs=1, sigkill_after=None,
+                   **scenario_kwargs):
+    """A seed sweep that survives being killed at any instant.
+
+    Completed-seed results are checkpointed into
+    ``<checkpoint_dir>/progress`` every ``every_seeds`` seeds; each
+    scenario additionally checkpoints itself mid-run every
+    ``every_events`` fault firings into its own per-seed store
+    (:func:`repro.runner.unit_checkpoint_path`, so sharded workers
+    never share a store).  With ``resume=True`` the sweep continues
+    from whatever the stores hold — re-running completed chunks never,
+    half-done scenarios from their last in-seed checkpoint — and the
+    final result list is byte-identical to an uninterrupted run.
+
+    A directory that already holds progress **requires** ``resume=True``
+    (fail closed: silently restarting over live checkpoints would make
+    two different runs claim the same store).  ``sigkill_after`` forces
+    a progress checkpoint after that many seeds and then SIGKILLs this
+    process — the hook CI's resume-equivalence job interrupts with.
+    """
+    seeds = list(seeds)
+    params = {"hosts": scenario_kwargs.get("hosts", 3),
+              "tenants": scenario_kwargs.get("tenants", 2),
+              "frames": scenario_kwargs.get("frames", 1024),
+              "nfaults": scenario_kwargs.get("nfaults", 4),
+              "seeds": seeds}
+    store = _progress_store(checkpoint_dir)
+    results, start = [], 0
+    manifest = store.latest()
+    if manifest is not None:
+        if not resume:
+            raise CheckpointError(
+                "checkpoint dir %r already holds soak progress; pass "
+                "--resume to continue it or point at a fresh directory"
+                % checkpoint_dir)
+        if manifest.get("kind") != PROGRESS_KIND:
+            raise CheckpointError(
+                "checkpoint kind %r is not soak progress"
+                % manifest.get("kind"))
+        payload = restore(manifest, store, machines_of=lambda p: [])
+        if payload["params"] != params:
+            raise CheckpointError(
+                "checkpoint parameters %r do not match this run's %r: "
+                "refusing to resume" % (payload["params"], params))
+        results = payload["results"]
+        start = payload["next_index"]
+
+    index = start
+    while index < len(seeds):
+        stop = min(len(seeds), index + every_seeds) if every_seeds \
+            else len(seeds)
+        if sigkill_after is not None and index < sigkill_after <= stop:
+            stop = sigkill_after
+        units = []
+        for seed in seeds[index:stop]:
+            kwargs = dict(scenario_kwargs)
+            if every_events:
+                kwargs["checkpoint_dir"] = \
+                    unit_checkpoint_path(checkpoint_dir, seed)
+                kwargs["every_events"] = every_events
+            units.append(WorkUnit.of(seed, run_scenario, seed, **kwargs))
+        report = execute(units, jobs=jobs)
+        results.extend(report.values())
+        index = stop
+        _write_progress(store, results, index, params)
+        if sigkill_after is not None and index >= sigkill_after:
+            os.kill(os.getpid(), signal.SIGKILL)
+    return results
+
+
 def main(argv=None):
     import argparse
     parser = argparse.ArgumentParser(
@@ -219,11 +492,43 @@ def main(argv=None):
                         help="also write wall-clock/shard counters and "
                              "the result digest as JSON (schema "
                              "fidelius-soak-bench/1)")
+    parser.add_argument("--checkpoint-dir", metavar="DIR", default=None,
+                        help="make the soak crash-resumable: checkpoint "
+                             "progress and in-seed state under DIR")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue from the checkpoints already in "
+                             "--checkpoint-dir")
+    parser.add_argument("--checkpoint-every", type=int, default=5,
+                        metavar="SEEDS",
+                        help="progress checkpoint cadence in seeds "
+                             "(default %(default)s)")
+    parser.add_argument("--checkpoint-events", type=int, default=0,
+                        metavar="EVENTS",
+                        help="also checkpoint inside each scenario every "
+                             "N fault firings (0: between seeds only)")
+    parser.add_argument("--sigkill-after", type=int, default=None,
+                        metavar="SEEDS",
+                        help="checkpoint then SIGKILL this process after "
+                             "N seeds (resume-equivalence testing)")
+    parser.add_argument("--checkpoint-bench-json", metavar="PATH",
+                        default=None,
+                        help="write checkpoint size/dedup stats as JSON "
+                             "(schema fidelius-checkpoint-bench/1)")
     args = parser.parse_args(argv)
-    report = soak_report(range(args.seeds), jobs=args.jobs,
-                         hosts=args.hosts, tenants=args.tenants,
-                         nfaults=args.nfaults)
-    results = report.values()
+    report = None
+    if args.checkpoint_dir:
+        results = resumable_soak(
+            range(args.seeds), args.checkpoint_dir,
+            every_seeds=args.checkpoint_every,
+            every_events=args.checkpoint_events,
+            resume=args.resume, jobs=args.jobs,
+            sigkill_after=args.sigkill_after,
+            hosts=args.hosts, tenants=args.tenants, nfaults=args.nfaults)
+    else:
+        report = soak_report(range(args.seeds), jobs=args.jobs,
+                             hosts=args.hosts, tenants=args.tenants,
+                             nfaults=args.nfaults)
+        results = report.values()
     for result in results:
         print(result.describe())
         for violation in result.violations:
@@ -231,24 +536,34 @@ def main(argv=None):
     bad = [r for r in results if not r.clean]
     print("%d/%d scenarios clean" % (len(results) - len(bad), len(results)))
     print("digest sha256=%s" % results_digest(results))
-    # timing lines are diagnostics: excluded from equivalence diffs
-    print("# timing: wall=%.3fs busy=%.3fs jobs=%d utilization=%.2f"
-          % (report.wall_s, report.busy_s, report.jobs,
-             report.utilization()))
-    if args.bench_json:
-        bench = {
-            "schema": "fidelius-soak-bench/1",
-            "seeds": args.seeds,
-            "jobs": report.jobs,
-            "host_cpus": os.cpu_count() or 1,
-            "wall_s": report.wall_s,
-            "busy_s": report.busy_s,
-            "utilization": report.utilization(),
-            "clean": len(results) - len(bad),
-            "digest": results_digest(results),
-            "shards": report.shard_counters(),
-        }
-        with open(args.bench_json, "w") as fh:
+    if report is not None:
+        # timing lines are diagnostics: excluded from equivalence diffs
+        print("# timing: wall=%.3fs busy=%.3fs jobs=%d utilization=%.2f"
+              % (report.wall_s, report.busy_s, report.jobs,
+                 report.utilization()))
+        if args.bench_json:
+            bench = {
+                "schema": "fidelius-soak-bench/1",
+                "seeds": args.seeds,
+                "jobs": report.jobs,
+                "host_cpus": os.cpu_count() or 1,
+                "wall_s": report.wall_s,
+                "busy_s": report.busy_s,
+                "utilization": report.utilization(),
+                "clean": len(results) - len(bad),
+                "digest": results_digest(results),
+                "shards": report.shard_counters(),
+            }
+            with open(args.bench_json, "w") as fh:
+                json.dump(bench, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+    if args.checkpoint_bench_json and args.checkpoint_dir:
+        from repro.checkpoint.store import tree_stats
+        bench = {"schema": "fidelius-checkpoint-bench/1",
+                 "seeds": args.seeds,
+                 "digest": results_digest(results)}
+        bench.update(tree_stats(args.checkpoint_dir))
+        with open(args.checkpoint_bench_json, "w") as fh:
             json.dump(bench, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return 1 if bad else 0

@@ -21,6 +21,7 @@ charged: fills and hits are priced by the page-table walk that produced
 them, and the flush costs below are per-entry exactly as before.
 """
 
+import hashlib
 from collections import OrderedDict
 
 from repro.common.constants import TLB_ENTRY_FLUSH_CYCLES
@@ -95,6 +96,15 @@ class Tlb:
         )
         self._entries.clear()
         self._by_root.clear()
+
+    def state_fingerprint(self):
+        """SHA-256 over the TLB's entries (LRU order) and counters."""
+        h = hashlib.sha256()
+        for (root_pfn, vpn), translation in self._entries.items():
+            h.update(b"%d|%d|%r|" % (root_pfn, vpn, translation))
+        h.update(b"counters|%d|%d|%d" % (self.hits, self.misses,
+                                         self.evictions))
+        return h.hexdigest()
 
     def root_index_sizes(self):
         """root_pfn -> cached-entry count (perfbench/diagnostics)."""

@@ -16,6 +16,8 @@ their results in a deterministic order, plus wall-clock shard counters
 for bench artifacts.
 """
 
+import os
+
 from repro.runner.executor import (
     RunnerError,
     RunReport,
@@ -36,7 +38,20 @@ __all__ = [
     "deterministic_digest",
     "digest",
     "execute",
+    "unit_checkpoint_path",
 ]
+
+
+def unit_checkpoint_path(base_dir, key):
+    """Canonical per-unit checkpoint directory under ``base_dir``.
+
+    Work units running in different shards must never share one
+    checkpoint store (two writers would race the same latest-pointer),
+    so each unit gets its own subdirectory.  The layout lives here, in
+    the runner, so a sweep's checkpoint writer and its resume path
+    agree on it whatever process either runs in.
+    """
+    return os.path.join(base_dir, "unit-%s" % (key,))
 
 
 def add_jobs_argument(parser, default=1):

@@ -1,8 +1,8 @@
 """SEV firmware state machines: platform and per-guest contexts."""
 
 import enum
-import hashlib
 
+from repro.common.crypto import ChainDigest
 from repro.common.errors import FirmwareStateError
 
 #: Guest policy bits (the SEV launch policy): restrictions the guest
@@ -45,9 +45,12 @@ class GuestSevContext:
         #: Transport keys, present only while SENDING or RECEIVING.
         self.tek = None
         self.tik = None
-        self._digest = hashlib.sha256()
+        # Chained digests rather than live hashlib objects: their state
+        # is plain bytes, so a checkpoint can freeze a context that is
+        # mid-stream (see crypto.ChainDigest).
+        self._digest = ChainDigest()
         #: Running transport-integrity MAC input (send/receive streams).
-        self._stream = hashlib.sha256()
+        self._stream = ChainDigest()
 
     def require_state(self, *states):
         if self.state not in states:
@@ -58,7 +61,7 @@ class GuestSevContext:
     # -- launch measurement -------------------------------------------------
 
     def extend_measurement(self, plaintext):
-        self._digest.update(plaintext)
+        self._digest.extend(plaintext)
 
     def measurement(self):
         return self._digest.digest()
@@ -66,10 +69,10 @@ class GuestSevContext:
     # -- transport stream integrity ------------------------------------------
 
     def reset_stream(self):
-        self._stream = hashlib.sha256()
+        self._stream = ChainDigest()
 
     def extend_stream(self, transport_ct):
-        self._stream.update(transport_ct)
+        self._stream.extend(transport_ct)
 
     def stream_digest(self):
         return self._stream.digest()

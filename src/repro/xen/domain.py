@@ -8,10 +8,46 @@ i.e. Fidelius — are installed).  The context enters guest mode lazily
 on first use, so test and example code reads naturally.
 """
 
+from dataclasses import dataclass
+
 from repro.common.constants import HOST_ASID, PAGE_SIZE
 from repro.common.errors import NestedPageFault, XenError
 from repro.common.types import CpuMode, ExitReason
 from repro.hw.vmcb import Vmcb
+
+
+@dataclass
+class GuestLedger:
+    """Per-guest performance accounting that outlives one incarnation.
+
+    The hypervisor maintains it on every world switch (VMRUN count,
+    VMEXIT count, cycles spent with the CPU in guest mode).
+    ``tlb_epoch`` counts the incarnations whose TLB started cold: it
+    begins at 0 for a freshly launched guest and is bumped — never
+    reset — each time the guest is rebuilt on a (possibly different)
+    host by migration or snapshot restore.  The whole ledger travels
+    inside the :class:`~repro.core.migration.MigrationPackage`, so a
+    restored guest's :meth:`Domain.perf_stats` keeps telling the truth
+    about its lifetime instead of restarting from zero.
+    """
+
+    vmruns: int = 0
+    vmexits: int = 0
+    cycles_in_guest: int = 0
+    tlb_epoch: int = 0
+
+    def as_dict(self):
+        return {"vmruns": self.vmruns, "vmexits": self.vmexits,
+                "cycles_in_guest": self.cycles_in_guest,
+                "tlb_epoch": self.tlb_epoch}
+
+    def export(self):
+        """Canonical wire form for a migration/snapshot package."""
+        return tuple(sorted(self.as_dict().items()))
+
+    @classmethod
+    def from_export(cls, exported):
+        return cls(**dict(exported))
 
 
 class VirtualCpu:
@@ -30,6 +66,9 @@ class VirtualCpu:
         self.saved_gprs = None
         self.halted = False
         self.in_guest = False
+        #: cycle-counter reading at the last guest entry, for the
+        #: domain ledger's in-guest cycle attribution
+        self.entry_cycles = 0
         #: Interrupt vectors delivered into the guest (via the VMCB's
         #: event_injection field, consumed on entry).
         self.delivered_interrupts = []
@@ -59,10 +98,17 @@ class Domain:
         self.owned_hpfns = set()
         self.vcpus = []
         self.dying = False
+        #: Lifetime performance accounting; round-tripped by migration
+        #: and snapshot/restore (see :class:`GuestLedger`).
+        self.ledger = GuestLedger()
 
     @property
     def sev_enabled(self):
         return self.asid != HOST_ASID
+
+    def perf_stats(self):
+        """This guest's lifetime accounting, across incarnations."""
+        return self.ledger.as_dict()
 
     def add_vcpu(self):
         vcpu = VirtualCpu(self, len(self.vcpus))

@@ -55,6 +55,22 @@ HOOK_EVENTS = (
 )
 
 
+class _NptTableAllocator:
+    """``allocate_frame`` hook bound to one domain's NPT.
+
+    A plain class (not a closure) so a live domain graph stays
+    picklable — ``repro.checkpoint`` serializes whole systems, and the
+    NPT holds this allocator for the lifetime of the domain.
+    """
+
+    def __init__(self, hypervisor, domain):
+        self._hypervisor = hypervisor
+        self._domain = domain
+
+    def __call__(self):
+        return self._hypervisor._alloc_npt_table_page(self._domain)
+
+
 class Hypervisor:
     """The Xen core, booted on a :class:`~repro.hw.machine.Machine`."""
 
@@ -186,7 +202,7 @@ class Hypervisor:
                         privileged=privileged)
         domain.npt = NestedPageTable(
             self.machine,
-            allocate_frame=lambda: self._alloc_npt_table_page(domain),
+            allocate_frame=_NptTableAllocator(self, domain),
         )
         gt_frame = self.machine.allocator.alloc()
         domain.grant_table = GrantTable(self.machine.memory, gt_frame)
@@ -330,10 +346,16 @@ class Hypervisor:
         self.vmrun_executor(vcpu)
         self._deliver_pending_event(vcpu)
         vcpu.in_guest = True
+        vcpu.domain.ledger.vmruns += 1
+        vcpu.entry_cycles = self.machine.cycles.total
         self.current_vcpu = vcpu
 
     def guest_exit(self, vcpu, reason, info1=0, info2=0, stay_in_host=False):
         """The full exit -> handle -> re-entry round trip."""
+        ledger = vcpu.domain.ledger
+        ledger.vmexits += 1
+        ledger.cycles_in_guest += self.machine.cycles.total \
+            - vcpu.entry_cycles
         self.machine.cycles.charge(VMEXIT_ROUNDTRIP_CYCLES, "vmexit-roundtrip")
         self.cpu.vmexit(vcpu.vmcb, reason, info1, info2)
         vcpu.in_guest = False

@@ -1,0 +1,10 @@
+"""FID016 fixture: a restore that never resets the derived caches."""
+
+
+def rebuild_graph(manifest, store):
+    return store.get(manifest["graph"])
+
+
+def restore(manifest, store):
+    target = rebuild_graph(manifest, store)
+    return target

@@ -23,7 +23,7 @@ from repro.analysis import analyze
 from repro.analysis.cli import main
 from repro.analysis.engine import findings_digest
 from repro.analysis.project import Project
-from repro.analysis.state_registry import REGISTRY, lookup
+from repro.common.state_registry import REGISTRY, lookup
 
 FIXTURE_ROOT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "fixtures", "fixture_src")
@@ -219,7 +219,7 @@ def test_registered_reset_acceptance_on_live_crypto(monkeypatch):
     assert lookup("repro.common.crypto", "_line_cache").reset \
         == "clear_keystream_cache"
 
-    from repro.analysis import state_registry
+    from repro.common import state_registry
     stripped = {key: entry for key, entry in state_registry.REGISTRY.items()
                 if key[0] != "repro.common.crypto"}
     monkeypatch.setattr(state_registry, "REGISTRY", stripped)

@@ -1,0 +1,66 @@
+"""Time-travel bisection pins a failure to a minimal fault window."""
+
+import json
+
+import pytest
+
+from repro.checkpoint.bisect import (
+    ARTIFACT_SCHEMA,
+    bisect_fault_window,
+    predicate_holds,
+    write_artifact,
+)
+from repro.checkpoint.store import CheckpointError, CheckpointStore
+from repro.faults.soak import run_scenario
+
+# Seed 4 of the default scenario shape: four fault events, two of which
+# break launch:t0 and migrate:t1.  The migrate failure needs only the
+# first three events.
+SEED, PREDICATE = 4, "failed-op:migrate:t1"
+
+
+class TestBisect:
+    def test_finds_minimal_window_and_checkpoints(self, tmp_path):
+        artifact = bisect_fault_window(
+            SEED, predicate=PREDICATE,
+            checkpoint_dir=str(tmp_path / "bisect"))
+        assert artifact["schema"] == ARTIFACT_SCHEMA
+        assert artifact["seed"] == SEED
+        assert artifact["window"]["limit"] < artifact["total_events"]
+        assert artifact["window"]["skip"] <= artifact["window"]["limit"]
+        assert artifact["trials"] > 0
+        # the verification run left its in-seed checkpoints behind
+        store = CheckpointStore(str(tmp_path / "bisect"))
+        assert store.manifest_names()
+        # the window the bisector found actually reproduces
+        from repro.faults.soak import fire_window
+        window = fire_window(artifact["window"]["skip"],
+                             artifact["window"]["limit"])
+        result = run_scenario(SEED, window=window)
+        assert predicate_holds(PREDICATE, result)
+        # ...and the complement window does not
+        complement = fire_window(artifact["window"]["limit"], None)
+        result = run_scenario(SEED, window=complement)
+        assert not predicate_holds(PREDICATE, result)
+
+    def test_artifact_roundtrips_as_json(self, tmp_path):
+        artifact = {"schema": ARTIFACT_SCHEMA, "seed": 1,
+                    "window": {"skip": 0, "limit": 2}}
+        path = str(tmp_path / "artifact.json")
+        write_artifact(artifact, path)
+        assert json.load(open(path)) == artifact
+
+    def test_nonfailing_predicate_is_rejected(self):
+        with pytest.raises(CheckpointError, match="nothing to bisect"):
+            bisect_fault_window(SEED, predicate="failed-op:no-such-op")
+
+    def test_unknown_predicate_is_rejected(self):
+        with pytest.raises(CheckpointError, match="unknown bisect"):
+            predicate_holds("bogus", object())
+
+    def test_stale_checkpoint_dir_is_rejected(self, tmp_path):
+        store = CheckpointStore(str(tmp_path / "stale"))
+        store.commit({"kind": "leftover"})
+        with pytest.raises(CheckpointError, match="not fresh"):
+            bisect_fault_window(SEED, predicate=PREDICATE,
+                                checkpoint_dir=str(tmp_path / "stale"))

@@ -1,0 +1,142 @@
+"""Snapshot/restore round-trips and the fail-closed restore guards."""
+
+import pytest
+
+from repro.checkpoint.snapshot import (
+    MANIFEST_SCHEMA,
+    registry_fingerprint,
+    restore,
+    restore_latest,
+    snapshot,
+)
+from repro.checkpoint.store import (
+    CheckpointError,
+    CheckpointStore,
+    MemoryChunkStore,
+)
+from repro.cloud import Cloud
+from repro.system import GuestOwner, System
+from repro.xen import hypercalls as hc
+
+
+def _live_system(frames=512):
+    system = System.create(frames=frames, seed=0x5A17)
+    owner = GuestOwner(seed=0xABCD)
+    _domain, ctx = system.boot_protected_guest(
+        "snap", owner, payload=b"snapshot me", guest_frames=32)
+    ctx.write(0, b"pre-checkpoint state")
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    return system, ctx
+
+
+class TestRoundTrip:
+    def test_system_survives_restore(self):
+        system, ctx = _live_system()
+        digest_before = system.machine.state_digest()
+        store = MemoryChunkStore()
+        manifest = snapshot(system, store)
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        clone = restore(manifest, store)
+        assert clone is not system
+        assert clone.machine.state_digest() == digest_before
+
+    def test_restored_clone_diverges_independently(self):
+        system, ctx = _live_system()
+        store = MemoryChunkStore()
+        manifest = snapshot(system, store)
+        clone = restore(manifest, store)
+        ctx.write(64, b"only in the original")
+        assert (clone.machine.state_digest()
+                != system.machine.state_digest())
+
+    def test_cloud_snapshot_covers_every_host(self):
+        cloud = Cloud(hosts=3, frames=256, seed=0xC10D)
+        store = MemoryChunkStore()
+        manifest = snapshot(cloud, store, kind="cloud")
+        assert manifest["kind"] == "cloud"
+        assert len(manifest["machines"]) == 3
+        clone = restore(manifest, store)
+        assert [h.machine.state_digest() for h in clone.hosts] \
+            == [h.machine.state_digest() for h in cloud.hosts]
+
+    def test_second_snapshot_dedups_pages(self):
+        system, _ctx = _live_system()
+        store = MemoryChunkStore()
+        snapshot(system, store)
+        written_once = store.chunks_written
+        snapshot(system, store)
+        # an unchanged system contributes no new page chunks
+        assert store.chunks_written == written_once
+        assert store.chunks_deduped > 0
+
+    def test_on_disk_store_with_commit(self, tmp_path):
+        system, _ctx = _live_system(frames=256)
+        store = CheckpointStore(str(tmp_path / "ck"))
+        store.commit(snapshot(system, store))
+        manifest, clone = restore_latest(store)
+        assert manifest["kind"] == "system"
+        assert clone.machine.state_digest() == system.machine.state_digest()
+
+    def test_machines_override_for_composite_targets(self):
+        system, _ctx = _live_system(frames=256)
+        payload = {"system": system, "note": "harness bookkeeping"}
+        store = MemoryChunkStore()
+        manifest = snapshot(payload, store, kind="composite",
+                            machines=[system.machine])
+        clone = restore(manifest, store,
+                        machines_of=lambda p: [p["system"].machine])
+        assert clone["note"] == "harness bookkeeping"
+        assert clone["system"].machine.state_digest() \
+            == system.machine.state_digest()
+
+
+class TestFailClosedGuards:
+    def _manifest(self):
+        system, _ctx = _live_system(frames=256)
+        store = MemoryChunkStore()
+        return snapshot(system, store), store
+
+    def test_wrong_schema_rejected(self):
+        manifest, store = self._manifest()
+        manifest["schema"] = "fidelius-checkpoint/999"
+        with pytest.raises(CheckpointError, match="refusing to restore"):
+            restore(manifest, store)
+
+    def test_wrong_registry_fingerprint_rejected(self):
+        manifest, store = self._manifest()
+        manifest["registry"] = "0" * 64
+        with pytest.raises(CheckpointError, match="module-state registry"):
+            restore(manifest, store)
+
+    def test_truncated_graph_rejected(self):
+        manifest, store = self._manifest()
+        manifest["graph"] = manifest["graph"][:-1]
+        with pytest.raises(CheckpointError):
+            restore(manifest, store)
+
+    def test_missing_page_chunk_rejected(self):
+        manifest, store = self._manifest()
+        record = manifest["machines"][0]
+        pfn = next(iter(record["pages"]))
+        record["pages"][pfn] = "0" * 64
+        with pytest.raises(CheckpointError):
+            restore(manifest, store)
+
+    def test_wrong_size_page_chunk_rejected(self):
+        manifest, store = self._manifest()
+        record = manifest["machines"][0]
+        pfn = next(iter(record["pages"]))
+        record["pages"][pfn] = store.put(b"not a page")
+        with pytest.raises(CheckpointError, match="not one page"):
+            restore(manifest, store)
+
+    def test_machine_count_mismatch_rejected(self):
+        manifest, store = self._manifest()
+        manifest["machines"] = manifest["machines"] + [
+            {"frames": 1, "pages": {}}]
+        with pytest.raises(CheckpointError, match="machines"):
+            restore(manifest, store)
+
+    def test_fingerprint_is_stable(self):
+        assert registry_fingerprint() == registry_fingerprint()
+        assert len(registry_fingerprint()) == 64

@@ -1,0 +1,65 @@
+"""The per-guest performance ledger survives migration and restore.
+
+A tenant's lifetime accounting (VMRUNs, VMEXITs, cycles spent in guest
+mode) must travel with its memory image: a migrated or restored guest
+that restarts its counters from zero lies to the operator.  The TLB
+epoch moves the other way — it *must* advance on every new incarnation
+(each starts on a cold TLB) and never reset.
+"""
+
+from repro.core.migration import migrate_guest, restore_guest, snapshot_guest
+from repro.system import GuestOwner, paired_systems
+from repro.xen import hypercalls as hc
+
+
+def _booted(system, name="led"):
+    owner = GuestOwner(seed=0x1ED6)
+    domain, ctx = system.boot_protected_guest(
+        name, owner, payload=b"ledger payload", guest_frames=32)
+    ctx.write(0, b"hello ledger")
+    ctx.hypercall(hc.HC_SCHED_YIELD)
+    return domain, ctx
+
+
+class TestGuestLedger:
+    def test_world_switches_are_accounted(self, system):
+        domain, _ctx = _booted(system)
+        stats = domain.perf_stats()
+        assert stats["vmruns"] > 0
+        assert stats["vmexits"] > 0
+        assert stats["cycles_in_guest"] > 0
+        assert stats["tlb_epoch"] == 0
+
+    def test_snapshot_restore_roundtrips_ledger(self, system):
+        domain, _ctx = _booted(system)
+        before = domain.perf_stats()
+        package = snapshot_guest(system.fidelius, domain)
+        system.hypervisor.destroy_domain(domain)
+        restored, rctx = restore_guest(system.fidelius, package)
+        after = restored.perf_stats()
+        assert after["vmruns"] == before["vmruns"]
+        assert after["vmexits"] == before["vmexits"]
+        assert after["cycles_in_guest"] == before["cycles_in_guest"]
+        assert after["tlb_epoch"] == before["tlb_epoch"] + 1
+        # ...and the restored incarnation keeps accumulating on top.
+        rctx.hypercall(hc.HC_SCHED_YIELD)
+        assert restored.perf_stats()["vmruns"] > after["vmruns"]
+
+    def test_migration_accumulates_and_bumps_epoch(self):
+        source, target = paired_systems(frames=2048)
+        domain, _ctx = _booted(source)
+        before = domain.perf_stats()
+        moved, moved_ctx = migrate_guest(
+            source.fidelius, domain, target.fidelius)
+        stats = moved.perf_stats()
+        assert stats["vmruns"] == before["vmruns"]
+        assert stats["cycles_in_guest"] == before["cycles_in_guest"]
+        assert stats["tlb_epoch"] == 1
+        moved_ctx.hypercall(hc.HC_SCHED_YIELD)
+        # A second hop: counters still cumulative, epoch at 2 (never
+        # reset — it counts cold-TLB incarnations over the lifetime).
+        back, _back_ctx = migrate_guest(
+            target.fidelius, moved, source.fidelius)
+        stats = back.perf_stats()
+        assert stats["vmruns"] > before["vmruns"]
+        assert stats["tlb_epoch"] == 2

@@ -183,3 +183,32 @@ class TestFleetPerfStats:
         cloud = Cloud(hosts=3, frames=2048, seed=0xF01)
         assert cloud.perf_stats()["keystream_cache"] == \
             crypto.keystream_cache_stats()
+
+    def test_event_counters_surface_in_perf_stats(self):
+        cloud = Cloud(hosts=1, frames=1024, seed=0xF02, event_log_limit=4)
+        for i in range(9):
+            cloud._record("synthetic", index=i)
+        events = cloud.perf_stats()["events"]
+        assert events == {"recorded": 9, "retained": 4, "dropped": 5}
+
+
+class TestQuarantineLiftAudit:
+    def test_rejected_lift_is_recorded(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xBAD2)
+        host1 = cloud.host(1)
+        host1.machine.memory.write(
+            host1.hypervisor.text.base_va + 0x600, b"\xCC")
+        assert not cloud.attest_host(1)
+        assert not cloud.lift_quarantine(1)
+        kinds = cloud.event_kinds()
+        # the audit trail shows the attempt: re-quarantine + rejection
+        assert kinds.count("host-quarantined") == 2
+        assert kinds[-1] == "quarantine-lift-rejected"
+        assert 1 in cloud.quarantined
+
+    def test_successful_lift_still_recorded(self):
+        cloud = Cloud(hosts=1, frames=1024, seed=0xBAD3)
+        cloud.quarantined.add(0)
+        assert cloud.lift_quarantine(0)
+        assert cloud.event_kinds()[-1] == "quarantine-lifted"
+        assert not cloud.quarantined
