@@ -1,0 +1,157 @@
+"""Self-benchmark for the incremental analyzer
+(``python -m repro.analysis.bench``).
+
+Measures three in-process ``analyze()`` wall times over a *temporary
+copy* of the live tree (the copy is edited; the live tree is never
+touched):
+
+* **cold** — empty cache directory, every module analyzed and written;
+* **warm** — identical tree, every module served from the cache;
+* **one module changed** — a comment appended to the module with the
+  smallest reverse-dependency closure (deterministic tie-break by
+  name), so the timing reflects the analyzer's floor for a minimal
+  edit, not a lucky or unlucky blast radius.
+
+Each timing is the best of ``--repeat`` runs (cache state is reset
+appropriately between cold repeats).  The report also *proves* the
+warm paths honest: the warm digest must equal the cold digest, and the
+changed-run digest must equal an uncached run over the edited tree.
+CI gates on ``speedup_warm >= 5`` and on the changed run re-analyzing
+at most 10% of modules.
+
+Wall-clock here is measurement of the analyzer itself — the same
+carve-out as :mod:`repro.eval.perfbench`; nothing modelled is involved.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+# fidelint: ignore[FID007] -- benchmarking the analyzer's own host
+# wall-clock cost is this module's entire purpose; fidelint models
+# nothing here.
+import time
+
+from repro.analysis.engine import analyze, findings_digest
+from repro.analysis.impact import ImpactGraph
+from repro.analysis.project import Project
+
+SCHEMA = "fidelint-bench/1"
+
+
+def _timed(fn, repeat):
+    best, value = None, None
+    for _ in range(max(1, repeat)):
+        start = time.monotonic()         # fidelint: ignore[FID007]
+        value = fn()
+        elapsed = time.monotonic() - start  # fidelint: ignore[FID007]
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, value
+
+
+def quietest_module(project):
+    """The module whose edit dirties the fewest cache keys: smallest
+    reverse closure, ties broken by name so the choice is stable run
+    to run."""
+    graph = ImpactGraph.build(project)
+    return min(sorted(project.modules),
+               key=lambda name: (len(graph.reverse_closure([name])),
+                                 name))
+
+
+def run_bench(root, repeat=3):
+    workdir = tempfile.mkdtemp(prefix="fidelint-bench-")
+    try:
+        tree = os.path.join(workdir, "src")
+        shutil.copytree(root, tree,
+                        ignore=shutil.ignore_patterns("__pycache__"))
+        cache_dir = os.path.join(workdir, "cache")
+
+        def cold():
+            if os.path.isdir(cache_dir):
+                shutil.rmtree(cache_dir)
+            return analyze(tree, baseline_path=None, cache_dir=cache_dir)
+
+        cold_s, cold_result = _timed(cold, repeat)
+        warm_s, warm_result = _timed(
+            lambda: analyze(tree, baseline_path=None,
+                            cache_dir=cache_dir), repeat)
+
+        project = Project.load(tree)
+        target = quietest_module(project)
+        with open(project.modules[target].path, "a",
+                  encoding="utf-8") as handle:
+            handle.write("\n# fidelint-bench touch\n")
+
+        changed_s, changed_result = _timed(
+            lambda: analyze(tree, baseline_path=None,
+                            cache_dir=cache_dir), 1)
+        uncached_result = analyze(tree, baseline_path=None)
+
+        modules = changed_result.modules_scanned
+        reanalyzed = changed_result.cache_stats["modules_reanalyzed"]
+        return {
+            "schema": SCHEMA,
+            "modules": modules,
+            "edited_module": target,
+            "seconds": {
+                "cold": round(cold_s, 6),
+                "warm": round(warm_s, 6),
+                "one_module_changed": round(changed_s, 6),
+            },
+            "speedup_warm": round(cold_s / max(warm_s, 1e-9), 2),
+            "speedup_one_module_changed": round(
+                cold_s / max(changed_s, 1e-9), 2),
+            "modules_reanalyzed": reanalyzed,
+            "reanalyzed_fraction": round(reanalyzed / modules, 4),
+            "digests": {
+                "cold": findings_digest(cold_result),
+                "warm": findings_digest(warm_result),
+                "one_module_changed": findings_digest(changed_result),
+                "one_module_changed_uncached":
+                    findings_digest(uncached_result),
+            },
+            "warm_matches_cold":
+                findings_digest(warm_result) ==
+                findings_digest(cold_result),
+            "changed_matches_uncached":
+                findings_digest(changed_result) ==
+                findings_digest(uncached_result),
+            "warm_cache_stats": warm_result.cache_stats,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.bench",
+        description="Benchmark fidelint's incremental cache: cold vs "
+                    "warm vs one-module-changed, with digest proofs.")
+    parser.add_argument("--root", default=None,
+                        help="tree to copy and benchmark (default: the "
+                             "src/ this tool runs from)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="take the best of N runs per timing")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the JSON report to PATH")
+    args = parser.parse_args(argv)
+
+    from repro.analysis.cli import _default_root
+    report = run_bench(os.path.abspath(args.root or _default_root()),
+                       repeat=args.repeat)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    ok = report["warm_matches_cold"] and \
+        report["changed_matches_uncached"]
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

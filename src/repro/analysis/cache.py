@@ -1,0 +1,373 @@
+"""The persistent, content-addressed analysis cache behind
+``fidelint --cache-dir``.
+
+Layout of one cache directory (the :mod:`repro.checkpoint.store`
+object-store pattern: immutable fanout objects, atomic replace-only
+writes, fail-closed reads)::
+
+    entries/ab/abcdef....json   one module's artifacts, named by key
+    graph/ab/abcdef....json     one impact-graph snapshot, by tree hash
+    latest.json                 module -> key map from the last run
+                                (only feeds the invalidation counter)
+
+**The key is the soundness argument.**  A module's entry is keyed by
+:meth:`repro.analysis.impact.ImpactGraph.module_key`: a hash over the
+environment fingerprint (every analyzer source file, the live state
+registry, ``pyproject.toml``, the rule selection), the module's own
+content hash, and the ``(name, hash)`` pair of every module in its
+transitive dependency closure — absent (phantom) dependencies hash as
+``"ABSENT"``.  Everything a finding can read — its own source, resolved
+callees' sources (summary/effect fixpoints), dispatch-table and
+WorkUnit targets, the registry couplings, rule code itself — is inside
+that hash, so a hit can be replayed verbatim and a cold run over the
+same tree produces a byte-identical findings digest.  Anything *not*
+covered (a new colliding definition changing unique-name resolution, a
+dependency appearing or vanishing) changes the freshly rebuilt graph's
+closure and therefore misses.
+
+Entries for *clean* modules also carry their functions' fixpoint
+summaries and effects; these are handed to the solvers as presets so an
+incremental run iterates only dirty functions (see
+:func:`repro.analysis.dataflow.summaries.compute_summaries`).
+
+The whole-tree graph snapshot exists purely for speed: on a fully-warm
+run it spares the analyzer from parsing a single AST — keys come from
+file hashes plus the cached adjacency, findings from cached entries.
+"""
+
+import hashlib
+import json
+import os
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.impact import ImpactGraph
+from repro.checkpoint.store import atomic_write
+
+ENTRY_SCHEMA = "fidelint-cache-entry/1"
+GRAPH_SCHEMA = "fidelint-cache-graph/1"
+
+
+# ------------------------------------------------------------- fingerprints
+
+def _hash_file(hasher, path):
+    try:
+        with open(path, "rb") as handle:
+            hasher.update(handle.read())
+    except OSError:
+        hasher.update(b"ABSENT")
+
+
+def environment_fingerprint(root, select):
+    """Hash of every analyzer input that is not an analyzed module:
+    all ``repro.analysis`` source (rules, dataflow, engine, this file),
+    the *live* state registry FID014/FID016 import, the
+    ``pyproject.toml`` adjacent to the analyzed tree, and the rule
+    selection.  Changing any of these misses every key — the cache's
+    "force a full run" behaviour needs no special case."""
+    import repro.analysis as analysis_pkg
+    from repro.common import state_registry
+
+    hasher = hashlib.sha256()
+    pkg_dir = os.path.dirname(os.path.abspath(analysis_pkg.__file__))
+    for dirpath, dirnames, filenames in os.walk(pkg_dir):
+        dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                rel = os.path.relpath(
+                    os.path.join(dirpath, filename), pkg_dir)
+                hasher.update(rel.replace(os.sep, "/").encode("utf-8"))
+                _hash_file(hasher, os.path.join(dirpath, filename))
+    hasher.update(b"state_registry")
+    _hash_file(hasher, os.path.abspath(state_registry.__file__))
+    hasher.update(b"pyproject")
+    _hash_file(hasher, os.path.join(os.path.dirname(os.path.abspath(root)),
+                                    "pyproject.toml"))
+    hasher.update(json.dumps(sorted(select or ())).encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def tree_fingerprint(salt, project):
+    """Key of the impact-graph snapshot: the whole tree's
+    ``(name, content hash)`` table plus the environment salt."""
+    items = [[name, module.content_hash]
+             for name, module in sorted(project.modules.items())]
+    payload = json.dumps([GRAPH_SCHEMA, salt, items],
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ------------------------------------------------------------ serialization
+
+def _finding_to_json(finding):
+    return {
+        "rule": finding.rule_id,
+        "name": finding.rule_name,
+        "severity": finding.severity.value,
+        "module": finding.module,
+        "path": finding.path,
+        "line": finding.line,
+        "message": finding.message,
+        "line_text": finding.line_text,
+        "suppressed": finding.suppressed,
+    }
+
+
+def _finding_from_json(payload):
+    finding = Finding(
+        rule_id=payload["rule"], rule_name=payload["name"],
+        severity=Severity(payload["severity"]),
+        module=payload["module"], path=payload["path"],
+        line=payload["line"], message=payload["message"])
+    finding.line_text = payload["line_text"]
+    finding.suppressed = payload["suppressed"]
+    return finding
+
+
+def _summary_to_json(summary):
+    return list(summary)
+
+
+def _summary_from_json(values):
+    from repro.analysis.dataflow.summaries import Summary
+    return Summary(*values)
+
+
+def _effects_to_json(effects):
+    return {
+        "writes": sorted(list(t) for t in effects.writes),
+        "reads": sorted(list(t) for t in effects.reads),
+        "rng": sorted(list(t) for t in effects.rng),
+        "clock": sorted(list(t) for t in effects.clock),
+        "io": sorted(list(t) for t in effects.io),
+        "spawn": sorted(list(t) for t in effects.spawn),
+        "returns_param": effects.returns_param,
+        "returns_entropy": effects.returns_entropy,
+    }
+
+
+def _effects_from_json(payload):
+    from repro.analysis.dataflow.effects import EffectSummary
+    return EffectSummary(
+        *(frozenset(tuple(item) for item in payload[key])
+          for key in ("writes", "reads", "rng", "clock", "io", "spawn")),
+        payload["returns_param"], payload["returns_entropy"])
+
+
+# ------------------------------------------------------------------- store
+
+class AnalysisCache:
+    """Fail-closed object store for per-module artifacts and graph
+    snapshots, with flat integer counters in the
+    ``keystream_cache_stats`` shape."""
+
+    def __init__(self, cache_dir):
+        self.root = os.path.abspath(cache_dir)
+        self.entry_hits = 0
+        self.entry_misses = 0
+        self.entries_written = 0
+        self.invalidations = 0
+        self.graph_hits = 0
+        self.graph_misses = 0
+        self.modules_reanalyzed = 0
+
+    def stats(self):
+        return {
+            "entry_hits": self.entry_hits,
+            "entry_misses": self.entry_misses,
+            "entries_written": self.entries_written,
+            "invalidations": self.invalidations,
+            "graph_hits": self.graph_hits,
+            "graph_misses": self.graph_misses,
+            "modules_reanalyzed": self.modules_reanalyzed,
+        }
+
+    def _object_path(self, kind, digest):
+        return os.path.join(self.root, kind, digest[:2],
+                            "%s.json" % digest)
+
+    def _read_object(self, kind, digest, schema):
+        """Absent, torn, corrupt, mis-keyed or wrong-schema objects all
+        read as a miss — never as stale data."""
+        try:
+            with open(self._object_path(kind, digest), "r",
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("schema") != schema or \
+                payload.get("key") != digest:
+            return None
+        return payload
+
+    def _write_object(self, kind, digest, payload):
+        path = self._object_path(kind, digest)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        atomic_write(path, json.dumps(
+            payload, sort_keys=True).encode("utf-8"))
+
+    # -- graph snapshots ---------------------------------------------------------
+
+    def load_graph(self, project, tree_fp):
+        payload = self._read_object("graph", tree_fp, GRAPH_SCHEMA)
+        if payload is None or not isinstance(payload.get("deps"), dict):
+            self.graph_misses += 1
+            return None
+        self.graph_hits += 1
+        return ImpactGraph.from_dict(project, payload["deps"])
+
+    def store_graph(self, graph, tree_fp):
+        self._write_object("graph", tree_fp, {
+            "schema": GRAPH_SCHEMA, "key": tree_fp,
+            "deps": graph.to_dict()})
+
+    # -- per-module entries ------------------------------------------------------
+
+    def load_entry(self, key, module_name, need_summaries, need_effects):
+        payload = self._read_object("entries", key, ENTRY_SCHEMA)
+        if payload is None or payload.get("module") != module_name:
+            return None
+        if need_summaries and not isinstance(
+                payload.get("summaries"), dict):
+            return None
+        if need_effects and not isinstance(payload.get("effects"), dict):
+            return None
+        try:
+            findings = [_finding_from_json(item)
+                        for item in payload["findings"]]
+        except (KeyError, TypeError, ValueError):
+            return None
+        summaries = {
+            qual: _summary_from_json(values)
+            for qual, values in (payload.get("summaries") or {}).items()}
+        effects = {
+            qual: _effects_from_json(values)
+            for qual, values in (payload.get("effects") or {}).items()}
+        return {"findings": findings, "summaries": summaries,
+                "effects": effects}
+
+    def store_entry(self, key, module_name, findings,
+                    summaries=None, effects=None):
+        self._write_object("entries", key, {
+            "schema": ENTRY_SCHEMA, "key": key, "module": module_name,
+            "findings": [_finding_to_json(f) for f in findings],
+            "summaries": None if summaries is None else {
+                qual: _summary_to_json(s)
+                for qual, s in summaries.items()},
+            "effects": None if effects is None else {
+                qual: _effects_to_json(e)
+                for qual, e in effects.items()},
+        })
+        self.entries_written += 1
+
+    # -- invalidation bookkeeping ------------------------------------------------
+
+    def load_latest(self):
+        try:
+            with open(os.path.join(self.root, "latest.json"), "r",
+                      encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return {}
+        return payload if isinstance(payload, dict) else {}
+
+    def store_latest(self, keys_by_module):
+        os.makedirs(self.root, exist_ok=True)
+        atomic_write(os.path.join(self.root, "latest.json"),
+                     json.dumps(keys_by_module,
+                                sort_keys=True).encode("utf-8"))
+
+
+# ------------------------------------------------------------ the warm path
+
+def _rule_findings(project, rules, name):
+    # mirrors the per-module body of engine._raw_findings (occurrence
+    # assignment stays with the engine so cached and fresh findings go
+    # through the identical counter)
+    module = project.modules[name]
+    out = []
+    for rule_obj in rules:
+        for finding in rule_obj.run(module, project):
+            finding.line_text = module.line_text(finding.line)
+            finding.suppressed = module.is_suppressed(
+                finding.rule_id, finding.line)
+            out.append(finding)
+    return out
+
+
+def run_cached(project, rules, select, cache_dir, module_subset=None):
+    """Raw findings (occurrence *not* yet assigned) for
+    ``module_subset`` (default: every module) in sorted module order,
+    served from ``cache_dir`` where keys match and recomputed — with
+    dirty-only fixpoints — where they don't.
+
+    Returns ``(raw_findings, cache)`` so the engine can fold the
+    counters into the report.
+    """
+    cache = AnalysisCache(cache_dir)
+    salt = environment_fingerprint(project.root, select)
+    need_summaries = any(getattr(r, "needs_dataflow", False)
+                         for r in rules)
+    need_effects = any(getattr(r, "needs_effects", False) for r in rules)
+
+    tree_fp = tree_fingerprint(salt, project)
+    graph = cache.load_graph(project, tree_fp)
+    if graph is None:
+        graph = ImpactGraph.build(project)
+        cache.store_graph(graph, tree_fp)
+
+    latest = cache.load_latest()
+    subset = sorted(project.modules) if module_subset is None \
+        else sorted(module_subset)
+    keys, entries, dirty = {}, {}, []
+    for name in sorted(project.modules):
+        key = graph.module_key(name, salt)
+        keys[name] = key
+        entry = cache.load_entry(key, name, need_summaries, need_effects)
+        if entry is not None:
+            cache.entry_hits += 1
+            entries[name] = entry
+        else:
+            cache.entry_misses += 1
+            if latest.get(name) not in (None, key):
+                cache.invalidations += 1
+            if name in subset:
+                dirty.append(name)
+
+    if dirty:
+        ctx = project.dataflow
+        if need_summaries:
+            ctx.preset_summaries = {
+                qual: summary for entry in entries.values()
+                for qual, summary in entry["summaries"].items()}
+            ctx.summaries
+        if need_effects:
+            ctx.preset_effects = {
+                qual: effects for entry in entries.values()
+                for qual, effects in entry["effects"].items()}
+            ctx.effects
+        cache.modules_reanalyzed = len(dirty)
+
+    dirty_set = set(dirty)
+    raw = []
+    for name in subset:
+        if name in entries:
+            raw.extend(entries[name]["findings"])
+            continue
+        if name not in dirty_set:
+            continue      # a worker's subset never computes other shards
+        findings = _rule_findings(project, rules, name)
+        raw.extend(findings)
+        ctx = project.dataflow if (need_summaries or need_effects) \
+            else None
+        functions = ctx.index.functions_in(name) if ctx else ()
+        cache.store_entry(
+            keys[name], name, findings,
+            summaries={fi.qualname: ctx.summaries[fi.qualname]
+                       for fi in functions} if need_summaries else None,
+            effects={fi.qualname: ctx.effects[fi.qualname]
+                     for fi in functions} if need_effects else None)
+
+    if module_subset is None:
+        cache.store_latest(keys)
+    return raw, cache

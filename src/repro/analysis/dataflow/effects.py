@@ -391,9 +391,18 @@ def local_effects(fi, module, mutables, fn_aliases, module_aliases):
 def compute_effects(ctx):
     """qualname -> EffectSummary, to a least fixpoint over the call
     graph (monotone set union: recursion and mutual recursion simply
-    converge), then a bounded flow phase for ``returns_entropy``."""
+    converge), then a bounded flow phase for ``returns_entropy``.
+
+    ``ctx.preset_effects`` (cache-restored values for clean modules)
+    are fixpoint constants: their local extraction, the worklist and
+    the entropy flow phase all run over dirty functions only.  A clean
+    function can never transitively call a dirty one (it would be in
+    the dirty module's reverse-dependency closure), so freezing the
+    presets cannot lose propagation.
+    """
     index = ctx.index
     graph = ctx.callgraph
+    preset = ctx.preset_effects or {}
     alias_cache = {}
 
     def aliases_of(module):
@@ -411,13 +420,18 @@ def compute_effects(ctx):
 
     local = {}
     for fi in index.functions:
+        if fi.qualname in preset:
+            continue
         module = ctx.module_of(fi)
         fn_aliases, module_aliases = aliases_of(module)
         local[fi.qualname] = local_effects(
             fi, module, mutables_of(module), fn_aliases, module_aliases)
 
     sums = dict(local)
-    work = deque(sorted(sums))
+    for fi in index.functions:
+        if fi.qualname in preset:
+            sums[fi.qualname] = preset[fi.qualname]
+    work = deque(sorted(local))
     queued = set(work)
     while work:
         qual = work.popleft()
@@ -428,11 +442,12 @@ def compute_effects(ctx):
         if merged != sums[qual]:
             sums[qual] = merged
             for caller in graph.callers(qual):
-                if caller in sums and caller not in queued:
+                if caller in local and caller not in queued:
                     work.append(caller)
                     queued.add(caller)
 
-    _fold_returns_entropy(ctx, sums, aliases_of, mutables_of)
+    _fold_returns_entropy(ctx, sums, aliases_of, mutables_of,
+                          frozenset(local))
     return sums
 
 
@@ -467,17 +482,20 @@ def _mentions_ambient(func_node):
     return False
 
 
-def _fold_returns_entropy(ctx, sums, aliases_of, mutables_of):
+def _fold_returns_entropy(ctx, sums, aliases_of, mutables_of,
+                          dirty=None):
     index = ctx.index
+    targets = [fi for fi in index.functions
+               if dirty is None or fi.qualname in dirty]
     mention_cache = {fi.qualname: _mentions_ambient(fi.node)
-                     for fi in index.functions}
+                     for fi in targets}
     names_cache = {fi.qualname: called_names(fi.node)
-                   for fi in index.functions}
+                   for fi in targets}
     for _round in range(MAX_ROUNDS):
         entropy_names = {fi.name for fi in index.functions
                          if sums[fi.qualname].returns_entropy}
         changed = False
-        for fi in index.functions:
+        for fi in targets:
             if sums[fi.qualname].returns_entropy:
                 continue
             if not (mention_cache[fi.qualname] or

@@ -1,0 +1,378 @@
+"""Module-level dependency-impact engine for incremental fidelint.
+
+The incremental cache (:mod:`repro.analysis.cache`) is sound only if a
+module's cache key covers *everything its findings can depend on*.
+This module computes that dependency relation — and its reverse, which
+is what ``--changed-since`` and ``--impacted-tests`` need: "which
+modules (and which tests) can a given diff possibly affect?"
+
+A module ``A`` **depends on** module ``B`` when any of:
+
+* ``A`` imports ``B`` (the FID003 layering inputs; absent targets are
+  kept as *phantom* nodes so a module that later appears — or a module
+  that was deleted while still imported — perturbs its importers' keys
+  and shows up in reverse closures);
+* a function of ``A`` has a call-graph edge into ``B`` — the same
+  deliberately narrow resolution the summary/effect fixpoints use,
+  including dispatch-table over-approximation, so everything a flow
+  rule can read through a resolved call is covered.  The edges are
+  rebuilt from *current* sources every run, which is what makes
+  unique-name resolution sound here: any edit that adds or removes a
+  colliding definition changes the current edge set and therefore the
+  closure fingerprint;
+* ``A`` constructs a :class:`~repro.runner.plan.WorkUnit` whose ``fn``
+  resolves into ``B`` (FID013 reads the target's transitive effects);
+* ``A`` is the state-registry module and ``B`` is a scoped
+  (hw/sev/core/common) module — FID014's stale-entry findings on the
+  registry scan every scoped module's globals.
+
+Rule code, the dataflow engine, the live state registry and
+``pyproject.toml`` are *not* edges: they are global inputs folded into
+the environment fingerprint (:func:`repro.analysis.cache
+.environment_fingerprint`), so changing any of them misses every key
+— the "force a full run" behaviour the equivalence CI job relies on.
+"""
+
+import ast
+import hashlib
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+
+from repro.common.errors import ReproError
+from repro.analysis.rules.shard_purity import workunit_sites
+from repro.analysis.rules.state_inventory import (
+    REGISTRY_MODULE, SCOPED_SUBPACKAGES)
+
+_KEY_SCHEMA = "fidelint-module-key/1"
+
+#: a change to any of these invalidates every cached artifact (they
+#: are analyzer inputs, not analyzed modules)
+FORCE_FULL_FILES = frozenset({"pyproject.toml", "setup.py"})
+FORCE_FULL_PREFIXES = ("src/repro/analysis/",)
+FORCE_FULL_MODULES = frozenset({"src/repro/common/state_registry.py"})
+
+#: repo files whose changes are covered by the docs-consistency tests
+DOC_PATHS = ("docs/", "examples/", "benchmarks/")
+DOC_FILES = frozenset({"README.md", "DESIGN.md"})
+DOCS_TEST = "tests/test_docs_consistency.py"
+
+
+class ImpactError(ReproError):
+    """Impact computation could not run (usually: git unavailable)."""
+
+
+class ImpactGraph:
+    """The module-level depends-on relation plus closures and keys."""
+
+    def __init__(self, project, deps):
+        self.project = project
+        self.deps = deps                  # name -> frozenset(names)
+        self._closures = {}
+        self._dependents = None
+
+    @classmethod
+    def build(cls, project):
+        """Compute the relation from current sources (parses every
+        module; the cache layer snapshots the result keyed by the
+        whole-tree fingerprint so fully-warm runs skip this)."""
+        ctx = project.dataflow
+        index = ctx.index
+        callgraph = ctx.callgraph
+        deps = {name: set() for name in project.modules}
+        for name, module in project.modules.items():
+            for target, _line in module.imported_modules():
+                if target != name:
+                    deps[name].add(target)
+            for _call, fn_expr in workunit_sites(module):
+                target = index.resolve_ref(fn_expr, name)
+                if target is not None and target.module != name:
+                    deps[name].add(target.module)
+        for fi in index.functions:
+            for callee in callgraph.callees(fi.qualname):
+                callee_module = callee.split(":", 1)[0]
+                if callee_module != fi.module:
+                    deps[fi.module].add(callee_module)
+        if REGISTRY_MODULE in deps:
+            for name, module in project.modules.items():
+                if name != REGISTRY_MODULE and \
+                        module.subpackage in SCOPED_SUBPACKAGES:
+                    deps[REGISTRY_MODULE].add(name)
+        return cls(project,
+                   {name: frozenset(targets)
+                    for name, targets in deps.items()})
+
+    def to_dict(self):
+        return {name: sorted(targets)
+                for name, targets in self.deps.items()}
+
+    @classmethod
+    def from_dict(cls, project, payload):
+        return cls(project, {name: frozenset(targets)
+                             for name, targets in payload.items()})
+
+    # -- closures ----------------------------------------------------------------
+
+    def closure(self, name):
+        """Transitive dependencies of ``name`` (phantom names included,
+        ``name`` itself excluded)."""
+        cached = self._closures.get(name)
+        if cached is not None:
+            return cached
+        seen = set()
+        frontier = [name]
+        while frontier:
+            for dep in self.deps.get(frontier.pop(), ()):
+                if dep != name and dep not in seen:
+                    seen.add(dep)
+                    frontier.append(dep)
+        out = frozenset(seen)
+        self._closures[name] = out
+        return out
+
+    def dependents(self, name):
+        if self._dependents is None:
+            table = {}
+            for source, targets in self.deps.items():
+                for target in targets:
+                    table.setdefault(target, set()).add(source)
+            self._dependents = {key: frozenset(value)
+                                for key, value in table.items()}
+        return self._dependents.get(name, frozenset())
+
+    def reverse_closure(self, names):
+        """Every module whose findings a change to ``names`` can
+        affect — the changed names themselves included (phantom and
+        deleted names stay in the set for test matching)."""
+        seen = set(names)
+        frontier = list(names)
+        while frontier:
+            for dependent in self.dependents(frontier.pop()):
+                if dependent not in seen:
+                    seen.add(dependent)
+                    frontier.append(dependent)
+        return frozenset(seen)
+
+    # -- fingerprints ------------------------------------------------------------
+
+    def _hash_of(self, name):
+        module = self.project.modules.get(name)
+        return module.content_hash if module is not None else "ABSENT"
+
+    def module_key(self, name, salt):
+        """The content-addressed cache key for one module's artifacts:
+        any edit to the module, to anything in its transitive
+        dependency closure (including a dependency appearing or
+        vanishing), or to the analyzer environment (``salt``) produces
+        a different key — which is why a cache hit is sound, not
+        heuristic."""
+        closure_items = [[dep, self._hash_of(dep)]
+                         for dep in sorted(self.closure(name))]
+        payload = json.dumps(
+            [_KEY_SCHEMA, salt, name, self._hash_of(name), closure_items],
+            sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# -------------------------------------------------------- diff classification
+
+@dataclass
+class Impact:
+    """What one diff can reach, at module and test granularity."""
+
+    changed_paths: list = field(default_factory=list)
+    force_full: bool = False
+    force_reason: str = ""
+    changed_modules: list = field(default_factory=list)   # incl. deleted
+    impacted_names: list = field(default_factory=list)    # incl. phantom
+    impacted_modules: list = field(default_factory=list)  # existing only
+    impacted_tests: list = field(default_factory=list)
+
+    def to_dict(self):
+        return {
+            "changed_paths": list(self.changed_paths),
+            "force_full": self.force_full,
+            "force_reason": self.force_reason,
+            "changed_modules": list(self.changed_modules),
+            "impacted_modules": list(self.impacted_modules),
+            "impacted_tests": list(self.impacted_tests),
+        }
+
+
+def git_changed_paths(repo_root, rev):
+    """Paths (repo-relative) changed between ``rev`` and the working
+    tree, untracked files included (a new module can change unique-name
+    resolution in modules that never mention it)."""
+    def run(*argv):
+        proc = subprocess.run(
+            ("git",) + argv, cwd=repo_root, capture_output=True,
+            text=True)
+        if proc.returncode != 0:
+            raise ImpactError("git %s failed: %s"
+                              % (" ".join(argv), proc.stderr.strip()))
+        return [line for line in proc.stdout.splitlines() if line]
+
+    changed = run("diff", "--name-only", "--no-renames", rev, "--")
+    changed += run("ls-files", "--others", "--exclude-standard")
+    return sorted(set(changed))
+
+
+def _module_name_for(rel_to_src):
+    parts = rel_to_src.replace(os.sep, "/").split("/")
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][:-len(".py")]
+    return ".".join(parts)
+
+
+def assess(project, graph, changed_paths, repo_root):
+    """Pure classification of a changed-path list (the git layer is
+    separate so tests can feed synthetic diffs)."""
+    impact = Impact(changed_paths=sorted(changed_paths))
+    src_prefix = os.path.relpath(project.root, repo_root).replace(
+        os.sep, "/")
+    if src_prefix == ".":
+        src_prefix = ""
+    else:
+        src_prefix += "/"
+
+    changed_modules = set()
+    for path in impact.changed_paths:
+        normalized = path.replace(os.sep, "/")
+        if normalized in FORCE_FULL_FILES or \
+                normalized in FORCE_FULL_MODULES or \
+                normalized.startswith(FORCE_FULL_PREFIXES):
+            impact.force_full = True
+            impact.force_reason = (
+                "%s is an analyzer input (rule/engine code or build "
+                "configuration): every cached artifact is invalid"
+                % normalized)
+        if normalized.startswith(src_prefix) and \
+                normalized.endswith(".py"):
+            name = _module_name_for(normalized[len(src_prefix):])
+            if name == "repro" or name.startswith("repro."):
+                changed_modules.add(name)
+
+    impact.changed_modules = sorted(changed_modules)
+    if impact.force_full:
+        impacted = frozenset(project.modules)
+    elif changed_modules:
+        impacted = graph.reverse_closure(changed_modules)
+    else:
+        impacted = frozenset()
+    impact.impacted_names = sorted(impacted)
+    impact.impacted_modules = sorted(
+        name for name in impacted if name in project.modules)
+    impact.impacted_tests = impacted_tests(
+        repo_root, impact.impacted_names, impact.changed_paths,
+        impact.force_full)
+    return impact
+
+
+# ------------------------------------------------------------ test selection
+
+def _test_imports(path, tests_root):
+    """Absolute ``repro.*`` dotted names one test file references,
+    including ``from repro.pkg import submodule`` spellings (both the
+    package and the candidate submodule name are recorded; non-module
+    attribute names simply never match anything)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            tree = ast.parse(handle.read(), filename=path)
+        except SyntaxError:
+            return frozenset()
+    out = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro" or \
+                        alias.name.startswith("repro."):
+                    out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            base = node.module or ""
+            if base == "repro" or base.startswith("repro."):
+                out.add(base)
+                for alias in node.names:
+                    out.add("%s.%s" % (base, alias.name))
+    return frozenset(out)
+
+
+def build_test_import_map(repo_root):
+    """(test_files, imports_by_file, conftest_imports_by_dir) over
+    ``tests/`` — the static test -> module reachability map."""
+    tests_root = os.path.join(repo_root, "tests")
+    test_files, imports, conftests = [], {}, {}
+    if not os.path.isdir(tests_root):
+        return test_files, imports, conftests
+    for dirpath, dirnames, filenames in os.walk(tests_root):
+        dirnames[:] = sorted(d for d in dirnames
+                             if d != "__pycache__" and
+                             not d.startswith("."))
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+            refs = _test_imports(path, tests_root)
+            if filename.startswith("test_"):
+                test_files.append(rel)
+                imports[rel] = refs
+            elif filename == "conftest.py":
+                rel_dir = os.path.relpath(
+                    dirpath, repo_root).replace(os.sep, "/")
+                conftests[rel_dir] = refs
+    return sorted(test_files), imports, conftests
+
+
+def impacted_tests(repo_root, impacted_names, changed_paths,
+                   force_full):
+    """Test files (repo-relative) a diff can affect.
+
+    A test is selected when its own imports — or those of a conftest
+    on its directory chain — reach the impacted module set (which
+    already includes dispatch-table and WorkUnit indirection via the
+    reverse closure), when the test file itself changed, or when a
+    fixture/helper in its test directory changed.  Doc-ish changes
+    select the docs-consistency tests.  ``force_full`` selects
+    everything — the caller runs the entire suite.
+    """
+    test_files, imports, conftests = build_test_import_map(repo_root)
+    if force_full:
+        return list(test_files)
+    impacted = frozenset(impacted_names)
+    selected = set()
+
+    def conftest_refs(test_rel):
+        refs = set()
+        parts = test_rel.split("/")[:-1]
+        for cut in range(len(parts), 0, -1):
+            refs |= conftests.get("/".join(parts[:cut]), frozenset())
+        return refs
+
+    for test_rel in test_files:
+        if (imports.get(test_rel, frozenset()) |
+                conftest_refs(test_rel)) & impacted:
+            selected.add(test_rel)
+
+    for path in changed_paths:
+        normalized = path.replace(os.sep, "/")
+        if normalized.startswith("tests/"):
+            base = os.path.basename(normalized)
+            if base.startswith("test_") and normalized.endswith(".py"):
+                if normalized in test_files:
+                    selected.add(normalized)
+            else:
+                # conftest, fixture or helper: everything in the same
+                # top-level test directory could read it
+                parts = normalized.split("/")
+                scope = "/".join(parts[:2]) if len(parts) > 2 else "tests"
+                selected.update(
+                    test_rel for test_rel in test_files
+                    if test_rel.startswith(scope + "/") or scope == "tests")
+        elif normalized in DOC_FILES or \
+                normalized.startswith(DOC_PATHS):
+            if DOCS_TEST in test_files:
+                selected.add(DOCS_TEST)
+    return sorted(selected)

@@ -1,0 +1,297 @@
+"""The incremental analysis cache: soundness, byte-identity, stats.
+
+The contract under test is the strongest one the engine makes: with a
+``cache_dir``, *any* sequence of edits and re-runs produces findings
+byte-identical to a cold, uncached run over the current tree — the
+cache is a pure accelerator, never an approximation.
+"""
+
+import json
+import os
+import shutil
+import textwrap
+
+from repro.analysis import analyze, findings_digest
+from repro.analysis.cache import AnalysisCache, environment_fingerprint
+from repro.analysis.cli import main
+from repro.analysis.project import Project
+
+FIXTURE_ROOT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fixtures", "fixture_src")
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def _fixture_copy(tmp_path):
+    root = str(tmp_path / "src")
+    shutil.copytree(FIXTURE_ROOT, root,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    return root
+
+
+def _write(root, module_rel, source):
+    path = os.path.join(root, "repro", module_rel)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(textwrap.dedent(source))
+    return path
+
+
+# ------------------------------------------------------------ cold vs warm
+
+def test_warm_run_is_byte_identical_and_fully_served(tmp_path):
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+
+    cold = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    plain = analyze(root, baseline_path=None)
+    warm = analyze(root, baseline_path=None, cache_dir=cache_dir)
+
+    assert cold.to_dict() == plain.to_dict() == warm.to_dict()
+    assert findings_digest(cold) == findings_digest(plain) \
+        == findings_digest(warm)
+
+    assert cold.cache_stats["entry_hits"] == 0
+    assert cold.cache_stats["entry_misses"] == cold.modules_scanned
+    assert cold.cache_stats["graph_misses"] == 1
+    assert warm.cache_stats["entry_hits"] == warm.modules_scanned
+    assert warm.cache_stats["entry_misses"] == 0
+    assert warm.cache_stats["graph_hits"] == 1
+    assert warm.cache_stats["modules_reanalyzed"] == 0
+    assert plain.cache_stats is None
+
+
+def test_jobs_with_cache_match_serial_and_uncached(tmp_path):
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    plain = analyze(root, baseline_path=None)
+    cold = analyze(root, baseline_path=None, cache_dir=cache_dir,
+                   jobs=3)
+    warm = analyze(root, baseline_path=None, cache_dir=cache_dir,
+                   jobs=3)
+    assert findings_digest(plain) == findings_digest(cold) \
+        == findings_digest(warm)
+    assert warm.cache_stats["entry_misses"] == 0
+    assert warm.cache_stats["modules_reanalyzed"] == 0
+
+
+# ---------------------------------------------------------- edit soundness
+
+def test_cross_module_edit_invalidates_the_dependent(tmp_path):
+    """The decisive soundness case: the *unchanged* consumer module's
+    finding must flip when only its helper module is edited — its key
+    covers the helper through the dependency closure."""
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    _write(root, "sev/cachehelper.py", """\
+        def unwrap_guest_blob(crypto, key, blob):
+            return crypto.xex_decrypt(key, b"t", blob)
+        """)
+    _write(root, "sev/cacheconsumer.py", """\
+        from repro.sev.cachehelper import unwrap_guest_blob
+
+
+        def publish(crypto, wire, key, blob):
+            wire.send(unwrap_guest_blob(crypto, key, blob))
+        """)
+
+    first = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    leaks = [f for f in first.findings
+             if f.module == "repro.sev.cacheconsumer"
+             and f.rule_id == "FID010"]
+    assert leaks, "seed expectation: the consumer leaks"
+
+    # fix the helper only; the consumer file is untouched
+    _write(root, "sev/cachehelper.py", """\
+        def unwrap_guest_blob(crypto, key, blob):
+            plain = crypto.xex_decrypt(key, b"t", blob)
+            return crypto.xex_encrypt(key, b"t", plain)
+        """)
+    second = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    assert not [f for f in second.findings
+                if f.module == "repro.sev.cacheconsumer"
+                and f.rule_id == "FID010"]
+    # and the consumer was re-analyzed, not served stale
+    assert second.cache_stats["modules_reanalyzed"] >= 2
+    assert second.cache_stats["invalidations"] >= 1
+    assert second.to_dict() == analyze(root, baseline_path=None).to_dict()
+
+
+def test_one_module_edit_on_live_tree_reanalyzes_at_most_ten_percent(
+        tmp_path):
+    """The headline incremental bound from the issue: a minimal edit
+    re-analyzes <= 10% of the live tree, byte-identical findings."""
+    from repro.analysis.bench import quietest_module
+    root = str(tmp_path / "src")
+    shutil.copytree(os.path.join(REPO_ROOT, "src"), root,
+                    ignore=shutil.ignore_patterns("__pycache__"))
+    cache_dir = str(tmp_path / "cache")
+
+    cold = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    project = Project.load(root)
+    target = quietest_module(project)
+    with open(project.modules[target].path, "a",
+              encoding="utf-8") as handle:
+        handle.write("\n# incremental-test touch\n")
+
+    changed = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    fraction = changed.cache_stats["modules_reanalyzed"] / \
+        changed.modules_scanned
+    assert fraction <= 0.10, changed.cache_stats
+    assert changed.cache_stats["entry_hits"] > 0
+    assert changed.to_dict() == analyze(root, baseline_path=None).to_dict()
+    assert findings_digest(cold) != ""  # cold result still valid
+
+
+# ------------------------------------------------------------- fail closed
+
+def test_corrupt_entries_read_as_misses_not_stale_data(tmp_path):
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    cold = analyze(root, baseline_path=None, cache_dir=cache_dir)
+
+    entries_dir = os.path.join(cache_dir, "entries")
+    victims = 0
+    for dirpath, _dirnames, filenames in os.walk(entries_dir):
+        for filename in sorted(filenames):
+            path = os.path.join(dirpath, filename)
+            if victims % 2 == 0:
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write('{"schema": "fidelint-cache-entry/1"')
+            victims += 1
+
+    warm = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    assert warm.to_dict() == cold.to_dict()
+    assert warm.cache_stats["entry_misses"] > 0
+    assert warm.cache_stats["entry_hits"] > 0
+    # the repaired entries serve a fully-warm third run
+    third = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    assert third.cache_stats["entry_misses"] == 0
+
+
+def test_mismatched_key_or_module_is_rejected(tmp_path):
+    cache = AnalysisCache(str(tmp_path / "cache"))
+    cache.store_entry("a" * 64, "repro.mod", [])
+    # correct digest but wrong module name
+    assert cache.load_entry("a" * 64, "repro.other", False, False) is None
+    # correct module but the payload's embedded key disagrees (an
+    # entry copied to the wrong address must not resolve)
+    path = cache._object_path("entries", "b" * 64)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    shutil.copy(cache._object_path("entries", "a" * 64), path)
+    assert cache.load_entry("b" * 64, "repro.mod", False, False) is None
+    # the well-formed entry still loads
+    assert cache.load_entry("a" * 64, "repro.mod", False, False) \
+        is not None
+
+
+# -------------------------------------------------- environment fingerprint
+
+def test_pyproject_change_invalidates_every_entry(tmp_path):
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    analyze(root, baseline_path=None, cache_dir=cache_dir)
+    warm = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    assert warm.cache_stats["entry_misses"] == 0
+
+    with open(str(tmp_path / "pyproject.toml"), "w",
+              encoding="utf-8") as handle:
+        handle.write("[tool.fidelint]\n")
+    bumped = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    assert bumped.cache_stats["entry_hits"] == 0
+    assert bumped.cache_stats["entry_misses"] == bumped.modules_scanned
+    assert bumped.to_dict() == warm.to_dict()
+
+
+def test_environment_fingerprint_covers_select_and_rule_code(tmp_path):
+    root = _fixture_copy(tmp_path)
+    base = environment_fingerprint(root, None)
+    assert environment_fingerprint(root, None) == base
+    assert environment_fingerprint(root, ("FID001",)) != base
+
+
+def test_select_uses_distinct_keys(tmp_path):
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    full = analyze(root, baseline_path=None, cache_dir=cache_dir)
+    narrow = analyze(root, baseline_path=None, cache_dir=cache_dir,
+                     select=["FID006"])
+    # the narrow run may not reuse full-run entries (different rule set)
+    assert narrow.cache_stats["entry_hits"] == 0
+    warm_narrow = analyze(root, baseline_path=None, cache_dir=cache_dir,
+                          select=["FID006"])
+    assert warm_narrow.cache_stats["entry_misses"] == 0
+    assert warm_narrow.to_dict() == narrow.to_dict()
+    assert full.to_dict() != narrow.to_dict()
+
+
+# ------------------------------------------------- mid-process invalidation
+
+def test_reload_module_invalidates_shared_dataflow_state(tmp_path):
+    """Satellite regression: analyzing the *same* Project twice around
+    an on-disk rewrite must re-derive summaries — the first run's
+    fixpoint said the helper returns secrets; the second must not."""
+    root = _fixture_copy(tmp_path)
+    _write(root, "sev/reloaded.py", """\
+        def _unwrap(crypto, key, blob):
+            return crypto.xex_decrypt(key, b"t", blob)
+
+
+        def publish(crypto, wire, key, blob):
+            wire.send(_unwrap(crypto, key, blob))
+        """)
+    project = Project.load(root)
+    first = analyze(project, baseline_path=None, select=["FID010"])
+    assert "repro.sev.reloaded" in {f.module for f in first.findings}
+
+    _write(root, "sev/reloaded.py", """\
+        def _unwrap(crypto, key, blob):
+            plain = crypto.xex_decrypt(key, b"t", blob)
+            return crypto.xex_encrypt(key, b"t", plain)
+
+
+        def publish(crypto, wire, key, blob):
+            wire.send(_unwrap(crypto, key, blob))
+        """)
+    assert project.reload_module("repro.sev.reloaded") is True
+    # identical content reload is a no-op
+    assert project.reload_module("repro.sev.reloaded") is False
+    second = analyze(project, baseline_path=None, select=["FID010"])
+    assert "repro.sev.reloaded" not in {
+        f.module for f in second.findings}
+
+
+# ----------------------------------------------------------------- the CLI
+
+def test_cli_reports_cache_stats_outside_the_digest(tmp_path, capsys):
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+
+    main(["--root", root, "--no-baseline", "--format", "json",
+          "--cache-dir", cache_dir])
+    cold_payload = json.loads(capsys.readouterr().out)
+    main(["--root", root, "--no-baseline", "--format", "json",
+          "--cache-dir", cache_dir])
+    warm_payload = json.loads(capsys.readouterr().out)
+    main(["--root", root, "--no-baseline", "--format", "json"])
+    plain_payload = json.loads(capsys.readouterr().out)
+
+    assert "cache_stats" not in plain_payload
+    assert cold_payload["cache_stats"]["entry_misses"] > 0
+    assert warm_payload["cache_stats"]["entry_hits"] > 0
+    # stats differ between cold and warm, the digest must not
+    assert cold_payload["digest"] == warm_payload["digest"] \
+        == plain_payload["digest"]
+    stripped = {key: value for key, value in cold_payload.items()
+                if key != "cache_stats"}
+    assert stripped == {key: value for key, value in plain_payload.items()}
+
+
+def test_cli_human_output_mentions_cache_counters(tmp_path, capsys):
+    root = _fixture_copy(tmp_path)
+    cache_dir = str(tmp_path / "cache")
+    main(["--root", root, "--no-baseline", "--cache-dir", cache_dir])
+    capsys.readouterr()
+    main(["--root", root, "--no-baseline", "--cache-dir", cache_dir])
+    out = capsys.readouterr().out
+    assert "fidelint: cache:" in out
+    assert "0 miss(es)" in out

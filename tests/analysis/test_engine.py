@@ -310,13 +310,39 @@ def test_cli_explain_unknown_rule_is_usage_error(capsys):
     assert "unknown rule" in capsys.readouterr().err
 
 
-def test_cli_help_lists_every_rule_id():
+def test_cli_help_lists_every_registered_rule():
+    """The --help epilog is generated from the registry, so a newly
+    registered rule can never be missing from it — checked against
+    the live registration list, not a hardcoded sample."""
     from repro.analysis.cli import build_parser
+    from repro.analysis.registry import all_rules
+    rules = all_rules()
+    assert rules, "registry is empty?"
     text = build_parser().format_help()
-    for rule_obj_id in ("FID001", "FID005", "FID009",
-                        "FID010", "FID011", "FID012",
-                        "FID013", "FID014", "FID015", "FID016"):
-        assert rule_obj_id in text
+    for rule_obj in rules:
+        assert rule_obj.rule_id in text, rule_obj.rule_id
+        assert rule_obj.name in text, rule_obj.name
+
+
+def test_rules_package_docstring_lists_every_registered_rule():
+    """The human-readable rule table in repro.analysis.rules must not
+    rot: every registered id (and no unregistered one) appears."""
+    import re
+    import repro.analysis.rules as rules_pkg
+    from repro.analysis.registry import all_rules
+    doc = rules_pkg.__doc__ or ""
+    documented = set(re.findall(r"FID\d{3}", doc))
+    registered = {rule_obj.rule_id for rule_obj in all_rules()}
+    assert registered <= documented, registered - documented
+    assert documented <= registered, documented - registered
+
+
+def test_explain_all_covers_every_rule(capsys):
+    from repro.analysis.registry import all_rules
+    assert main(["--explain", "all"]) == 0
+    out = capsys.readouterr().out
+    for rule_obj in all_rules():
+        assert rule_obj.rule_id in out
 
 
 # ------------------------------------------------- live tree + injected bug

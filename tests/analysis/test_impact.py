@@ -1,0 +1,310 @@
+"""The dependency-impact engine: graph edges, closures, diff
+classification and impact-keyed test selection."""
+
+import os
+import shutil
+import subprocess
+import textwrap
+
+import pytest
+
+from repro.analysis.impact import (
+    ImpactGraph, assess, git_changed_paths, impacted_tests,
+    build_test_import_map)
+from repro.analysis.project import Project
+
+REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+def _make_repo(tmp_path, modules, tests=None):
+    """A synthetic repo: src/repro/<rel>.py modules + tests/<rel>.py."""
+    src = tmp_path / "src"
+    pkg = src / "repro"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    for rel, source in modules.items():
+        target = pkg / rel
+        walk = pkg
+        for part in rel.split("/")[:-1]:
+            walk = walk / part
+            walk.mkdir(exist_ok=True)
+            init = walk / "__init__.py"
+            if not init.exists():
+                init.write_text("")
+        target.write_text(textwrap.dedent(source))
+    for rel, source in (tests or {}).items():
+        target = tmp_path / "tests" / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return str(tmp_path), str(src)
+
+
+def _graph(src):
+    project = Project.load(src)
+    return project, ImpactGraph.build(project)
+
+
+# ------------------------------------------------------------------- edges
+
+def test_import_and_call_edges_reach_dependents(tmp_path):
+    repo, src = _make_repo(tmp_path, {
+        "base.py": """\
+            def helper():
+                return 1
+            """,
+        "mid.py": """\
+            from repro.base import helper
+
+
+            def wrap():
+                return helper()
+            """,
+        "top.py": """\
+            import repro.mid
+
+
+            def outer():
+                return repro.mid.wrap()
+            """,
+        "island.py": """\
+            def alone():
+                return 0
+            """,
+    })
+    project, graph = _graph(src)
+    closure = graph.closure("repro.top")
+    assert "repro.mid" in closure and "repro.base" in closure
+    reverse = graph.reverse_closure(["repro.base"])
+    assert {"repro.base", "repro.mid", "repro.top"} <= reverse
+    assert "repro.island" not in reverse
+
+
+def test_dispatch_table_target_reaches_workunit_caller(tmp_path):
+    """The satellite case from the issue: an edit inside a
+    dispatch-table target must impact the module submitting the
+    dispatching function as a WorkUnit."""
+    repo, src = _make_repo(tmp_path, {
+        "handlers.py": """\
+            def on_read(x):
+                return x
+
+
+            def on_write(x):
+                return -x
+            """,
+        "dispatcher.py": """\
+            from repro.handlers import on_read, on_write
+
+            TABLE = {
+                "read": on_read,
+                "write": on_write,
+            }
+
+
+            def drive(kind, x):
+                return TABLE[kind](x)
+            """,
+        "submit.py": """\
+            from repro.runner.plan import WorkUnit
+
+            from repro.dispatcher import drive
+
+
+            def plan(kind, x):
+                return WorkUnit.of(("k", 0), drive, kind, x)
+            """,
+    })
+    project, graph = _graph(src)
+    reverse = graph.reverse_closure(["repro.handlers"])
+    assert "repro.dispatcher" in reverse
+    assert "repro.submit" in reverse
+    # and the WorkUnit fn-target edge exists even without the import
+    assert "repro.dispatcher" in graph.deps["repro.submit"]
+
+
+def test_module_key_changes_with_any_closure_member(tmp_path):
+    repo, src = _make_repo(tmp_path, {
+        "base.py": "def helper():\n    return 1\n",
+        "top.py": "from repro.base import helper\n\n\n"
+                  "def outer():\n    return helper()\n",
+    })
+    project, graph = _graph(src)
+    key_before = graph.module_key("repro.top", "salt")
+    assert key_before == graph.module_key("repro.top", "salt")
+    assert key_before != graph.module_key("repro.top", "other-salt")
+
+    with open(os.path.join(src, "repro", "base.py"), "a",
+              encoding="utf-8") as handle:
+        handle.write("\n# tweak\n")
+    project2, graph2 = _graph(src)
+    assert graph2.module_key("repro.top", "salt") != key_before
+
+
+def test_phantom_import_perturbs_key_and_reverse_closure(tmp_path):
+    """A module importing a not-yet-existing module must miss when the
+    target appears — and the importer must be in the deleted target's
+    reverse closure after a deletion."""
+    repo, src = _make_repo(tmp_path, {
+        "user.py": "import repro.ghost\n",
+    })
+    project, graph = _graph(src)
+    assert "repro.ghost" in graph.deps["repro.user"]
+    key_absent = graph.module_key("repro.user", "salt")
+    assert "repro.user" in graph.reverse_closure(["repro.ghost"])
+
+    with open(os.path.join(src, "repro", "ghost.py"), "w",
+              encoding="utf-8") as handle:
+        handle.write("VALUE = 1\n")
+    project2, graph2 = _graph(src)
+    assert graph2.module_key("repro.user", "salt") != key_absent
+
+
+def test_graph_survives_serialization(tmp_path):
+    repo, src = _make_repo(tmp_path, {
+        "base.py": "def helper():\n    return 1\n",
+        "top.py": "from repro.base import helper\n",
+    })
+    project, graph = _graph(src)
+    clone = ImpactGraph.from_dict(project, graph.to_dict())
+    assert clone.deps == graph.deps
+    assert clone.module_key("repro.top", "s") == \
+        graph.module_key("repro.top", "s")
+
+
+# --------------------------------------------------------------- assess()
+
+MODULES = {
+    "base.py": "def helper():\n    return 1\n",
+    "top.py": "from repro.base import helper\n\n\n"
+              "def outer():\n    return helper()\n",
+    "island.py": "def alone():\n    return 0\n",
+}
+
+TESTS = {
+    "test_top.py": "import repro.top\n",
+    "test_island.py": "from repro import island\n",
+    "test_docs_consistency.py": "import repro\n",
+    "analysis/conftest.py": "import repro.base\n",
+    "analysis/test_deep.py": "def test_nothing():\n    pass\n",
+    "analysis/fixtures/helper_fixture.py": "X = 1\n",
+}
+
+
+def test_assess_renamed_module(tmp_path):
+    repo, src = _make_repo(tmp_path, MODULES, TESTS)
+    project, graph = _graph(src)
+    # simulate: base.py renamed to base2.py (diff lists both paths;
+    # --no-renames keeps them as delete + add)
+    impact = assess(project, graph,
+                    ["src/repro/base.py", "src/repro/base2.py"], repo)
+    assert not impact.force_full
+    assert impact.changed_modules == ["repro.base", "repro.base2"]
+    assert "repro.top" in impact.impacted_modules
+    assert "repro.island" not in impact.impacted_modules
+    # tests importing the old name, and the conftest-covered subtree
+    assert "tests/test_top.py" in impact.impacted_tests
+    assert "tests/analysis/test_deep.py" in impact.impacted_tests
+    assert "tests/test_island.py" not in impact.impacted_tests
+
+
+def test_assess_deleted_module(tmp_path):
+    repo, src = _make_repo(tmp_path, MODULES, TESTS)
+    os.unlink(os.path.join(src, "repro", "base.py"))
+    project, graph = _graph(src)
+    impact = assess(project, graph, ["src/repro/base.py"], repo)
+    assert impact.changed_modules == ["repro.base"]
+    # the deleted name stays in the reachable name set (phantom edge),
+    # the existing-module list contains only live modules
+    assert "repro.base" in impact.impacted_names
+    assert "repro.base" not in impact.impacted_modules
+    assert "repro.top" in impact.impacted_modules
+
+
+def test_assess_fixture_only_change_selects_subtree_tests(tmp_path):
+    repo, src = _make_repo(tmp_path, MODULES, TESTS)
+    project, graph = _graph(src)
+    impact = assess(
+        project, graph,
+        ["tests/analysis/fixtures/helper_fixture.py"], repo)
+    assert not impact.force_full
+    assert impact.impacted_modules == []
+    assert impact.impacted_tests == ["tests/analysis/test_deep.py"]
+
+
+def test_assess_pyproject_and_rule_code_force_full(tmp_path):
+    repo, src = _make_repo(tmp_path, MODULES, TESTS)
+    project, graph = _graph(src)
+    for path in ("pyproject.toml",
+                 "src/repro/analysis/rules/layering.py",
+                 "src/repro/common/state_registry.py"):
+        impact = assess(project, graph, [path], repo)
+        assert impact.force_full, path
+        assert set(impact.impacted_modules) == set(project.modules)
+        # every test file is selected on a forced full run
+        assert impact.impacted_tests == sorted(
+            "tests/" + rel for rel in TESTS
+            if rel.split("/")[-1].startswith("test_"))
+
+
+def test_assess_doc_change_selects_docs_consistency(tmp_path):
+    repo, src = _make_repo(tmp_path, MODULES, TESTS)
+    project, graph = _graph(src)
+    for path in ("README.md", "docs/static_analysis.md"):
+        impact = assess(project, graph, [path], repo)
+        assert impact.impacted_tests == \
+            ["tests/test_docs_consistency.py"], path
+        assert impact.impacted_modules == []
+
+
+def test_assess_empty_diff_is_empty(tmp_path):
+    repo, src = _make_repo(tmp_path, MODULES, TESTS)
+    project, graph = _graph(src)
+    impact = assess(project, graph, [], repo)
+    assert not impact.force_full
+    assert impact.impacted_modules == []
+    assert impact.impacted_tests == []
+
+
+def test_test_import_map_sees_from_imports_and_conftests(tmp_path):
+    repo, src = _make_repo(tmp_path, MODULES, TESTS)
+    files, imports, conftests = build_test_import_map(repo)
+    assert "tests/test_island.py" in files
+    assert "repro.island" in imports["tests/test_island.py"]
+    assert "repro.base" in conftests["tests/analysis"]
+    # fixture helpers are not test files
+    assert "tests/analysis/fixtures/helper_fixture.py" not in files
+
+
+# ------------------------------------------------------------- git + CLI
+
+def _git_available():
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=REPO_ROOT,
+            capture_output=True, text=True)
+    except OSError:
+        return False
+    return proc.returncode == 0
+
+
+@pytest.mark.skipif(not _git_available(),
+                    reason="repo git metadata unavailable")
+def test_git_changed_paths_lists_worktree_changes(tmp_path):
+    paths = git_changed_paths(REPO_ROOT, "HEAD")
+    assert isinstance(paths, list)
+    assert all(isinstance(p, str) for p in paths)
+
+
+@pytest.mark.skipif(not _git_available(),
+                    reason="repo git metadata unavailable")
+def test_cli_impacted_modes_print_and_exit_zero(capsys):
+    from repro.analysis.cli import main
+    assert main(["--impacted-tests", "HEAD"]) == 0
+    out_tests = capsys.readouterr().out
+    for line in out_tests.splitlines():
+        assert line.startswith("tests/")
+    assert main(["--impacted-modules", "HEAD"]) == 0
+    out_modules = capsys.readouterr().out
+    for line in out_modules.splitlines():
+        assert line == "repro" or line.startswith("repro.")
