@@ -148,7 +148,8 @@ def main(argv=None):
     try:
         result = analyze(root, baseline_path=None if args.write_baseline
                          else baseline_path, select=select,
-                         jobs=args.jobs, cache_dir=args.cache_dir)
+                         jobs=args.jobs, cache_dir=args.cache_dir,
+                         reuse_workers=not args.fresh_workers)
     except ValueError as exc:
         print("fidelint: %s" % exc, file=sys.stderr)
         return 2

@@ -168,7 +168,8 @@ def _chunk(names, jobs):
     return out
 
 
-def _parallel_raw(root, module_names, select, jobs, cache_dir=None):
+def _parallel_raw(root, module_names, select, jobs, cache_dir=None,
+                  reuse_workers=True):
     from repro.runner import WorkUnit, execute
     chunks = _chunk(module_names, jobs)
     if not chunks:
@@ -176,7 +177,7 @@ def _parallel_raw(root, module_names, select, jobs, cache_dir=None):
     units = [WorkUnit.of(("modules", index), _analyze_worker,
                          root, chunk, select, cache_dir)
              for index, chunk in enumerate(chunks)]
-    report = execute(units, jobs=jobs)
+    report = execute(units, jobs=jobs, reuse_workers=reuse_workers)
     raw, stats = [], None
     for chunk_findings, chunk_stats in report.values():
         raw.extend(chunk_findings)
@@ -189,7 +190,7 @@ def _parallel_raw(root, module_names, select, jobs, cache_dir=None):
 
 
 def analyze(root, rules=None, baseline_path=None, select=None, jobs=1,
-            cache_dir=None):
+            cache_dir=None, reuse_workers=True):
     """Analyze the tree under ``root`` and return an AnalysisResult.
 
     ``select`` limits the run to an iterable of rule ids;
@@ -217,7 +218,7 @@ def analyze(root, rules=None, baseline_path=None, select=None, jobs=1,
     if jobs and jobs > 1 and not custom_rules:
         raw, cache_stats = _parallel_raw(
             project.root, module_names, select_normalized, jobs,
-            cache_dir)
+            cache_dir, reuse_workers=reuse_workers)
     elif cache_dir:
         from repro.analysis.cache import run_cached
         raw, cache = run_cached(project, rules, select_normalized,

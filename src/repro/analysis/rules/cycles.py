@@ -25,6 +25,7 @@ ALLOWLIST = {
     # The counter itself and its snapshots are the instrument, not the
     # instrumented.
     "repro.hw.cycles:CycleCounter.charge": "the cycle model itself",
+    "repro.hw.cycles:CycleCounter.charge_many": "the cycle model itself",
     "repro.hw.cycles:CycleCounter.reset": "test/benchmark harness control",
     # PhysicalMemory sits *below* the timing model: all timed traffic is
     # priced by MemoryController/Cpu; raw frame ops model DRAM contents,
@@ -49,6 +50,10 @@ ALLOWLIST = {
     # produced them (pt-walk charge in Cpu._translate).
     "repro.hw.tlb:Tlb.insert": "priced by the charging page-table walk",
     "repro.hw.tlb:Tlb.lookup": "priced by the charging page-table walk",
+    "repro.hw.tlb:Tlb.new_incarnation":
+        "migration/restore epoch bump: the rebuilt guest starts on a "
+        "cold TLB and nobody executes INVLPG for the dead "
+        "incarnation's entries (flush_root is the charged variant)",
     # Architectural register state: priced at the VMRUN/VMEXIT and
     # privileged-instruction sites that use it.
     "repro.hw.vmcb:Vmcb.write": "priced at VMRUN/VMEXIT sites",

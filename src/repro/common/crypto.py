@@ -70,18 +70,33 @@ DH_GENERATOR = 2
 
 _MIDSTATE_CACHE_MAX = 1024
 _LINE_CACHE_MAX = 8192
+_SPAN_CACHE_MAX = 512
 
 #: (key, tweak) -> sha256 object primed with ``key|tweak|``
 _midstate_cache = OrderedDict()
 #: (key, tweak) -> keystream bytes for counter blocks [0, _LINE_BLOCKS)
 _line_cache = OrderedDict()
+#: (key, first_line_pa, nlines) -> keystream of the whole contiguous
+#: line run as one wide little-endian integer (the batched-read XOR
+#: operand; see :func:`span_keystream_int`)
+_span_cache = OrderedDict()
 
 # plain module ints, not a dict: the hit counter rides the hot path
 _line_hits = 0
 _line_misses = 0
 _midstate_hits = 0
 _midstate_misses = 0
+_span_hits = 0
+_span_misses = 0
 _key_invalidations = 0
+
+#: the counter keys of :func:`keystream_cache_stats` (the sizes —
+#: ``*_entries`` — are gauges, not counters, and stay absolute in
+#: :func:`keystream_cache_delta`)
+_STAT_COUNTER_KEYS = (
+    "line_hits", "line_misses", "midstate_hits", "midstate_misses",
+    "span_hits", "span_misses", "key_invalidations",
+)
 
 
 def keystream_cache_stats():
@@ -91,10 +106,35 @@ def keystream_cache_stats():
         "line_misses": _line_misses,
         "midstate_hits": _midstate_hits,
         "midstate_misses": _midstate_misses,
+        "span_hits": _span_hits,
+        "span_misses": _span_misses,
         "key_invalidations": _key_invalidations,
         "line_entries": len(_line_cache),
         "midstate_entries": len(_midstate_cache),
+        "span_entries": len(_span_cache),
     }
+
+
+def keystream_cache_delta(before):
+    """Stats accumulated since ``before`` (a :func:`keystream_cache_stats`
+    snapshot).
+
+    Benchmarks and persistent-pool shards must report *their own* cache
+    traffic, not whatever the process accumulated before them — and they
+    must not ``clear_keystream_cache`` to get that scoping, because a
+    clear empties the caches a long-lived worker is keeping warm.
+    Counters come back as deltas; the ``*_entries`` sizes are gauges and
+    stay absolute.  A counter that went *backwards* means someone
+    cleared the cache inside the window (benchmarks scope themselves
+    that way); the count since that reset — the absolute value — is
+    the best available answer, and keeps deltas non-negative.
+    """
+    after = keystream_cache_stats()
+    out = dict(after)
+    for key in _STAT_COUNTER_KEYS:
+        prior = before.get(key, 0)
+        out[key] = after[key] - prior if after[key] >= prior else after[key]
+    return out
 
 
 def clear_keystream_cache():
@@ -106,11 +146,13 @@ def clear_keystream_cache():
     a :mod:`repro.runner` worker shard.
     """
     global _line_hits, _line_misses, _midstate_hits, _midstate_misses
-    global _key_invalidations
+    global _span_hits, _span_misses, _key_invalidations
     _midstate_cache.clear()
     _line_cache.clear()
+    _span_cache.clear()
     _line_hits = _line_misses = 0
     _midstate_hits = _midstate_misses = 0
+    _span_hits = _span_misses = 0
     _key_invalidations = 0
 
 
@@ -122,7 +164,7 @@ def forget_key(key):
     """
     global _key_invalidations
     key = bytes(key)
-    for cache in (_midstate_cache, _line_cache):
+    for cache in (_midstate_cache, _line_cache, _span_cache):
         stale = [entry for entry in cache if entry[0] == key]
         for entry in stale:
             del cache[entry]
@@ -186,6 +228,42 @@ def line_keystream_int(key, line_pa):
     _line_cache[entry] = ks
     if len(_line_cache) > _LINE_CACHE_MAX:
         _line_cache.popitem(last=False)
+    return ks
+
+
+def span_keystream_int(key, line_pa, nlines):
+    """Keystream of ``nlines`` *contiguous* cache lines starting at
+    ``line_pa``, as one wide little-endian integer.
+
+    By construction this equals the per-line keystreams of
+    :func:`line_keystream_int` concatenated in address order (line ``i``
+    occupies bytes ``[i*CACHE_LINE, (i+1)*CACHE_LINE)`` of the little-
+    endian word), so a batched decrypt ``raw ^ span_ks`` is bit-identical
+    to decrypting line by line.  LRU-cached per ``(key, line_pa,
+    nlines)`` — guest working sets re-read the same page-sized spans
+    every round, so after the first touch a whole multi-line run costs
+    one dict hit and one wide XOR.  Assembly on a miss goes through
+    :func:`line_keystream_int`, which also warms the per-line cache the
+    partial-line and write paths use.
+    """
+    global _span_hits, _span_misses
+    entry = (key, line_pa, nlines)
+    ks = _span_cache.get(entry)
+    if ks is not None:
+        _span_hits += 1
+        _span_cache.move_to_end(entry)
+        return ks
+    _span_misses += 1
+    parts = []
+    pa = line_pa
+    for _ in range(nlines):
+        parts.append(
+            line_keystream_int(key, pa).to_bytes(CACHE_LINE, "little"))
+        pa += CACHE_LINE
+    ks = int.from_bytes(b"".join(parts), "little")
+    _span_cache[entry] = ks
+    if len(_span_cache) > _SPAN_CACHE_MAX:
+        _span_cache.popitem(last=False)
     return ks
 
 

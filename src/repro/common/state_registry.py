@@ -86,6 +86,16 @@ REGISTRY = _build([
     ("repro.common.crypto", "_midstate_misses", "counters",
      "clear_keystream_cache",
      "cache-effectiveness tally reported by keystream_cache_stats"),
+    ("repro.common.crypto", "_span_cache", "derived-cache",
+     "clear_keystream_cache",
+     "multi-line span keystream LRU; pure function of (key, line_pa, "
+     "nlines), purged with the line cache by forget_key"),
+    ("repro.common.crypto", "_span_hits", "counters",
+     "clear_keystream_cache",
+     "cache-effectiveness tally reported by keystream_cache_stats"),
+    ("repro.common.crypto", "_span_misses", "counters",
+     "clear_keystream_cache",
+     "cache-effectiveness tally reported by keystream_cache_stats"),
     ("repro.common.types", "PRIV_OPCODES", "constant", None,
      "privileged-encoding table built at import; FID008 guards the "
      "only writers"),

@@ -193,7 +193,12 @@ def receive_guest(target_fidelius, package):
     if package.ledger:
         domain.ledger = GuestLedger.from_export(package.ledger)
     # A migrated/restored guest starts on a cold TLB: new incarnation.
+    # The ledger records it, and the hardware TLB retires anything a
+    # previous incarnation on this host may have cached for the same
+    # NPT root — an epoch bump, not a charged INVLPG walk, because the
+    # entries (if any) belonged to the dead incarnation.
     domain.ledger.tlb_epoch += 1
+    hypervisor.machine.tlb.new_incarnation(domain.npt.root_pfn)
     target_fidelius.protect_domain(domain)
     target_fidelius.received_imports[package.import_key()] = domain.domid
     target_fidelius.audit_event("migration-received", domid=domain.domid)

@@ -28,10 +28,11 @@ from repro.eval import tables
 from repro.runner import add_jobs_argument
 
 
-def _fig(which, jobs=1):
+def _fig(which, jobs=1, reuse_workers=True):
     title = {"fig5": "Figure 5: SPECCPU 2006 normalized overhead",
              "fig6": "Figure 6: PARSEC normalized overhead"}[which]
-    print(tables.format_figure(run_figure(which, jobs=jobs), title))
+    print(tables.format_figure(
+        run_figure(which, jobs=jobs, reuse_workers=reuse_workers), title))
 
 
 def _table3():
@@ -55,9 +56,9 @@ def _xsa():
     print(tables.format_xsa(analyze_xsa()))
 
 
-def _attacks(jobs=1):
+def _attacks(jobs=1, reuse_workers=True):
     from repro.attacks import format_matrix, run_matrix
-    print(format_matrix(run_matrix(jobs=jobs)))
+    print(format_matrix(run_matrix(jobs=jobs, reuse_workers=reuse_workers)))
 
 
 def _tables12():
@@ -66,16 +67,18 @@ def _tables12():
     print(tables.format_instruction_matrix(priv_instruction_matrix()))
 
 
-def _sensitivity(jobs=1):
+def _sensitivity(jobs=1, reuse_workers=True):
     from repro.eval.sensitivity import (
         encryption_latency_sweep,
         exit_rate_sweep,
         format_exit_rate_sweep,
         format_latency_sweep,
     )
-    print(format_latency_sweep(encryption_latency_sweep(jobs=jobs)))
+    print(format_latency_sweep(encryption_latency_sweep(
+        jobs=jobs, reuse_workers=reuse_workers)))
     print()
-    print(format_exit_rate_sweep(exit_rate_sweep(jobs=jobs)))
+    print(format_exit_rate_sweep(exit_rate_sweep(
+        jobs=jobs, reuse_workers=reuse_workers)))
 
 
 def _report():
@@ -96,10 +99,13 @@ def _export():
 
 #: experiments whose independent work units shard across ``--jobs``
 PARALLEL_COMMANDS = {
-    "fig5": lambda jobs: _fig("fig5", jobs=jobs),
-    "fig6": lambda jobs: _fig("fig6", jobs=jobs),
-    "attacks": _attacks,
-    "sensitivity": _sensitivity,
+    "fig5": lambda jobs, reuse: _fig("fig5", jobs=jobs,
+                                     reuse_workers=reuse),
+    "fig6": lambda jobs, reuse: _fig("fig6", jobs=jobs,
+                                     reuse_workers=reuse),
+    "attacks": lambda jobs, reuse: _attacks(jobs, reuse_workers=reuse),
+    "sensitivity": lambda jobs, reuse: _sensitivity(jobs,
+                                                    reuse_workers=reuse),
 }
 
 COMMANDS = {
@@ -119,9 +125,9 @@ COMMANDS = {
 }
 
 
-def _dispatch(name, jobs):
+def _dispatch(name, jobs, reuse_workers=True):
     if jobs != 1 and name in PARALLEL_COMMANDS:
-        PARALLEL_COMMANDS[name](jobs)
+        PARALLEL_COMMANDS[name](jobs, reuse_workers)
     else:
         COMMANDS[name]()
 
@@ -136,10 +142,10 @@ def main(argv=None):
     if args.experiment == "all":
         for name in COMMANDS:
             print("=" * 72)
-            _dispatch(name, args.jobs)
+            _dispatch(name, args.jobs, not args.fresh_workers)
             print()
         return 0
-    _dispatch(args.experiment, args.jobs)
+    _dispatch(args.experiment, args.jobs, not args.fresh_workers)
     return 0
 
 

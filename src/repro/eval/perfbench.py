@@ -22,14 +22,28 @@ Four benchmarks, each warmup + repeat + median:
   digests and cycle deltas asserted.
 
 ``python -m repro.eval.perfbench --json`` writes ``BENCH_simulator.json``
-(schema ``fidelius-perfbench/2``) with per-benchmark timings/speedups,
+(schema ``fidelius-perfbench/3``) with per-benchmark timings/speedups,
 the optimized machine's :meth:`Machine.perf_stats` counters, and a
-``sharding`` section (host CPU count, ``--jobs`` used, per-shard
-wall-clock and utilization from :mod:`repro.runner`), so ``BENCH_*``
-trajectories stay comparable across machines.  With ``--jobs N`` the
-four benchmarks run in separate worker processes; every deterministic
-field (cycle totals, digests, equivalence flags) is byte-identical to
-the serial run — :func:`deterministic_digest` is the comparison key.
+``sharding`` section (host CPU count, ``--jobs`` used, executor mode,
+spawn vs transport vs compute breakdown, per-shard wall-clock and
+utilization from :mod:`repro.runner`), so ``BENCH_*`` trajectories
+stay comparable across machines.  With ``--jobs N`` the four
+benchmarks run across worker processes — the persistent pool by
+default, one fresh process per shard with ``--fresh-workers`` — and
+every deterministic field (cycle totals, digests, equivalence flags)
+is byte-identical to the serial run; :func:`deterministic_digest` is
+the comparison key.  ``--only NAME`` restricts the run to named
+benchmarks (the CI perf-regression gate uses it to re-time
+``guest_macro`` at full size without paying for the whole suite).
+
+Schema /3 changes vs /2: ``guest_macro`` drives the span-batched
+:class:`CryptoWorker` on both data paths (two ``GuestContext.batch``
+calls per round instead of two Python calls per page), per-bench
+``keystream_cache`` sections are delta snapshots captured around each
+bench's own run (the /2 ``enc_rw_mix`` section read a cache the
+reference runs had already cleared, reporting zeros), and the
+``sharding`` section gained the executor-mode/spawn/transport/compute
+breakdown.
 """
 
 import argparse
@@ -61,7 +75,7 @@ from repro.hw.tlb import Tlb
 from repro.system import System
 from repro.workloads.guestprogs import CryptoWorker
 
-SCHEMA = "fidelius-perfbench/2"
+SCHEMA = "fidelius-perfbench/3"
 DEFAULT_OUTPUT = "BENCH_simulator.json"
 
 #: benchmark sizing; ``quick`` is the CI smoke profile
@@ -185,13 +199,15 @@ def _run_mix(controller_cls, params, ops):
     ctl = controller_cls(memory, CycleCounter(),
                          cache_lines=params["mix_cache_lines"])
     ctl.install_key(1, b"perfbench-key-01")
+    before = crypto.keystream_cache_stats()
     t0 = time.perf_counter()
     for op in ops:
         if op[0] == "r":
             ctl.read(op[1], op[2], c_bit=True, asid=1)
         else:
             ctl.write(op[1], op[2], c_bit=True, asid=1)
-    return time.perf_counter() - t0, ctl
+    elapsed = time.perf_counter() - t0
+    return elapsed, ctl, crypto.keystream_cache_delta(before)
 
 
 def enc_rw_mix_bench(params):
@@ -203,12 +219,17 @@ def enc_rw_mix_bench(params):
     ref_holder = {}
 
     def run_fast():
-        elapsed, ctl = _run_mix(MemoryController, params, ops)
+        elapsed, ctl, keystream = _run_mix(MemoryController, params, ops)
         fast_holder["ctl"] = ctl
+        # delta snapshot around *this* run: later runs (and the
+        # reference arm) clear the global cache, so reading the stats
+        # at report time would see someone else's state
+        fast_holder["keystream"] = keystream
         return elapsed
 
     def run_ref():
-        elapsed, ctl = _run_mix(ReferenceMemoryController, params, ops)
+        elapsed, ctl, _keystream = _run_mix(ReferenceMemoryController,
+                                            params, ops)
         ref_holder["ctl"] = ctl
         return elapsed
 
@@ -233,7 +254,7 @@ def enc_rw_mix_bench(params):
         "equivalent": equivalent,
         "cycles_total": fast.cycles.total,
         "memctrl": fast.perf_counters(),
-        "keystream_cache": crypto.keystream_cache_stats(),
+        "keystream_cache": fast_holder["keystream"],
     }
 
 
@@ -298,22 +319,25 @@ def walker_tlb_bench(params, seed=0x71B):
 
 # -- guest-workload macro ----------------------------------------------------
 
-def _macro_system(params, reference):
+def _macro_system(params, reference, batched=True):
     system = System.create(fidelius=False, frames=1024, seed=0xBE7C,
                            reference_datapath=reference,
                            cache_lines=params["mix_cache_lines"])
     _domain, ctx = system.create_baseline_sev_guest(
         "perfbench", guest_frames=params["macro_pages"] + 32)
     worker = CryptoWorker(ctx, first_gfn=8, pages=params["macro_pages"],
-                          encrypted=True)
+                          encrypted=True, batched=batched)
     return system, worker
 
 
 def guest_macro_bench(params):
     """One real guest workload (CryptoWorker hashing an encrypted
     working set) on two identically seeded systems: optimized data path
-    vs ``reference_datapath=True``.  The digests and the cycle deltas
-    must match exactly; only the wall-clock may differ."""
+    vs ``reference_datapath=True``.  Both arms run the *span-batched*
+    worker (two ``GuestContext.batch`` calls per round), so the
+    comparison isolates the data-path implementation under the same
+    access order.  The digests and the cycle deltas must match exactly;
+    only the wall-clock may differ."""
     rounds = params["macro_rounds"]
     results = {}
 
@@ -322,14 +346,17 @@ def guest_macro_bench(params):
         system, worker = _macro_system(params, reference)
         worker.run(1)                      # warmup round, untimed
         snap = system.machine.cycles.snapshot()
+        before = crypto.keystream_cache_stats()
         t0 = time.perf_counter()
         digest = worker.run(rounds)
         elapsed = time.perf_counter() - t0
         results[tag] = {
             "digest": digest,
             "cycles": system.machine.cycles.since(snap),
-            # snapshotted now: the other data path's runs clear the
-            # keystream cache, which would zero the entry counts
+            # delta around the timed rounds: the other data path's
+            # runs clear the global cache, so a report-time read
+            # would see zeros (the /2 enc_rw_mix bug)
+            "keystream": crypto.keystream_cache_delta(before),
             "perf_stats": system.machine.perf_stats(),
         }
         return elapsed
@@ -344,12 +371,14 @@ def guest_macro_bench(params):
     return {
         "rounds": rounds,
         "working_set_pages": params["macro_pages"],
+        "batched": True,
         "optimized_s": optimized,
         "reference_s": reference,
         "speedup": reference / optimized,
         "digest_equal": True,
         "cycles_equal": True,
         "workload_cycles": fast["cycles"],
+        "keystream_cache": fast["keystream"],
         "perf_stats": fast["perf_stats"],
     }
 
@@ -370,13 +399,24 @@ def _run_bench(name, params):
     return BENCH_FNS[name](params)
 
 
-def run_all(quick=False, jobs=1):
+def run_all(quick=False, jobs=1, reuse_workers=True, only=None):
+    """Run the suite (or the subset named by ``only``) and assemble
+    the report.  ``reuse_workers`` selects the persistent pool for
+    sharded runs; ``only`` is an iterable of benchmark names."""
     params = QUICK if quick else FULL
+    names = list(BENCH_FNS) if only is None \
+        else [n for n in BENCH_FNS if n in set(only)]
+    unknown = set(only or ()) - set(BENCH_FNS)
+    if unknown:
+        raise ValueError("unknown benchmarks: %s" % ", ".join(
+            sorted(unknown)))
     units = [WorkUnit.of(name, _run_bench, name, params)
-             for name in BENCH_FNS]
-    report = execute(units, jobs=jobs)
-    benchmarks = dict(zip(BENCH_FNS, report.values()))
-    counters = benchmarks["guest_macro"].pop("perf_stats")
+             for name in names]
+    report = execute(units, jobs=jobs, reuse_workers=reuse_workers)
+    benchmarks = dict(zip(names, report.values()))
+    counters = benchmarks["guest_macro"].pop("perf_stats") \
+        if "guest_macro" in benchmarks else {}
+    pool = report.sharding
     return {
         "schema": SCHEMA,
         "quick": quick,
@@ -389,7 +429,15 @@ def run_all(quick=False, jobs=1):
             "wall_s": report.wall_s,
             "busy_s": report.busy_s,
             "utilization": report.utilization(),
+            "mode": pool["mode"],
+            "workers_spawned": pool["workers_spawned"],
+            "spawn_s": pool["spawn_s"],
+            "transport_s": pool["transport_s"],
+            "compute_s": pool["compute_s"],
+            "dispatch_bytes": pool["dispatch_bytes"],
+            "result_bytes": pool["result_bytes"],
             "shards": report.shard_counters(),
+            "worker_shards": pool["shards"],
         },
     }
 
@@ -413,9 +461,17 @@ def format_report(report):
             lines.append(
                 "  %-12s %8.3fs (%.2f us/translation)" % (
                     name, bench["median_s"], bench["per_translation_us"]))
-    ks = report["counters"]["keystream_cache"]
-    lines.append("  keystream cache: %d line hits / %d misses" % (
-        ks["line_hits"], ks["line_misses"]))
+    ks = report["counters"].get("keystream_cache")
+    if ks is not None:
+        lines.append("  keystream cache: %d line hits / %d misses" % (
+            ks["line_hits"], ks["line_misses"]))
+    sharding = report["sharding"]
+    lines.append(
+        "  executor: mode=%s workers=%d spawn=%.3fs transport=%.3fs "
+        "compute=%.3fs" % (
+            sharding["mode"], sharding["workers_spawned"],
+            sharding["spawn_s"], sharding["transport_s"],
+            sharding["compute_s"]))
     return "\n".join(lines)
 
 
@@ -430,9 +486,16 @@ def main(argv=None):
                         help="output path for --json (default %(default)s)")
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke sizes (seconds, not minutes)")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        choices=sorted(BENCH_FNS), default=None,
+                        help="run only the named benchmark (repeatable); "
+                             "the CI regression gate uses "
+                             "'--only guest_macro'")
     add_jobs_argument(parser)
     args = parser.parse_args(argv)
-    report = run_all(quick=args.quick, jobs=args.jobs)
+    report = run_all(quick=args.quick, jobs=args.jobs,
+                     reuse_workers=not args.fresh_workers,
+                     only=args.only)
     if args.json:
         with open(args.out, "w") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)

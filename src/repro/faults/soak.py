@@ -365,7 +365,8 @@ def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4,
 # -- sweeps ----------------------------------------------------------------------
 
 
-def soak_report(seeds=DEFAULT_SEEDS, jobs=1, **scenario_kwargs):
+def soak_report(seeds=DEFAULT_SEEDS, jobs=1, reuse_workers=True,
+                **scenario_kwargs):
     """Run every seed through the sharded runner; returns the
     :class:`~repro.runner.executor.RunReport` (per-shard wall-clock,
     utilization, diagnostic events) with results in seed order.
@@ -377,12 +378,14 @@ def soak_report(seeds=DEFAULT_SEEDS, jobs=1, **scenario_kwargs):
     """
     units = [WorkUnit.of(seed, run_scenario, seed, **scenario_kwargs)
              for seed in seeds]
-    return execute(units, jobs=jobs)
+    return execute(units, jobs=jobs, reuse_workers=reuse_workers)
 
 
-def soak(seeds=DEFAULT_SEEDS, jobs=1, **scenario_kwargs):
+def soak(seeds=DEFAULT_SEEDS, jobs=1, reuse_workers=True,
+         **scenario_kwargs):
     """Run every seed; returns the list of :class:`SoakResult`."""
-    return soak_report(seeds, jobs=jobs, **scenario_kwargs).values()
+    return soak_report(seeds, jobs=jobs, reuse_workers=reuse_workers,
+                       **scenario_kwargs).values()
 
 
 def results_digest(results):
@@ -407,7 +410,7 @@ def _write_progress(store, results, next_index, params):
 
 def resumable_soak(seeds, checkpoint_dir, every_seeds=5, every_events=0,
                    resume=False, jobs=1, sigkill_after=None,
-                   **scenario_kwargs):
+                   reuse_workers=True, **scenario_kwargs):
     """A seed sweep that survives being killed at any instant.
 
     Completed-seed results are checkpointed into
@@ -467,7 +470,7 @@ def resumable_soak(seeds, checkpoint_dir, every_seeds=5, every_events=0,
                     unit_checkpoint_path(checkpoint_dir, seed)
                 kwargs["every_events"] = every_events
             units.append(WorkUnit.of(seed, run_scenario, seed, **kwargs))
-        report = execute(units, jobs=jobs)
+        report = execute(units, jobs=jobs, reuse_workers=reuse_workers)
         results.extend(report.values())
         index = stop
         _write_progress(store, results, index, params)
@@ -522,10 +525,12 @@ def main(argv=None):
             every_seeds=args.checkpoint_every,
             every_events=args.checkpoint_events,
             resume=args.resume, jobs=args.jobs,
+            reuse_workers=not args.fresh_workers,
             sigkill_after=args.sigkill_after,
             hosts=args.hosts, tenants=args.tenants, nfaults=args.nfaults)
     else:
         report = soak_report(range(args.seeds), jobs=args.jobs,
+                             reuse_workers=not args.fresh_workers,
                              hosts=args.hosts, tenants=args.tenants,
                              nfaults=args.nfaults)
         results = report.values()
@@ -553,6 +558,7 @@ def main(argv=None):
                 "clean": len(results) - len(bad),
                 "digest": results_digest(results),
                 "shards": report.shard_counters(),
+                "sharding": report.sharding,
             }
             with open(args.bench_json, "w") as fh:
                 json.dump(bench, fh, indent=2, sort_keys=True)

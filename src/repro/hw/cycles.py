@@ -23,6 +23,25 @@ class CycleCounter:
         self.by_reason[reason] += cycles
         self.events[reason] += 1
 
+    def charge_many(self, cycles, reason, count):
+        """``count`` identical charges in one call.
+
+        The ledger is order-free (sums and event tallies, no sequence),
+        so this is *defined* to leave ``total``/``by_reason``/``events``
+        exactly as ``count`` individual :meth:`charge` calls would —
+        the identity the batched memory-controller paths rely on to
+        stay cycle-equal with the per-access reference loop.
+        """
+        if cycles < 0:
+            raise ValueError("cannot charge negative cycles")
+        if count < 0:
+            raise ValueError("cannot charge a negative event count")
+        if count == 0:
+            return
+        self.total += cycles * count
+        self.by_reason[reason] += cycles * count
+        self.events[reason] += count
+
     def snapshot(self):
         """An immutable view usable for before/after deltas."""
         return CycleSnapshot(self.total, dict(self.by_reason), dict(self.events))

@@ -39,6 +39,7 @@ differential suite drives in lockstep with this class.
 
 import hashlib
 from collections import OrderedDict
+from hashlib import sha256 as _sha256
 
 from repro.common import crypto
 from repro.common.constants import (
@@ -238,37 +239,118 @@ class MemoryController:
             if length == CACHE_LINE:
                 return plain_line
             return plain_line[off:off + length]
-        # Multi-line: one raw span read covers every missing line (DRAM
-        # sits below the timing model; charges stay per line, in order).
-        pieces = split_lines(pa, length)
-        first_line = pieces[0][0]
+        # Multi-line: walk the lines in access order — no piece list is
+        # materialized — batching every run of consecutive *missing*
+        # lines into one wide decrypt (one span-keystream lookup, one
+        # XOR, one charge_many) instead of a per-line Python loop.  One
+        # raw span read covers every missing line (DRAM sits below the
+        # timing model).
+        first_line = line_pa
+        end = pa + length
+        last_line = ((end - 1) >> CACHE_LINE_SHIFT) << CACHE_LINE_SHIFT
+        span_len = last_line + CACHE_LINE - first_line
         raw_span = None
-        out = bytearray()
+        out_parts = []
         cache = self._cache
         charge = self.cycles.charge
-        for line_pa, off, take in pieces:
+        run_start = 0
+        run_n = 0
+        line_pa = first_line
+        while line_pa <= last_line:
             cached = cache.get(line_pa)
-            if cached is not None:
-                cache.move_to_end(line_pa)
-                charge(L1_HIT_CYCLES, "mem-read-cached")
-                out += cached[off:off + take]
+            if cached is None:
+                if not run_n:
+                    run_start = line_pa
+                run_n += 1
+                line_pa += CACHE_LINE
                 continue
-            charge(_ENC_LINE_CYCLES, "mem-read-enc")
-            if raw_span is None:
-                span_len = pieces[-1][0] + CACHE_LINE - first_line
-                raw_span = self.memory.read(first_line, span_len)
-            rel = line_pa - first_line
-            plain_line = crypto.xex_line_decrypt(
-                key, line_pa, raw_span[rel:rel + CACHE_LINE])
-            cache[line_pa] = plain_line
+            if run_n:
+                # The pending misses come first in access order; their
+                # fills may evict this very line, so re-check after.
+                if raw_span is None:
+                    raw_span = self.memory.read(first_line, span_len)
+                self._fill_missing_run(key, run_start, run_n, raw_span,
+                                       first_line, pa, end, out_parts)
+                run_n = 0
+                cached = cache.get(line_pa)
+                if cached is None:
+                    run_start = line_pa
+                    run_n = 1
+                    line_pa += CACHE_LINE
+                    continue
             cache.move_to_end(line_pa)
-            if len(cache) > self._cache_lines:
-                cache.popitem(last=False)
-            if take == CACHE_LINE:
-                out += plain_line
+            charge(L1_HIT_CYCLES, "mem-read-cached")
+            lo = pa - line_pa if pa > line_pa else 0
+            hi = end - line_pa if end - line_pa < CACHE_LINE else CACHE_LINE
+            out_parts.append(cached[lo:hi])
+            line_pa += CACHE_LINE
+        if run_n:
+            if raw_span is None:
+                raw_span = self.memory.read(first_line, span_len)
+            self._fill_missing_run(key, run_start, run_n, raw_span,
+                                   first_line, pa, end, out_parts)
+        return b"".join(out_parts)
+
+    def _fill_missing_run(self, key, start, n, raw_span, first_line,
+                          pa, end, out_parts):
+        """Decrypt, cache and emit a run of ``n`` consecutive missing
+        lines starting at line ``start``; the run's contribution to the
+        read of ``[pa, end)`` is appended to ``out_parts`` as one slice.
+
+        Cycle/state equivalence with the reference per-line loop:
+
+        * :meth:`CycleCounter.charge_many` is defined to equal ``n``
+          individual charges (the ledger is order-free sums);
+        * the span keystream equals the per-line keystreams concatenated
+          (see :func:`crypto.span_keystream_int`), so the one wide XOR
+          yields exactly the per-line plaintexts;
+        * evictions are deferred to the end of the run: inserts append
+          at the LRU tail and never disturb the head, so popping the
+          overflow afterwards removes the same victims, in the same
+          order, as popping one per insert.  A run at least as long as
+          the whole cache evicts *everything* that preceded it, so the
+          surviving state is exactly the run's last ``capacity`` lines —
+          built directly instead of insert-then-pop (evictions carry no
+          charge or counter, so the shortcut is unobservable).
+        """
+        self.cycles.charge_many(_ENC_LINE_CYCLES, "mem-read-enc", n)
+        rel = start - first_line
+        cache = self._cache
+        cap = self._cache_lines
+        if n == 1:
+            plain_run = crypto.xex_line_decrypt(
+                key, start, raw_span[rel:rel + CACHE_LINE])
+            cache[start] = plain_run
+            width = CACHE_LINE
+        else:
+            width = n << CACHE_LINE_SHIFT
+            word = int.from_bytes(raw_span[rel:rel + width], "little") \
+                ^ crypto.span_keystream_int(key, start, n)
+            plain_run = word.to_bytes(width, "little")
+            if n >= cap:
+                cache.clear()
+                pos = width - (cap << CACHE_LINE_SHIFT)
+                line_pa = start + pos
+                while pos < width:
+                    cache[line_pa] = plain_run[pos:pos + CACHE_LINE]
+                    pos += CACHE_LINE
+                    line_pa += CACHE_LINE
             else:
-                out += plain_line[off:off + take]
-        return bytes(out)
+                pos = 0
+                line_pa = start
+                for _ in range(n):
+                    cache[line_pa] = plain_run[pos:pos + CACHE_LINE]
+                    pos += CACHE_LINE
+                    line_pa += CACHE_LINE
+        lo = pa - start if pa > start else 0
+        run_end = start + width
+        hi = width - (run_end - end) if end < run_end else width
+        out_parts.append(plain_run if not lo and hi == width
+                         else plain_run[lo:hi])
+        over = len(cache) - cap
+        while over > 0:
+            cache.popitem(last=False)
+            over -= 1
 
     def _fill_line(self, key, line_pa):
         """Miss path: fetch, decrypt (wide XOR) and cache one line."""
@@ -372,6 +454,63 @@ class MemoryController:
                 cache.popitem(last=False)
         self.memory.write(pa, b"".join(ct_parts))
 
+    # -- batched span ops -----------------------------------------------------
+
+    def run_batch(self, ops):
+        """Execute a list of span-level memory ops in order; one result
+        per op.  The single batched entry point guest programs use
+        (through :meth:`GuestContext.batch`) instead of one Python call
+        per access:
+
+        * ``("r", pieces)`` — read; ``pieces`` is a sequence of
+          ``(pa, length, c_bit, asid)`` spans whose plaintexts are
+          joined into one ``bytes`` result;
+        * ``("w", pieces, data)`` — write; the pieces tile ``data`` in
+          order; result ``None``;
+        * ``("h", pieces)`` — hash; SHA-256 over the concatenated
+          plaintext of the pieces, streamed into the hasher so the
+          joined bytes are never materialized; result is the digest.
+
+        Each piece runs on the (span-batched) read/write paths, so
+        charges, cache evolution and DRAM bytes are identical to issuing
+        the same pieces as individual :meth:`read`/:meth:`write` calls —
+        the per-access/batched differential suite pins this.
+        """
+        results = []
+        read = self.read
+        write = self.write
+        for op in ops:
+            kind = op[0]
+            pieces = op[1]
+            if kind == "r":
+                if len(pieces) == 1:
+                    pa, length, c_bit, asid = pieces[0]
+                    results.append(read(pa, length, c_bit=c_bit, asid=asid))
+                else:
+                    results.append(b"".join(
+                        read(pa, length, c_bit=c_bit, asid=asid)
+                        for pa, length, c_bit, asid in pieces))
+            elif kind == "w":
+                view = memoryview(op[2])
+                pos = 0
+                for pa, length, c_bit, asid in pieces:
+                    write(pa, bytes(view[pos:pos + length]),
+                          c_bit=c_bit, asid=asid)
+                    pos += length
+                if pos != len(view):
+                    raise PhysicalMemoryError(
+                        "write batch pieces tile %d bytes, data has %d"
+                        % (pos, len(view)))
+                results.append(None)
+            elif kind == "h":
+                hasher = _sha256()
+                for pa, length, c_bit, asid in pieces:
+                    hasher.update(read(pa, length, c_bit=c_bit, asid=asid))
+                results.append(hasher.digest())
+            else:
+                raise ReproError("unknown batch op kind %r" % (kind,))
+        return results
+
     # -- DMA port -------------------------------------------------------------
 
     def dma_read(self, pa, length):
@@ -443,6 +582,42 @@ class ReferenceMemoryController(MemoryController):
             patched = bytearray(cached)
             patched[off:off + take] = chunk
             self._cache_fill(line_pa, patched)
+
+    def run_batch(self, ops):
+        """The same batched API, implemented as a plain per-access loop
+        over the reference ``read``/``write`` — the equivalence oracle
+        for the optimized :meth:`MemoryController.run_batch`."""
+        results = []
+        for op in ops:
+            kind = op[0]
+            pieces = op[1]
+            if kind == "r":
+                parts = []
+                for pa, length, c_bit, asid in pieces:
+                    parts.append(self.read(pa, length,
+                                           c_bit=c_bit, asid=asid))
+                results.append(b"".join(parts))
+            elif kind == "w":
+                data = bytes(op[2])
+                pos = 0
+                for pa, length, c_bit, asid in pieces:
+                    self.write(pa, data[pos:pos + length],
+                               c_bit=c_bit, asid=asid)
+                    pos += length
+                if pos != len(data):
+                    raise PhysicalMemoryError(
+                        "write batch pieces tile %d bytes, data has %d"
+                        % (pos, len(data)))
+                results.append(None)
+            elif kind == "h":
+                parts = []
+                for pa, length, c_bit, asid in pieces:
+                    parts.append(self.read(pa, length,
+                                           c_bit=c_bit, asid=asid))
+                results.append(hashlib.sha256(b"".join(parts)).digest())
+            else:
+                raise ReproError("unknown batch op kind %r" % (kind,))
+        return results
 
 
 def _reference_split_lines(pa, length):

@@ -55,10 +55,16 @@ def unit_checkpoint_path(base_dir, key):
 
 
 def add_jobs_argument(parser, default=1):
-    """The shared ``--jobs`` flag every runner-backed CLI exposes."""
+    """The shared ``--jobs``/``--fresh-workers`` flags every
+    runner-backed CLI exposes."""
     parser.add_argument(
         "--jobs", type=int, default=default, metavar="N",
         help="worker processes for independent work units "
              "(default %(default)s: serial, deterministic-tooling "
              "friendly; results are byte-identical either way)")
+    parser.add_argument(
+        "--fresh-workers", action="store_true",
+        help="fork one fresh process per shard instead of the "
+             "persistent worker pool (cold caches every shard; the "
+             "control arm of the pool-vs-fresh equivalence diff)")
     return parser

@@ -1,4 +1,4 @@
-"""The shard executor: serial by default, a process pool on request.
+"""The shard executor: serial by default, a worker pool on request.
 
 ``execute(units, jobs=N)`` runs every :class:`~repro.runner.plan.WorkUnit`
 and returns a :class:`RunReport` whose results are re-sorted into the
@@ -9,24 +9,50 @@ whatever ``jobs`` was and whichever worker finished first.
   ``multiprocessing`` machinery at all — the path the determinism
   tooling audits, and the baseline the differential tests compare
   against.
-* ``jobs>1`` dispatches shards to at most ``jobs`` concurrent worker
-  processes.  A worker that raises reports a per-unit error; a worker
-  that *dies* (segfault, ``os._exit``, OOM kill) fails only its own
-  shard, which is retried up to ``retries`` times before the shard is
-  marked failed.  Shards exceeding ``timeout_s`` are terminated and
-  retried the same way.  A shard still running long after the median
-  completed shard time is flagged as a straggler (diagnostic event
-  only; it is allowed to finish).
+* ``jobs>1`` with ``reuse_workers=True`` (the default) dispatches
+  shards to a pool of at most ``jobs`` *persistent* worker processes.
+  Each worker executes many shards over its lifetime, so process-global
+  derived caches (the keystream line/midstate/span LRUs) stay warm
+  across shards — the registry-audited shard-purity rule (FID013) is
+  what makes that safe: work units cannot mutate unregistered module
+  state, so a warm cache can change wall-clock but never results.
+  Shards travel to workers, and result lists travel back, as single
+  pickle-framed byte blobs per shard (one ``send_bytes`` each way, not
+  one pickle per result), so the spawn/serialize overhead is measurable:
+  the report's ``sharding`` section breaks out spawn vs transport vs
+  compute time and the bytes moved.
+* ``jobs>1`` with ``reuse_workers=False`` forks one fresh process per
+  shard attempt (the pre-pool behaviour) — kept both as the
+  cold-cache control for the pool-vs-fresh CI diff and for workloads
+  that want per-shard process isolation.
+
+Failure handling is identical in both parallel modes: a worker that
+raises reports a per-unit error; a worker that *dies* (segfault,
+``os._exit``, OOM kill) fails only the shard it was running, which is
+retried up to ``retries`` times — on a fresh replacement worker — before
+the shard is marked failed.  Shards exceeding ``timeout_s`` are
+terminated and retried the same way.  A shard still running long after
+the median completed shard time is flagged as a straggler (diagnostic
+event only; it is allowed to finish).
+
+Per-shard keystream-cache statistics are captured by *delta snapshots*
+(:func:`repro.common.crypto.keystream_cache_delta`) around each shard,
+never by clearing the cache — clearing would throw away exactly the
+warmth the pool exists to preserve.  Fresh processes start from zero
+counters, so their deltas equal their absolute stats and the two modes
+report the same shape.
 
 Failures never silently truncate a run: :meth:`RunReport.values`
 raises :class:`RunnerError` listing every failed shard key.
 
 Wall-clock is inherently part of this module's contract (timeouts,
-straggler detection, utilization counters); every *modelled* quantity
-in the work units themselves still comes from the cycle counter.
+straggler detection, utilization and transport counters); every
+*modelled* quantity in the work units themselves still comes from the
+cycle counter.
 """
 
 import multiprocessing
+import pickle
 import statistics
 # fidelint: ignore[FID007] -- the executor schedules and measures host
 # wall-clock (shard timeouts, straggler detection, utilization); it
@@ -38,11 +64,19 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
 
+from repro.common import crypto
 from repro.common.errors import ReproError
 from repro.runner.plan import ShardPlan
 
 #: Parent poll cadence while workers run (seconds).
 _TICK_S = 0.05
+
+#: First frame a pool worker sends once its interpreter is up — the
+#: parent timestamps it to measure true spawn latency.
+_READY = b"R"
+
+#: Empty frame: the pool shutdown sentinel.
+_SHUTDOWN = b""
 
 
 class RunnerError(ReproError):
@@ -67,9 +101,11 @@ class RunReport:
     """Everything one ``execute`` call observed.
 
     ``results`` is in plan submission order — the deterministic merge.
-    ``events`` (crashes, retries, timeouts, stragglers) are diagnostics
-    and may legitimately differ between runs; nothing deterministic may
-    be derived from them.
+    ``events`` (crashes, retries, timeouts, stragglers) and
+    ``sharding`` (spawn/transport/compute breakdown, per-shard
+    keystream-cache deltas) are wall-clock diagnostics and may
+    legitimately differ between runs; nothing deterministic may be
+    derived from them.
     """
 
     jobs: int
@@ -77,6 +113,7 @@ class RunReport:
     wall_s: float = 0.0
     busy_s: float = 0.0
     events: list = field(default_factory=list)
+    sharding: dict = field(default_factory=dict)
 
     @property
     def failed(self):
@@ -107,15 +144,15 @@ class RunReport:
                 for r in self.results]
 
 
-def _shard_worker(conn, shard):
-    """Child-process entry: run every unit, report per-unit outcomes.
+def _run_units(units):
+    """Run every unit of one shard; per-unit outcomes, never raises.
 
     Clean exceptions are caught per unit so one bad seed cannot take
     its shard-mates down with it; only a hard death (crash, kill,
     unpicklable result) loses the whole shard attempt.
     """
     out = []
-    for unit in shard.units:
+    for unit in units:
         t0 = time.perf_counter()
         try:
             value = unit.call()
@@ -124,16 +161,67 @@ def _shard_worker(conn, shard):
         except Exception:
             out.append((unit.key, False, None, traceback.format_exc(),
                         time.perf_counter() - t0))
-    conn.send(out)
+    return out
+
+
+def _frame(out, keystream):
+    """One result blob per shard: framed bytes, pickled once."""
+    return pickle.dumps((out, keystream), pickle.HIGHEST_PROTOCOL)
+
+
+def _shard_worker(conn, shard):
+    """Fresh-process entry: run one shard, send one framed result."""
+    before = crypto.keystream_cache_stats()
+    out = _run_units(shard.units)
+    conn.send_bytes(_frame(out, crypto.keystream_cache_delta(before)))
     conn.close()
 
 
+def _pool_worker(conn):
+    """Persistent-worker entry: announce readiness, then serve shards
+    until the shutdown sentinel (or a closed pipe).
+
+    Nothing is cleared between shards: the keystream caches stay warm
+    on purpose, and the per-shard statistics are delta snapshots.
+    """
+    conn.send_bytes(_READY)
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        if blob == _SHUTDOWN:
+            break
+        shard = pickle.loads(blob)
+        before = crypto.keystream_cache_stats()
+        out = _run_units(shard.units)
+        conn.send_bytes(_frame(out, crypto.keystream_cache_delta(before)))
+    conn.close()
+
+
+def _new_sharding(mode):
+    """The skeleton of a report's ``sharding`` diagnostics section."""
+    return {
+        "mode": mode,
+        "workers_spawned": 0,
+        "spawn_s": 0.0,
+        "transport_s": 0.0,
+        "dispatch_bytes": 0,
+        "result_bytes": 0,
+        "compute_s": 0.0,
+        "shards": [],
+    }
+
+
 def execute(units_or_plan, jobs=1, timeout_s=None, retries=1,
-            straggler_factor=4.0, straggler_min_s=1.0, on_event=None):
+            straggler_factor=4.0, straggler_min_s=1.0, on_event=None,
+            reuse_workers=True):
     """Run a plan (or a plain iterable of units) and merge the results.
 
     ``on_event(kind, details)``, when given, mirrors every diagnostic
     event as it happens (for live progress reporting).
+    ``reuse_workers`` selects the persistent pool for ``jobs>1``;
+    ``False`` restores one fresh process per shard attempt.
     """
     if isinstance(units_or_plan, ShardPlan):
         plan = units_or_plan
@@ -148,44 +236,40 @@ def execute(units_or_plan, jobs=1, timeout_s=None, retries=1,
 
     t_start = time.perf_counter()
     if jobs <= 1:
-        by_key = _execute_serial(plan)
+        sharding = _new_sharding("serial")
+        by_key = _execute_serial(plan, sharding)
         jobs = 1
+    elif reuse_workers:
+        sharding = _new_sharding("pool")
+        by_key = _execute_pool(plan, jobs, timeout_s, retries,
+                               straggler_factor, straggler_min_s, emit,
+                               sharding)
     else:
-        by_key = _execute_parallel(plan, jobs, timeout_s, retries,
-                                   straggler_factor, straggler_min_s, emit)
+        sharding = _new_sharding("fresh")
+        by_key = _execute_fresh(plan, jobs, timeout_s, retries,
+                                straggler_factor, straggler_min_s, emit,
+                                sharding)
     wall_s = time.perf_counter() - t_start
     ordered = [by_key[key] for key in plan.key_order]
     busy_s = sum(r.elapsed_s for r in ordered)
+    sharding["compute_s"] = busy_s
     return RunReport(jobs=jobs, results=ordered, wall_s=wall_s,
-                     busy_s=busy_s, events=events)
+                     busy_s=busy_s, events=events, sharding=sharding)
 
 
-def _execute_serial(plan):
+def _execute_serial(plan, sharding):
     by_key = {}
     for shard in plan.shards:
-        for unit in shard.units:
-            t0 = time.perf_counter()
-            try:
-                value = unit.call()
-                by_key[unit.key] = ShardResult(
-                    unit.key, True, value,
-                    elapsed_s=time.perf_counter() - t0)
-            except Exception:
-                by_key[unit.key] = ShardResult(
-                    unit.key, False, error=traceback.format_exc(),
-                    elapsed_s=time.perf_counter() - t0)
+        before = crypto.keystream_cache_stats()
+        for key, ok, value, error, elapsed in _run_units(shard.units):
+            by_key[key] = ShardResult(key, ok, value, error, elapsed)
+        sharding["shards"].append({
+            "shard": shard.index, "worker": "serial",
+            "keystream": crypto.keystream_cache_delta(before)})
     return by_key
 
 
-def _execute_parallel(plan, jobs, timeout_s, retries,
-                      straggler_factor, straggler_min_s, emit):
-    ctx = multiprocessing.get_context()
-    pending = deque(plan.shards)
-    attempts = {shard.index: 0 for shard in plan.shards}
-    running = {}        # conn -> [shard, process, started_at, flagged]
-    by_key = {}
-    completed_s = []    # parent-side shard wall times, for the median
-
+def _fail_or_retry_fn(attempts, retries, pending, by_key, emit):
     def fail_or_retry(shard, reason):
         if attempts[shard.index] <= retries:
             emit("shard-retried", shard=shard.index, keys=shard.keys,
@@ -198,16 +282,44 @@ def _execute_parallel(plan, jobs, timeout_s, retries,
             by_key[unit.key] = ShardResult(
                 unit.key, False, error=reason,
                 attempts=attempts[shard.index], worker="dead")
+    return fail_or_retry
+
+
+def _merge_payload(by_key, payload, attempt, worker_name, shard_index,
+                   sharding):
+    out, keystream = payload
+    for key, ok, value, error, unit_elapsed in out:
+        by_key[key] = ShardResult(key, ok, value, error, unit_elapsed,
+                                  attempt, worker=worker_name)
+    sharding["shards"].append({
+        "shard": shard_index, "worker": worker_name,
+        "keystream": keystream})
+
+
+def _execute_fresh(plan, jobs, timeout_s, retries,
+                   straggler_factor, straggler_min_s, emit, sharding):
+    """One fresh process per shard attempt (cold caches every time)."""
+    ctx = multiprocessing.get_context()
+    pending = deque(plan.shards)
+    attempts = {shard.index: 0 for shard in plan.shards}
+    running = {}        # conn -> [shard, process, started_at, flagged]
+    by_key = {}
+    completed_s = []    # parent-side shard wall times, for the median
+    fail_or_retry = _fail_or_retry_fn(attempts, retries, pending, by_key,
+                                      emit)
 
     while pending or running:
         while pending and len(running) < jobs:
             shard = pending.popleft()
             attempts[shard.index] += 1
             parent_conn, child_conn = ctx.Pipe(duplex=False)
+            t0 = time.perf_counter()
             process = ctx.Process(target=_shard_worker,
                                   args=(child_conn, shard))
             process.daemon = True
             process.start()
+            sharding["spawn_s"] += time.perf_counter() - t0
+            sharding["workers_spawned"] += 1
             child_conn.close()
             running[parent_conn] = [shard, process,
                                     time.perf_counter(), False]
@@ -216,10 +328,13 @@ def _execute_parallel(plan, jobs, timeout_s, retries,
         now = time.perf_counter()
         for conn in ready:
             shard, process, started, _ = running.pop(conn)
+            t0 = time.perf_counter()
             try:
-                payload = conn.recv()
-            except EOFError:
-                payload = None
+                blob = conn.recv_bytes()
+                payload = pickle.loads(blob)
+            except (EOFError, OSError):
+                blob = payload = None
+            sharding["transport_s"] += time.perf_counter() - t0
             conn.close()
             process.join()
             if payload is None:
@@ -229,11 +344,10 @@ def _execute_parallel(plan, jobs, timeout_s, retries,
                 fail_or_retry(shard, "worker crashed (exitcode %s)"
                               % (process.exitcode,))
                 continue
+            sharding["result_bytes"] += len(blob)
             completed_s.append(now - started)
-            for key, ok, value, error, unit_elapsed in payload:
-                by_key[key] = ShardResult(
-                    key, ok, value, error, unit_elapsed,
-                    attempts[shard.index], worker="pid:%d" % process.pid)
+            _merge_payload(by_key, payload, attempts[shard.index],
+                           "pid:%d" % process.pid, shard.index, sharding)
 
         now = time.perf_counter()
         for conn, state in list(running.items()):
@@ -254,4 +368,136 @@ def _execute_parallel(plan, jobs, timeout_s, retries,
                 emit("straggler-detected", shard=shard.index,
                      keys=shard.keys, running_s=run_for,
                      median_s=statistics.median(completed_s))
+    return by_key
+
+
+class _PoolWorker:
+    """Parent-side bookkeeping for one persistent worker process."""
+
+    __slots__ = ("process", "shard", "started", "flagged", "spawned_at",
+                 "ready")
+
+    def __init__(self, process, spawned_at):
+        self.process = process
+        self.shard = None          # shard currently running, if any
+        self.started = 0.0         # when that shard was dispatched
+        self.flagged = False       # straggler-flagged for that shard
+        self.spawned_at = spawned_at
+        self.ready = False         # has the READY frame arrived yet
+
+
+def _execute_pool(plan, jobs, timeout_s, retries,
+                  straggler_factor, straggler_min_s, emit, sharding):
+    """Persistent pool: at most ``jobs`` long-lived workers, each
+    executing many shards with warm process-global caches."""
+    ctx = multiprocessing.get_context()
+    pending = deque(plan.shards)
+    attempts = {shard.index: 0 for shard in plan.shards}
+    by_key = {}
+    completed_s = []
+    workers = {}        # conn -> _PoolWorker
+    fail_or_retry = _fail_or_retry_fn(attempts, retries, pending, by_key,
+                                      emit)
+
+    def spawn():
+        parent_conn, child_conn = ctx.Pipe()
+        t0 = time.perf_counter()
+        process = ctx.Process(target=_pool_worker, args=(child_conn,))
+        process.daemon = True
+        process.start()
+        child_conn.close()
+        workers[parent_conn] = _PoolWorker(process, t0)
+        sharding["workers_spawned"] += 1
+
+    def retire(conn, worker, kill=False):
+        del workers[conn]
+        if kill:
+            worker.process.terminate()
+        worker.process.join()
+        conn.close()
+
+    def dispatch(conn, worker):
+        shard = pending.popleft()
+        attempts[shard.index] += 1
+        t0 = time.perf_counter()
+        blob = pickle.dumps(shard, pickle.HIGHEST_PROTOCOL)
+        conn.send_bytes(blob)
+        sharding["transport_s"] += time.perf_counter() - t0
+        sharding["dispatch_bytes"] += len(blob)
+        worker.shard = shard
+        worker.started = time.perf_counter()
+        worker.flagged = False
+
+    while pending or any(w.shard is not None for w in workers.values()):
+        busy = sum(1 for w in workers.values() if w.shard is not None)
+        while len(workers) < min(jobs, busy + len(pending)):
+            spawn()
+        for conn, worker in list(workers.items()):
+            if not pending:
+                break
+            if worker.ready and worker.shard is None:
+                dispatch(conn, worker)
+
+        ready = connection.wait(list(workers), timeout=_TICK_S)
+        now = time.perf_counter()
+        for conn in ready:
+            worker = workers.get(conn)
+            if worker is None:
+                continue
+            t0 = time.perf_counter()
+            try:
+                blob = conn.recv_bytes()
+            except (EOFError, OSError):
+                shard = worker.shard
+                retire(conn, worker)
+                if shard is not None:
+                    emit("worker-crashed", shard=shard.index,
+                         keys=shard.keys,
+                         exitcode=worker.process.exitcode,
+                         attempt=attempts[shard.index])
+                    fail_or_retry(shard, "worker crashed (exitcode %s)"
+                                  % (worker.process.exitcode,))
+                continue
+            if not worker.ready:
+                worker.ready = True
+                sharding["spawn_s"] += now - worker.spawned_at
+                continue
+            payload = pickle.loads(blob)
+            sharding["transport_s"] += time.perf_counter() - t0
+            sharding["result_bytes"] += len(blob)
+            shard = worker.shard
+            worker.shard = None
+            completed_s.append(now - worker.started)
+            _merge_payload(by_key, payload, attempts[shard.index],
+                           "pid:%d" % worker.process.pid, shard.index,
+                           sharding)
+
+        now = time.perf_counter()
+        for conn, worker in list(workers.items()):
+            if worker.shard is None:
+                continue
+            run_for = now - worker.started
+            if timeout_s is not None and run_for > timeout_s:
+                shard = worker.shard
+                retire(conn, worker, kill=True)
+                emit("shard-timeout", shard=shard.index, keys=shard.keys,
+                     after_s=run_for, attempt=attempts[shard.index])
+                fail_or_retry(shard, "timed out after %.2fs" % run_for)
+            elif not worker.flagged and completed_s \
+                    and run_for > straggler_min_s \
+                    and run_for > straggler_factor * max(
+                        statistics.median(completed_s), 1e-9):
+                worker.flagged = True
+                emit("straggler-detected", shard=worker.shard.index,
+                     keys=worker.shard.keys, running_s=run_for,
+                     median_s=statistics.median(completed_s))
+
+    for conn, worker in workers.items():
+        try:
+            conn.send_bytes(_SHUTDOWN)
+        except (BrokenPipeError, OSError):
+            pass
+    for conn, worker in workers.items():
+        worker.process.join()
+        conn.close()
     return by_key

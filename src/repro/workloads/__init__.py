@@ -16,13 +16,19 @@ from repro.workloads.profiles import (
     SPEC_PROFILES,
     BenchmarkProfile,
 )
-from repro.workloads.tracegen import CacheModel, generate_trace, simulate_misses
+from repro.workloads.tracegen import (
+    CacheModel,
+    generate_span_trace,
+    generate_trace,
+    simulate_misses,
+)
 
 __all__ = [
     "BenchmarkProfile",
     "SPEC_PROFILES",
     "PARSEC_PROFILES",
     "CacheModel",
+    "generate_span_trace",
     "generate_trace",
     "simulate_misses",
     "FioRunner",

@@ -5,12 +5,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.hw.cycles import CycleCounter
+from repro.common.constants import CACHE_LINE_SHIFT
 from repro.workloads import (
     CacheModel,
     DiskTimingModel,
     PARSEC_PROFILES,
     SPEC_PROFILES,
     TABLE3_SPECS,
+    generate_span_trace,
     generate_trace,
     simulate_misses,
 )
@@ -85,6 +87,44 @@ class TestTraceGeneration:
         profile = profile_by_name(name)
         misses, accesses = simulate_misses(profile, accesses=5_000)
         assert 0 <= misses <= accesses
+
+
+class TestSpanTrace:
+    """The span-level trace/cache path is defined to be exactly the
+    per-access one — these differentials pin the definition."""
+
+    @pytest.mark.parametrize("name", ["mcf", "gcc", "canneal"])
+    def test_span_trace_flattens_to_the_per_access_trace(self, name):
+        profile = profile_by_name(name)
+        flat = generate_trace(profile, 3000, seed=9)
+        spans = generate_span_trace(profile, 3000, seed=9)
+        line_bytes = 1 << CACHE_LINE_SHIFT
+        rebuilt = []
+        for address, length in spans:
+            for off in range(0, length, line_bytes):
+                rebuilt.append(address + off)
+        assert rebuilt == flat
+
+    def test_access_span_equals_per_access_calls(self):
+        a, b = CacheModel(lines=8), CacheModel(lines=8)
+        line_bytes = 1 << CACHE_LINE_SHIFT
+        # spans larger than the cache force mid-span evictions too
+        for address, length in [(0, 4 * line_bytes),
+                                (2 * line_bytes, 16 * line_bytes),
+                                (0, 2 * line_bytes),
+                                (64 * line_bytes, 12 * line_bytes)]:
+            misses = a.access_span(address, length)
+            per_access = sum(b.access(address + off)
+                             for off in range(0, length, line_bytes))
+            assert misses == per_access
+            assert (a.hits, a.misses, a._order) == (b.hits, b.misses,
+                                                    b._order)
+
+    @pytest.mark.parametrize("name", ["mcf", "canneal"])
+    def test_simulate_misses_batched_equals_per_access(self, name):
+        profile = profile_by_name(name)
+        assert simulate_misses(profile, accesses=8_000, batched=True) \
+            == simulate_misses(profile, accesses=8_000, batched=False)
 
 
 class TestFioSpecs:

@@ -1,0 +1,180 @@
+"""Differential suite for the span-batched memory-op entry point.
+
+PR 9's batched interpreter core funnels guest memory traffic through
+:meth:`MemoryController.run_batch` instead of one Python call per
+access.  The invariant is the PR-4 one, extended: *only wall-clock
+changes*.  These tests drive randomized batch streams against the
+:class:`ReferenceMemoryController` twin (which implements the same API
+as a plain per-access loop) and against the per-access methods of the
+optimized controller itself, requiring byte-identical results, DRAM
+and cycle ledgers.  The crypto/cycle primitives the batched path leans
+on (``span_keystream_int``, ``charge_many``) are pinned against their
+compositional definitions.
+"""
+
+import hashlib
+import random
+
+import pytest
+
+from repro.common import crypto
+from repro.common.errors import ReproError
+from repro.common.constants import CACHE_LINE, PAGE_SIZE
+from repro.hw.cycles import CycleCounter
+from repro.hw.memctrl import MemoryController, ReferenceMemoryController
+from repro.hw.memory import PhysicalMemory, PhysicalMemoryError
+
+FRAMES = 32
+SPAN = FRAMES * PAGE_SIZE
+ASIDS = (1, 2)
+
+
+def _pair(cache_lines=16):
+    pair = []
+    for cls in (MemoryController, ReferenceMemoryController):
+        ctl = cls(PhysicalMemory(FRAMES), CycleCounter(),
+                  cache_lines=cache_lines)
+        for asid in ASIDS:
+            ctl.install_key(asid, bytes([asid * 17]) * 16)
+        pair.append(ctl)
+    return pair
+
+
+def _random_pieces(rng, max_pieces=3):
+    """A batch-op piece list: contiguous-ish spans of mixed size and
+    protection, the shape GuestContext._pieces produces."""
+    pieces = []
+    for _ in range(rng.randrange(1, max_pieces + 1)):
+        length = rng.choice((1, 16, 63, 64, 65, 256, PAGE_SIZE,
+                             PAGE_SIZE + 64))
+        pa = rng.randrange(0, SPAN - length)
+        c_bit = rng.random() < 0.8
+        asid = rng.choice(ASIDS) if c_bit else 0
+        pieces.append((pa, length, c_bit, asid))
+    return pieces
+
+
+def _random_batches(rng, count):
+    batches = []
+    for _ in range(count):
+        ops = []
+        for _ in range(rng.randrange(1, 5)):
+            roll = rng.random()
+            pieces = _random_pieces(rng)
+            if roll < 0.45:
+                ops.append(("r", pieces))
+            elif roll < 0.80:
+                total = sum(p[1] for p in pieces)
+                data = bytes(rng.getrandbits(8) for _ in range(total))
+                ops.append(("w", pieces, data))
+            else:
+                ops.append(("h", pieces))
+        batches.append(ops)
+    return batches
+
+
+@pytest.mark.parametrize("seed", [0xBA7C4, 0x5EED5, 0xC0FFEE])
+def test_run_batch_lockstep_with_reference(seed):
+    """Randomized batch streams: every op result byte-equal, final DRAM
+    byte-equal, cycle ledgers identical to the event."""
+    rng = random.Random(seed)
+    fast, ref = _pair()
+    for ops in _random_batches(rng, 120):
+        assert fast.run_batch(ops) == ref.run_batch(ops)
+    assert fast.memory.dump() == ref.memory.dump()
+    assert fast.cycles.total == ref.cycles.total
+    assert fast.cycles.by_reason == ref.cycles.by_reason
+    assert fast.cycles.events == ref.cycles.events
+
+
+@pytest.mark.parametrize("seed", [0x0B07, 0xD1FF])
+def test_run_batch_equals_per_access_on_the_fast_path(seed):
+    """The batched entry point against the optimized controller's own
+    read/write loop: same pieces, same order -> same bytes, same DRAM,
+    same ledger.  This is the contract GuestContext.batch documents."""
+    rng = random.Random(seed)
+    batched = MemoryController(PhysicalMemory(FRAMES), CycleCounter(),
+                               cache_lines=16)
+    looped = MemoryController(PhysicalMemory(FRAMES), CycleCounter(),
+                              cache_lines=16)
+    for ctl in (batched, looped):
+        for asid in ASIDS:
+            ctl.install_key(asid, bytes([asid * 17]) * 16)
+    for ops in _random_batches(rng, 80):
+        got = batched.run_batch(ops)
+        want = []
+        for op in ops:
+            kind, pieces = op[0], op[1]
+            if kind == "r":
+                want.append(b"".join(
+                    looped.read(pa, n, c_bit=c, asid=a)
+                    for pa, n, c, a in pieces))
+            elif kind == "w":
+                pos = 0
+                for pa, n, c, a in pieces:
+                    looped.write(pa, op[2][pos:pos + n], c_bit=c, asid=a)
+                    pos += n
+                want.append(None)
+            else:
+                want.append(hashlib.sha256(b"".join(
+                    looped.read(pa, n, c_bit=c, asid=a)
+                    for pa, n, c, a in pieces)).digest())
+        assert got == want
+    assert batched.memory.dump() == looped.memory.dump()
+    assert batched.cycles.total == looped.cycles.total
+    assert batched.cycles.by_reason == looped.cycles.by_reason
+
+
+def test_write_batch_size_mismatch_rejected():
+    fast, ref = _pair()
+    for ctl in (fast, ref):
+        with pytest.raises(PhysicalMemoryError):
+            ctl.run_batch([("w", [(0, 8, True, 1)], b"too much data")])
+
+
+def test_unknown_kind_rejected():
+    fast, ref = _pair()
+    for ctl in (fast, ref):
+        with pytest.raises(ReproError):
+            ctl.run_batch([("x", [(0, 8, True, 1)])])
+
+
+# -- primitives the batched path is built on ---------------------------------
+
+def test_span_keystream_is_concat_of_line_keystreams():
+    """span_keystream_int(key, pa, n) must equal the n per-line
+    keystreams laid out little-endian — the identity that makes one
+    wide XOR equal n narrow ones."""
+    rng = random.Random(0x57A9)
+    for _ in range(40):
+        key = bytes(rng.getrandbits(8) for _ in range(16))
+        first = rng.randrange(0, 1 << 24) & ~(CACHE_LINE - 1)
+        nlines = rng.randrange(1, 9)
+        span = crypto.span_keystream_int(key, first, nlines)
+        concat = b"".join(
+            crypto.line_keystream_int(key, first + i * CACHE_LINE)
+            .to_bytes(CACHE_LINE, "little")
+            for i in range(nlines))
+        assert span == int.from_bytes(concat, "little")
+
+
+def test_charge_many_is_n_charges():
+    """charge_many(c, reason, n) == n charge(c, reason) calls: same
+    total, same buckets, same event count — the order-free ledger
+    identity batched transfers rely on."""
+    a, b = CycleCounter(), CycleCounter()
+    a.charge_many(7, "mem-read-enc", 5)
+    a.charge_many(3, "mem-write-enc", 1)
+    for _ in range(5):
+        b.charge(7, "mem-read-enc")
+    b.charge(3, "mem-write-enc")
+    assert a.total == b.total
+    assert a.by_reason == b.by_reason
+    assert a.events == b.events
+
+
+def test_charge_many_zero_count_is_a_noop():
+    counter = CycleCounter()
+    counter.charge_many(100, "mem-read-enc", 0)
+    assert counter.total == 0
+    assert not counter.events

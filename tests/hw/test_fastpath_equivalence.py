@@ -280,6 +280,72 @@ def test_tlb_eviction_keeps_root_index_consistent():
         tlb.insert(i % 2, i, "t%d" % i)
     sizes = tlb.root_index_sizes()
     assert sum(sizes.values()) == len(tlb) == 3
-    for root, vpns in tlb._by_root.items():
-        for vpn in vpns:
-            assert (root, vpn) in tlb._entries
+    # the per-root live counts agree with the live entries themselves
+    live = {}
+    for (root, _vpn), _t in tlb._live_items():
+        live[root] = live.get(root, 0) + 1
+    assert live == sizes
+
+
+def test_tlb_flush_root_is_epoch_tagged_and_lazy():
+    """flush_root is O(1): an epoch bump retires the root's entries,
+    which then die lazily on lookup — observable behavior identical to
+    an eager walk-and-delete."""
+    cycles = CycleCounter()
+    tlb = Tlb(cycles, capacity=16)
+    for vpn in range(5):
+        tlb.insert(7, vpn, "r7-%d" % vpn)
+    tlb.insert(9, 0x99, "r9")
+    assert tlb.root_epoch(7) == 0
+    tlb.flush_root(7)
+    assert tlb.root_epoch(7) == 1
+    assert len(tlb) == 1                      # live view shrank at once
+    # the flushed entries are logically gone: lookups miss (and reclaim)
+    misses = tlb.misses
+    assert tlb.lookup(7, 0) is None
+    assert tlb.misses == misses + 1
+    assert tlb.lookup(9, 0x99) == "r9"        # other root untouched
+    # refilling after the flush works under the new epoch
+    tlb.insert(7, 0, "fresh")
+    assert tlb.lookup(7, 0) == "fresh"
+    assert tlb.root_index_sizes() == {7: 1, 9: 1}
+
+
+def test_tlb_stale_entries_are_free_eviction_victims():
+    """Entries retired by an epoch bump are reclaimed by the eviction
+    scan without counting as evictions — just like entries an eager
+    flush_root would already have deleted."""
+    tlb = Tlb(CycleCounter(), capacity=4)
+    for vpn in range(4):
+        tlb.insert(3, vpn, "v%d" % vpn)
+    tlb.flush_root(3)
+    assert len(tlb) == 0
+    # four inserts into the full-of-stale TLB must not evict anything
+    for vpn in range(4):
+        tlb.insert(5, vpn, "w%d" % vpn)
+    assert tlb.evictions == 0
+    assert len(tlb) == 4
+    # a fifth insert now evicts a live entry, LRU first
+    tlb.insert(5, 99, "w99")
+    assert tlb.evictions == 1
+    assert tlb.lookup(5, 0) is None
+
+
+def test_tlb_new_incarnation_retires_root_without_charging():
+    """Migration-receive wiring: the rebuilt guest's TLB starts cold,
+    and nobody pays INVLPG cycles for entries the old host owned."""
+    cycles = CycleCounter()
+    tlb = Tlb(cycles, capacity=16)
+    for vpn in range(6):
+        tlb.insert(11, vpn, "t%d" % vpn)
+    snap = cycles.snapshot()
+    epoch = tlb.root_epoch(11)
+    tlb.new_incarnation(11)
+    assert cycles.since(snap) == 0            # unlike flush_root
+    assert tlb.root_epoch(11) == epoch + 1
+    assert len(tlb) == 0
+    assert tlb.lookup(11, 0) is None
+    # bumps even when the root has no live entries (fresh incarnation
+    # on a host that never ran it)
+    tlb.new_incarnation(11)
+    assert tlb.root_epoch(11) == epoch + 2

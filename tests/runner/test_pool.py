@@ -1,0 +1,152 @@
+"""Persistent worker pool: reuse, warm caches, equivalence, faults.
+
+The pool's contract is that it changes *wall-clock shape only*: the
+merged results are byte-identical to the serial run and to the fresh
+process-per-shard mode, while workers live across shards so the
+process-global keystream caches stay warm.  The worker functions live
+at module level so shards can run them under any start method.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.common import crypto
+from repro.runner import (
+    RunnerError,
+    ShardPlan,
+    WorkUnit,
+    deterministic_digest,
+    execute,
+)
+
+
+def _pid(_key):
+    return os.getpid()
+
+
+def _keystream_probe(seed):
+    """Deterministic result that exercises the keystream line cache."""
+    key = bytes([seed % 256]) * crypto.KEY_BYTES
+    word = crypto.span_keystream_int(key, 0, 4)
+    return word % (2 ** 61 - 1)
+
+
+def _hard_exit(_key):
+    os._exit(3)
+
+
+def _crash_once_then(value, sentinel_path):
+    if not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w") as fh:
+            fh.write("attempt")
+        os._exit(1)
+    return value
+
+
+def _sleep_forever(_key):
+    time.sleep(60)
+
+
+def _units(count, fn=_keystream_probe):
+    return [WorkUnit.of(i, fn, i) for i in range(count)]
+
+
+class TestWorkerReuse:
+    def test_pool_runs_many_shards_per_worker(self):
+        report = execute(_units(6, _pid), jobs=2)
+        pids = set(report.values())
+        assert len(pids) <= 2                       # at most `jobs` workers
+        assert report.sharding["mode"] == "pool"
+        assert report.sharding["workers_spawned"] <= 2
+        assert len(report.sharding["shards"]) == 6
+
+    def test_fresh_forks_per_shard(self):
+        report = execute(_units(4, _pid), jobs=2, reuse_workers=False)
+        assert len(set(report.values())) == 4       # one process per shard
+        assert report.sharding["mode"] == "fresh"
+        assert report.sharding["workers_spawned"] == 4
+
+    def test_pool_keeps_keystream_caches_warm(self):
+        # Every shard computes the same spans; under the pool, shards
+        # after a worker's first report zero line misses (warm cache),
+        # which is exactly what fresh processes cannot do.
+        plan = ShardPlan.chunked(
+            [WorkUnit.of(i, _keystream_probe, 7) for i in range(4)], 4)
+        pooled = execute(plan, jobs=1 + 1)
+        misses = [s["keystream"]["line_misses"]
+                  for s in pooled.sharding["shards"]]
+        assert 0 in misses                          # some shard ran warm
+        assert any(m > 0 for m in misses)           # the first ones filled
+
+
+class TestEquivalence:
+    def test_serial_pool_fresh_values_identical(self):
+        units = lambda: _units(8)                   # noqa: E731
+        serial = execute(units(), jobs=1)
+        pooled = execute(units(), jobs=3)
+        fresh = execute(units(), jobs=3, reuse_workers=False)
+        assert serial.values() == pooled.values() == fresh.values()
+        assert deterministic_digest(serial.values()) \
+            == deterministic_digest(pooled.values()) \
+            == deterministic_digest(fresh.values())
+
+    def test_sharding_is_excluded_from_deterministic_digest(self):
+        report = execute(_units(3), jobs=2)
+        payload = {"values": report.values(), "sharding": report.sharding}
+        bare = {"values": report.values()}
+        assert deterministic_digest(payload) == deterministic_digest(bare)
+
+
+class TestShardingBreakdown:
+    def test_breakdown_fields_present(self):
+        report = execute(_units(4), jobs=2)
+        sharding = report.sharding
+        for field_name in ("mode", "workers_spawned", "spawn_s",
+                           "transport_s", "compute_s", "dispatch_bytes",
+                           "result_bytes", "shards"):
+            assert field_name in sharding, field_name
+        assert sharding["spawn_s"] > 0
+        assert sharding["dispatch_bytes"] > 0
+        assert sharding["result_bytes"] > 0
+        for record in sharding["shards"]:
+            assert record["worker"].startswith("pid:")
+            assert "line_misses" in record["keystream"]
+
+    def test_serial_mode_reports_zero_spawn(self):
+        report = execute(_units(2), jobs=1)
+        assert report.sharding["mode"] == "serial"
+        assert report.sharding["workers_spawned"] == 0
+        assert report.sharding["spawn_s"] == 0.0
+        assert len(report.sharding["shards"]) == 2  # one per unit-shard
+
+
+class TestPoolFaults:
+    def test_dead_pool_worker_fails_only_its_shard(self):
+        units = [WorkUnit.of(0, _keystream_probe, 0),
+                 WorkUnit.of(1, _hard_exit, 1),
+                 WorkUnit.of(2, _keystream_probe, 2)]
+        report = execute(units, jobs=2, retries=1)
+        assert [r.ok for r in report.results] == [True, False, True]
+        assert report.results[1].attempts == 2
+        kinds = [kind for kind, _ in report.events]
+        assert "worker-crashed" in kinds
+        with pytest.raises(RunnerError):
+            report.values()
+
+    def test_pool_crash_then_success_on_retry(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        report = execute(
+            [WorkUnit.of(0, _crash_once_then, 7, sentinel)],
+            jobs=2, retries=2)
+        assert report.values() == [7]
+        assert report.results[0].attempts == 2
+
+    def test_pool_timeout_kills_and_fails_shard(self):
+        report = execute([WorkUnit.of(0, _sleep_forever, 0)],
+                         jobs=2, timeout_s=0.3, retries=0)
+        assert not report.results[0].ok
+        assert "timed out" in report.results[0].error
+        kinds = [kind for kind, _ in report.events]
+        assert "shard-timeout" in kinds

@@ -1,0 +1,120 @@
+"""Guest-level batched memory ops vs the per-access loop.
+
+:meth:`GuestContext.batch` front-loads the NPT translations for a list
+of span ops and funnels them through one
+:meth:`MemoryController.run_batch` call.  Two identically-seeded
+systems, one driven per-access and one driven batched with the *same
+op order*, must end byte-identical: guest-visible bytes, host DRAM,
+the full cycle ledger and the machine state fingerprint — which is
+also what makes the batched results safe inside the deterministic
+runner digests.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.common.constants import PAGE_SIZE
+from repro.runner import deterministic_digest
+from repro.system import GuestOwner, System
+from repro.workloads.guestprogs import CryptoWorker
+from repro.common.errors import XenError
+
+SEED = 0xBA7C
+PAGES = 6
+FIRST_GFN = 40
+
+
+def _booted():
+    system = System.create(fidelius=True, frames=2048, seed=SEED)
+    owner = GuestOwner(seed=SEED)
+    _domain, ctx = system.boot_protected_guest(
+        "batch", owner, payload=b"batch", guest_frames=64)
+    return system, ctx
+
+
+def _seed_pages(ctx):
+    for i in range(PAGES):
+        ctx.write((FIRST_GFN + i) * PAGE_SIZE,
+                  bytes([i + 1]) * PAGE_SIZE)
+
+
+class TestBatchEqualsPerAccess:
+    def test_same_order_same_everything(self):
+        """Per-page-ordered batches against the identical per-access
+        sequence: bytes, DRAM, cycle ledger and machine fingerprint all
+        equal — the strict form of the equivalence."""
+        sys_a, ctx_a = _booted()
+        sys_b, ctx_b = _booted()
+        _seed_pages(ctx_a)
+        _seed_pages(ctx_b)
+
+        results_a, results_b = [], []
+        for i in range(PAGES):
+            gpa = (FIRST_GFN + i) * PAGE_SIZE
+            page = ctx_a.read(gpa, PAGE_SIZE)
+            digest = hashlib.sha256(page).digest()
+            ctx_a.write(gpa, digest)
+            results_a.append(digest.hex())
+
+            span = ctx_b.batch([("r", gpa, PAGE_SIZE)])[0]
+            assert span == page
+            hashed = hashlib.sha256(span).digest()
+            ctx_b.batch([("w", gpa, hashed)])
+            results_b.append(hashed.hex())
+
+        assert results_a == results_b
+        assert deterministic_digest(results_a) \
+            == deterministic_digest(results_b)
+        for i in range(PAGES):
+            gpa = (FIRST_GFN + i) * PAGE_SIZE
+            assert ctx_a.read(gpa, PAGE_SIZE) == ctx_b.read(gpa, PAGE_SIZE)
+        assert sys_a.machine.memory.dump() == sys_b.machine.memory.dump()
+        assert sys_a.machine.cycles.total == sys_b.machine.cycles.total
+        assert sys_a.machine.cycles.by_reason \
+            == sys_b.machine.cycles.by_reason
+        assert sys_a.machine.cycles.events == sys_b.machine.cycles.events
+
+    def test_multi_page_span_read_crosses_page_boundary(self):
+        _system, ctx = _booted()
+        _seed_pages(ctx)
+        first_gpa = FIRST_GFN * PAGE_SIZE
+        span = ctx.batch([("r", first_gpa, PAGES * PAGE_SIZE)])[0]
+        want = b"".join(ctx.read(first_gpa + i * PAGE_SIZE, PAGE_SIZE)
+                        for i in range(PAGES))
+        assert span == want
+
+    def test_hash_matches_read_then_sha256(self):
+        _system, ctx = _booted()
+        _seed_pages(ctx)
+        gpa = FIRST_GFN * PAGE_SIZE
+        digest = ctx.batch([("h", gpa, 3 * PAGE_SIZE)])[0]
+        assert digest == hashlib.sha256(ctx.read(gpa, 3 * PAGE_SIZE)).digest()
+
+    def test_batched_write_is_readable_per_access(self):
+        _system, ctx = _booted()
+        data = bytes(range(256)) * (2 * PAGE_SIZE // 256)
+        gpa = FIRST_GFN * PAGE_SIZE
+        ctx.batch([("w", gpa, data)])
+        assert ctx.read(gpa, len(data)) == data
+
+    def test_unknown_op_kind_rejected(self):
+        _system, ctx = _booted()
+        with pytest.raises(XenError):
+            ctx.batch([("z", FIRST_GFN * PAGE_SIZE, 8)])
+
+
+class TestBatchedCryptoWorker:
+    def test_batched_worker_digests_and_memory_match_per_access(self):
+        """The guest-macro workload itself: the span-read batched
+        CryptoWorker produces the same round digests and the same final
+        guest memory as the per-access original."""
+        _sys_a, ctx_a = _booted()
+        _sys_b, ctx_b = _booted()
+        plain = CryptoWorker(ctx_a, first_gfn=FIRST_GFN, pages=4)
+        fast = CryptoWorker(ctx_b, first_gfn=FIRST_GFN, pages=4,
+                            batched=True)
+        assert plain.run(rounds=3) == fast.run(rounds=3)
+        for i in range(4):
+            gpa = (FIRST_GFN + i) * PAGE_SIZE
+            assert ctx_a.read(gpa, PAGE_SIZE) == ctx_b.read(gpa, PAGE_SIZE)
