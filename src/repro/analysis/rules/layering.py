@@ -3,8 +3,8 @@
 The simulator is a strict stack —
 
     common(0) < hw/runner(1) < sev(2) < xen(3) < core(4)
-             < system/workloads(5) < cloud(6) < eval/checkpoint(7)
-             < faults(8) < analysis(9)
+             < system/workloads(5) < cloud(6) < fleet(7)
+             < eval/checkpoint(8) < faults(9) < analysis(10)
 
 — and a module may import only *strictly lower* layers (or its own
 subpackage).  Two special cases: ``repro.attacks`` may import anything
@@ -29,19 +29,24 @@ LAYERS = {
     "system": 5,
     "workloads": 5,
     "cloud": 6,
-    "eval": 7,
+    # The discrete-event fleet model sits above cloud: its lockstep
+    # differential drives a real Cloud and its hydration escape hatch
+    # materializes real Systems, while eval (fleetbench) and faults
+    # (the fleet soak profile) reach down into it from above.
+    "fleet": 7,
+    "eval": 8,
     # The serializer sits beside eval: it sees whole systems and clouds
-    # (layer 6 and below) but neither imports eval nor is imported by
+    # (layer 7 and below) but neither imports eval nor is imported by
     # it; faults sits above so the chaos soak can checkpoint itself.
-    "checkpoint": 7,
+    "checkpoint": 8,
     # The chaos subsystem sits above everything it arms (it drives the
     # whole fleet plus the eval checks); FID009 separately guarantees
     # nothing imports it back.
-    "faults": 8,
+    "faults": 9,
     # fidelint is tooling *over* the whole tree, imported by nothing in
     # src; it sits on top so it may reuse the runner for --jobs without
     # a back-edge, while no simulator layer may reach up into it.
-    "analysis": 9,
+    "analysis": 10,
 }
 
 ATTACKS_IMPORTERS = frozenset({"eval"})
@@ -54,7 +59,8 @@ def _subpackage(dotted):
 
 @rule("FID003", "layering", Severity.ERROR,
       "Back-edge in the import DAG (common < hw < sev < xen < core < "
-      "system < cloud/eval); nothing but eval/tests imports attacks.",
+      "system < cloud < fleet < eval); nothing but eval/tests imports "
+      "attacks.",
       example="""
       # BAD (in repro/hw/tlb.py): hw importing up into core
       from repro.core.gates import GateKeeper

@@ -30,8 +30,9 @@ from repro.analysis.dataflow.effects import module_mutable_globals
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import rule
 
-#: the packages restore must be able to rebuild exactly
-SCOPED_SUBPACKAGES = frozenset({"hw", "sev", "core", "common"})
+#: the packages restore must be able to rebuild exactly ("fleet" rides
+#: along so its policy dispatch table is inventoried like the others)
+SCOPED_SUBPACKAGES = frozenset({"hw", "sev", "core", "common", "fleet"})
 
 #: where stale-registry findings attach
 REGISTRY_MODULE = "repro.common.state_registry"

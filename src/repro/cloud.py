@@ -21,6 +21,7 @@ the source is intact and re-enterable after any target-side failure.
 Every failure is recorded in :attr:`Cloud.events` for the operator.
 """
 
+import bisect
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -78,6 +79,17 @@ class Cloud:
         #: :attr:`events_recorded` keeps the lifetime total.
         self.events = deque(maxlen=event_log_limit)
         self.events_recorded = 0
+        #: tenants-per-host, O(1) to read (placement used to recount
+        #: every tenant per candidate host)
+        self._loads = [0] * hosts
+        #: sorted ``(load, host index)`` over non-quarantined hosts —
+        #: the head is always the least-loaded admissible candidate, so
+        #: placement is an index walk instead of a fleet scan, and the
+        #: bisect updates on launch/migrate/shutdown are O(log n)
+        self._load_index = [(0, i) for i in range(hosts)]
+        #: host index -> (staleness probe, cached perf contribution)
+        self._perf_cache = {}
+        self._perf_totals = None
 
     def __len__(self):
         return len(self.hosts)
@@ -102,33 +114,86 @@ class Cloud:
         """How many old events the ring buffer has already evicted."""
         return self.events_recorded - len(self.events)
 
+    @staticmethod
+    def _perf_probe(machine):
+        """A five-integer staleness probe for one host's perf state.
+
+        Sound because every memory-controller fast-path counter mutates
+        only on cycle-charging paths, every TLB hit/miss/eviction is one
+        of the probed counters, and the only zero-cycle TLB mutation
+        with observable perf output (``new_incarnation``) changes the
+        live-entry count.  A probe match therefore means the host's
+        cached contribution is still exact.
+        """
+        tlb = machine.tlb
+        return (machine.cycles.total, tlb.hits, tlb.misses,
+                tlb.evictions, len(tlb))
+
+    @staticmethod
+    def _perf_contribution(stats):
+        """One host's summable share of the fleet totals."""
+        host_tlb = stats["tlb"]
+        return {
+            "memctrl": dict(stats["memctrl"]),
+            "tlb": {
+                "hits": host_tlb["hits"],
+                "misses": host_tlb["misses"],
+                "evictions": host_tlb["evictions"],
+                "entries": host_tlb["entries"],
+                "roots": host_tlb["roots"],
+                "root_index_entries": sum(
+                    host_tlb["root_index_sizes"].values()),
+            },
+        }
+
     def perf_stats(self):
         """Fleet-wide simulator fast-path counters, one call per cloud.
 
         Sums every host's :meth:`~repro.hw.machine.Machine.perf_stats`
-        hierarchy counters.  The keystream cache is process-global (one
-        cache serves every machine), so it is reported once rather than
-        summed; the TLBs' per-root occupancy maps collapse into a total
-        entry count (root PFNs are meaningless across hosts).
+        hierarchy counters — incrementally: each host's contribution is
+        cached against a cheap staleness probe (:meth:`_perf_probe`),
+        and only hosts whose probe moved are re-walked, their old
+        contribution subtracted and the fresh one added to integer-exact
+        running totals.  A quiescent fleet answers in O(hosts) probe
+        reads instead of O(hosts) full counter walks; the result is
+        defined to equal the full re-summation.
+
+        The keystream cache is process-global (one cache serves every
+        machine), so it is reported once rather than summed; the TLBs'
+        per-root occupancy maps collapse into a total entry count (root
+        PFNs are meaningless across hosts).
         """
-        per_host = [host.machine.perf_stats() for host in self.hosts]
-        memctrl = {}
-        for stats in per_host:
-            for key, value in stats["memctrl"].items():
-                memctrl[key] = memctrl.get(key, 0) + value
-        tlb = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0,
-               "roots": 0, "root_index_entries": 0}
-        for stats in per_host:
-            host_tlb = stats["tlb"]
-            for key in ("hits", "misses", "evictions", "entries", "roots"):
-                tlb[key] += host_tlb[key]
-            tlb["root_index_entries"] += sum(
-                host_tlb["root_index_sizes"].values())
+        if self._perf_totals is None:
+            self._perf_totals = {
+                "memctrl": {},
+                "tlb": {"hits": 0, "misses": 0, "evictions": 0,
+                        "entries": 0, "roots": 0,
+                        "root_index_entries": 0},
+            }
+        totals = self._perf_totals
+        for index, host in enumerate(self.hosts):
+            probe = self._perf_probe(host.machine)
+            cached = self._perf_cache.get(index)
+            if cached is not None and cached[0] == probe:
+                continue
+            fresh = self._perf_contribution(host.machine.perf_stats())
+            if cached is not None:
+                stale = cached[1]
+                for key, value in stale["memctrl"].items():
+                    totals["memctrl"][key] -= value
+                for key, value in stale["tlb"].items():
+                    totals["tlb"][key] -= value
+            for key, value in fresh["memctrl"].items():
+                totals["memctrl"][key] = \
+                    totals["memctrl"].get(key, 0) + value
+            for key, value in fresh["tlb"].items():
+                totals["tlb"][key] += value
+            self._perf_cache[index] = (probe, fresh)
         return {
             "hosts": len(self.hosts),
             "keystream_cache": crypto.keystream_cache_stats(),
-            "memctrl": memctrl,
-            "tlb": tlb,
+            "memctrl": dict(totals["memctrl"]),
+            "tlb": dict(totals["tlb"]),
             "events": {
                 "recorded": self.events_recorded,
                 "retained": len(self.events),
@@ -155,6 +220,7 @@ class Cloud:
         if reason is None:
             return True
         self.quarantined.add(index)
+        self._index_discard(index)
         self._record("host-quarantined", host=index, reason=reason)
         return False
 
@@ -169,6 +235,7 @@ class Cloud:
         self.quarantined.discard(index)
         ok = self.attest_host(index)
         if ok:
+            self._index_add(index)
             self._record("quarantine-lifted", host=index)
         else:
             self._record("quarantine-lift-rejected", host=index)
@@ -180,15 +247,53 @@ class Cloud:
     # -- placement ----------------------------------------------------------------
 
     def _load(self, index):
-        return len([t for t in self.tenants.values()
-                    if t.host_index == index])
+        return self._loads[index]
+
+    def _index_add(self, index):
+        entry = (self._loads[index], index)
+        at = bisect.bisect_left(self._load_index, entry)
+        if at < len(self._load_index) and self._load_index[at] == entry:
+            return
+        self._load_index.insert(at, entry)
+
+    def _index_discard(self, index):
+        entry = (self._loads[index], index)
+        at = bisect.bisect_left(self._load_index, entry)
+        if at < len(self._load_index) and self._load_index[at] == entry:
+            del self._load_index[at]
+
+    def _shift_load(self, index, delta):
+        """Move one host's tenant count, re-keying its index entry (a
+        quarantined host has no entry; only its count moves)."""
+        quarantined = index in self.quarantined
+        if not quarantined:
+            self._index_discard(index)
+        self._loads[index] += delta
+        if not quarantined:
+            self._index_add(index)
 
     def pick_host(self, exclude=()):
-        """The least-loaded host that passes attestation."""
-        candidates = [i for i in self.attested_hosts() if i not in exclude]
-        if not candidates:
-            raise ReproError("no host in the fleet passes attestation")
-        return min(candidates, key=self._load)
+        """The least-loaded host that passes attestation.
+
+        Walks the sorted load index from the head, so the first
+        non-excluded host that attests cleanly *is* the answer (ties
+        break to the lowest host index, as the old full scan's ``min``
+        did).  Hosts are attested lazily in candidate order; one that
+        fails is quarantined on the spot — which removes its entry, so
+        the same position holds the next candidate.
+        """
+        at = 0
+        while at < len(self._load_index):
+            load, index = self._load_index[at]
+            if index in exclude:
+                at += 1
+                continue
+            if self.attest_host(index):
+                return index
+            if (at < len(self._load_index)
+                    and self._load_index[at] == (load, index)):
+                at += 1      # entry survived the failed attestation
+        raise ReproError("no host in the fleet passes attestation")
 
     def launch_tenant(self, name, owner, payload=b"", guest_frames=48,
                       host_index=None):
@@ -203,6 +308,7 @@ class Cloud:
             name, owner, payload=payload, guest_frames=guest_frames)
         tenant = Tenant(name, owner, index, domain, ctx)
         self.tenants[name] = tenant
+        self._shift_load(index, +1)
         return tenant
 
     # -- mobility -------------------------------------------------------------------
@@ -227,6 +333,8 @@ class Cloud:
                          reason=str(exc))
             self.attest_host(to_host_index)
             raise
+        self._shift_load(tenant.host_index, -1)
+        self._shift_load(to_host_index, +1)
         tenant.host_index = to_host_index
         tenant.domain = domain
         tenant.ctx = ctx
@@ -281,11 +389,10 @@ class Cloud:
             excluded = {host_index}
             last_error = None
             for _ in range(1 + retries):
-                candidates = [i for i in self.attested_hosts()
-                              if i not in excluded]
-                if not candidates:
+                try:
+                    destination = self.pick_host(exclude=excluded)
+                except ReproError:
                     break
-                destination = min(candidates, key=self._load)
                 try:
                     self._migrate_once(tenant, destination)
                     moved.append(tenant.name)
@@ -312,6 +419,7 @@ class Cloud:
         host = self.hosts[tenant.host_index]
         host.hypervisor.destroy_domain(tenant.domain)
         del self.tenants[name]
+        self._shift_load(tenant.host_index, -1)
 
     def inventory(self):
         """{host_index: [tenant names]} for every host."""

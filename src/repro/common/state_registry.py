@@ -99,6 +99,9 @@ REGISTRY = _build([
     ("repro.common.types", "PRIV_OPCODES", "constant", None,
      "privileged-encoding table built at import; FID008 guards the "
      "only writers"),
+    ("repro.fleet.policies", "POLICIES", "constant", None,
+     "placement-policy dispatch table built at import and only ever "
+     "read (make_policy instantiates per model)"),
     ("repro.sev.exit_policy", "EXIT_POLICIES", "constant", None,
      "VMEXIT policy table built at import and only ever read"),
 ])

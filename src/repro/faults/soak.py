@@ -35,6 +35,7 @@ soak at seed 10 and holds us to that.
 
 import json
 import os
+import random
 import signal
 from dataclasses import dataclass, field
 
@@ -50,6 +51,7 @@ from repro.core.invariants import check_invariants
 from repro.eval.security import plaintext_leak_scan
 from repro.faults.inject import FireWindow, arm_cloud, schedule_bytes
 from repro.faults.plan import FaultPlan
+from repro.fleet.events import Event, EventQueue
 from repro.runner import (
     WorkUnit,
     add_jobs_argument,
@@ -66,6 +68,7 @@ DEFAULT_SEEDS = tuple(range(20))
 #: Manifest kinds this harness writes.
 PROGRESS_KIND = "soak-progress"
 INSEED_KIND = "soak-inseed"
+FLEET_INSEED_KIND = "soak-fleet-inseed"
 
 
 @dataclass
@@ -143,6 +146,43 @@ def _tenant_setup(seed, tenants):
     return names, secrets, disk_secret
 
 
+def _launch_op(cloud, seed, name, index):
+    def op():
+        cloud.launch_tenant(name, GuestOwner(seed=seed * 101 + index),
+                            payload=_secret(seed, name),
+                            guest_frames=32)
+    return op
+
+
+def _disk_io_op(cloud, injectors, disk_secret, name):
+    def op():
+        tenant = cloud.tenants.get(name)
+        if tenant is None:
+            return
+        host = cloud.host(tenant.host_index)
+        encoder = host.aesni_encoder_for(tenant.ctx)
+        _, frontend, _ = host.attach_disk(
+            tenant.domain, tenant.ctx, sectors=64, encoder=encoder)
+        injectors[tenant.host_index].arm_ring(frontend.ring)
+        frontend.write(0, disk_secret)
+        frontend.read(0, 1)
+    return op
+
+
+def _migrate_op(cloud, name):
+    def op():
+        if name in cloud.tenants:
+            cloud.migrate_tenant(name)
+    return op
+
+
+def _shutdown_op(cloud, name):
+    def op():
+        if name in cloud.tenants:
+            cloud.shutdown_tenant(name)
+    return op
+
+
 def _scenario_ops(cloud, injectors, seed, names, disk_secret):
     """The scripted workload, as an ordered ``(name, thunk)`` list.
 
@@ -150,47 +190,15 @@ def _scenario_ops(cloud, injectors, seed, names, disk_secret):
     scenario parameters, so a resumed run rebuilds it against the
     restored fleet and continues from the checkpointed op index.
     """
-    def launch(name, index):
-        def op():
-            cloud.launch_tenant(name, GuestOwner(seed=seed * 101 + index),
-                                payload=_secret(seed, name),
-                                guest_frames=32)
-        return op
-
-    def disk_io(name):
-        def op():
-            tenant = cloud.tenants.get(name)
-            if tenant is None:
-                return
-            host = cloud.host(tenant.host_index)
-            encoder = host.aesni_encoder_for(tenant.ctx)
-            _, frontend, _ = host.attach_disk(
-                tenant.domain, tenant.ctx, sectors=64, encoder=encoder)
-            injectors[tenant.host_index].arm_ring(frontend.ring)
-            frontend.write(0, disk_secret)
-            frontend.read(0, 1)
-        return op
-
-    def migrate(name):
-        def op():
-            if name in cloud.tenants:
-                cloud.migrate_tenant(name)
-        return op
-
-    def shutdown(name):
-        def op():
-            if name in cloud.tenants:
-                cloud.shutdown_tenant(name)
-        return op
-
     ops = []
     for index, name in enumerate(names):
-        ops.append(("launch:" + name, launch(name, index)))
-    ops.append(("disk-io", disk_io(names[0])))
+        ops.append(("launch:" + name, _launch_op(cloud, seed, name, index)))
+    ops.append(("disk-io", _disk_io_op(cloud, injectors, disk_secret,
+                                       names[0])))
     for name in names:
-        ops.append(("migrate:" + name, migrate(name)))
+        ops.append(("migrate:" + name, _migrate_op(cloud, name)))
     ops.append(("evacuate:0", lambda: cloud.evacuate(0)))
-    ops.append(("shutdown:" + names[-1], shutdown(names[-1])))
+    ops.append(("shutdown:" + names[-1], _shutdown_op(cloud, names[-1])))
     return ops
 
 
@@ -258,6 +266,9 @@ class InSeedCheckpointer:
     so the round trip is invisible to the run.
     """
 
+    #: manifest kind written (the fleet profile overrides it)
+    kind = INSEED_KIND
+
     def __init__(self, store, every_events):
         self.store = store
         self.every_events = every_events
@@ -267,7 +278,8 @@ class InSeedCheckpointer:
         """Continue the firing cadence from a restored run's counters."""
         self._written_at = _events_seen(injectors)
 
-    def after_op(self, cloud, injectors, result, seed, next_op, params):
+    def after_op(self, cloud, injectors, result, seed, next_op, params,
+                 extra=None):
         if not self.every_events:
             return
         seen = _events_seen(injectors)
@@ -281,13 +293,25 @@ class InSeedCheckpointer:
             payload = {"seed": seed, "params": params, "cloud": cloud,
                        "result": result, "replay": replay,
                        "next_op": next_op}
+            if extra:
+                payload.update(extra)
             manifest = snapshot(
-                payload, self.store, kind=INSEED_KIND,
+                payload, self.store, kind=self.kind,
                 machines=[host.machine for host in cloud.hosts],
                 meta={"seed": seed, "next_op": next_op, "events": seen})
             self.store.commit(manifest)
         finally:
             _rearm_cloud(cloud, injectors)
+
+
+class FleetCheckpointer(InSeedCheckpointer):
+    """The fleet profile's variant: same disarm -> snapshot -> re-arm
+    protocol, but the payload carries the live :class:`EventQueue`
+    (pure-data events pickle byte-stably) instead of an op index — a
+    resumed scenario keeps popping the restored queue from the restored
+    virtual instant."""
+
+    kind = FLEET_INSEED_KIND
 
 
 def _resume_scenario(manifest, store, params, checkpointer, window):
@@ -362,22 +386,176 @@ def run_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4,
     return _finish_scenario(cloud, injectors, result, secrets)
 
 
+# -- the fleet profile -----------------------------------------------------------
+#
+# The classic scenario runs its ops in list order.  The fleet profile
+# runs the *same kind of ops* off a :class:`repro.fleet.events.EventQueue`:
+# a migration storm whose arrivals are scheduled on a virtual clock with
+# seeded tie-breaks, so same-instant collisions race reproducibly while
+# the fault injectors fire inside the storm.  Checkpoints carry the live
+# queue (events are pure data), and a resumed run keeps popping it from
+# the restored virtual instant — the round trip the fleet-soak test
+# proves byte-identical.
+
+#: virtual spacing/spans (ns) for the fleet profile's schedule
+FLEET_LAUNCH_SPACING_NS = 1_000_000
+FLEET_STORM_SPAN_NS = 8_000_000
+#: storm arrivals snap to this grid so same-instant collisions (the
+#: interesting case for the seeded tie-break) actually happen
+FLEET_STORM_SLOTS = 4
+
+
+def _fleet_schedule(seed, names, migrations):
+    """The storm schedule as a seeded, picklable event queue."""
+    queue = EventQueue(seed ^ 0x57E51)
+    rng = random.Random(seed * 7919 + 13)
+    for index, name in enumerate(names):
+        queue.schedule(index * FLEET_LAUNCH_SPACING_NS,
+                       Event.of("launch", name=name, index=index))
+    base = len(names) * FLEET_LAUNCH_SPACING_NS
+    queue.schedule(base, Event.of("disk-io", name=names[0]))
+    slot = FLEET_STORM_SPAN_NS // FLEET_STORM_SLOTS
+    for _ in range(migrations):
+        victim = names[rng.randrange(len(names))]
+        queue.schedule(base + 1 + rng.randrange(FLEET_STORM_SLOTS) * slot,
+                       Event.of("migrate", name=victim))
+    queue.schedule(base + FLEET_STORM_SPAN_NS + 1,
+                   Event.of("evacuate", host=0))
+    queue.schedule(base + FLEET_STORM_SPAN_NS + 2,
+                   Event.of("shutdown", name=names[-1]))
+    return queue
+
+
+def _fleet_event_op(cloud, injectors, seed, disk_secret, event):
+    """One popped event mapped onto the scripted-workload op factories."""
+    kind = event.kind
+    if kind == "launch":
+        name = event.get("name")
+        return ("launch:" + name,
+                _launch_op(cloud, seed, name, event.get("index")))
+    if kind == "disk-io":
+        return ("disk-io",
+                _disk_io_op(cloud, injectors, disk_secret,
+                            event.get("name")))
+    if kind == "migrate":
+        name = event.get("name")
+        return ("migrate:" + name, _migrate_op(cloud, name))
+    if kind == "evacuate":
+        host = event.get("host")
+        return ("evacuate:%d" % host, lambda: cloud.evacuate(host))
+    if kind == "shutdown":
+        name = event.get("name")
+        return ("shutdown:" + name, _shutdown_op(cloud, name))
+    raise ReproError("unknown fleet soak event kind %r" % kind)
+
+
+def _drive_fleet(cloud, injectors, result, secrets, queue, checkpointer,
+                 seed, params, disk_secret):
+    """Pop the queue dry, attempting each event's op as it fires."""
+    while True:
+        item = queue.pop()
+        if item is None:
+            break
+        _when, event = item
+        name, op = _fleet_event_op(cloud, injectors, seed, disk_secret,
+                                   event)
+        _attempt(result, cloud, secrets, name, op)
+        if checkpointer is not None:
+            checkpointer.after_op(cloud, injectors, result, seed, 0,
+                                  params, extra={"queue": queue})
+    # The virtual clock enters the result (and so the soak digest):
+    # resume must restore it exactly, not just the remaining events.
+    result.completed_ops.append("fleet-clock:%d" % queue.now)
+
+
+def _resume_fleet_scenario(manifest, store, params, checkpointer, window):
+    """Continue a fleet-profile scenario from its restored queue."""
+    if manifest.get("kind") != FLEET_INSEED_KIND:
+        raise CheckpointError(
+            "checkpoint kind %r is not a fleet-profile soak checkpoint"
+            % manifest.get("kind"))
+    payload = restore(
+        manifest, store,
+        machines_of=lambda p: [h.machine for h in p["cloud"].hosts])
+    if payload["params"] != params:
+        raise CheckpointError(
+            "checkpoint parameters %r do not match this run's %r: "
+            "refusing to resume" % (payload["params"], params))
+    seed = payload["seed"]
+    cloud = payload["cloud"]
+    result = payload["result"]
+    queue = payload["queue"]
+    plan = FaultPlan.random(seed, nfaults=params["nfaults"])
+    injectors = arm_cloud(cloud, plan, window=window)
+    for injector, state in zip(injectors, payload["replay"]):
+        injector.restore_replay_state(state)
+    if checkpointer is not None:
+        checkpointer.resync(injectors)
+    names, secrets, disk_secret = _tenant_setup(seed, params["tenants"])
+    _drive_fleet(cloud, injectors, result, secrets, queue, checkpointer,
+                 seed, params, disk_secret)
+    return _finish_scenario(cloud, injectors, result, secrets)
+
+
+def run_fleet_scenario(seed, hosts=3, tenants=2, frames=1024, nfaults=4,
+                       migrations=6, checkpoint_dir=None, every_events=0,
+                       window=None):
+    """One seeded fleet-profile scenario: the storm schedule comes off
+    a virtual-clock event queue, faults fire inside it, and the same
+    placement/confidentiality checks run after every event.
+
+    Checkpoint/resume semantics match :func:`run_scenario`, with the
+    queue (pending events *and* virtual clock) riding in the payload;
+    the parameter comparison fails closed across profiles because the
+    params dict carries ``"profile": "fleet"``.
+    """
+    params = {"hosts": hosts, "tenants": tenants, "frames": frames,
+              "nfaults": nfaults, "migrations": migrations,
+              "profile": "fleet"}
+    checkpointer = None
+    if checkpoint_dir is not None:
+        store = CheckpointStore(checkpoint_dir)
+        checkpointer = FleetCheckpointer(store, every_events)
+        manifest = store.latest()
+        if manifest is not None:
+            return _resume_fleet_scenario(manifest, store, params,
+                                          checkpointer, window)
+    plan = FaultPlan.random(seed, nfaults=nfaults)
+    cloud = Cloud(hosts=hosts, frames=frames, seed=0xB000 + seed)
+    injectors = arm_cloud(cloud, plan, window=window)
+    result = SoakResult(seed=seed)
+    names, secrets, disk_secret = _tenant_setup(seed, tenants)
+    queue = _fleet_schedule(seed, names, migrations)
+    _drive_fleet(cloud, injectors, result, secrets, queue, checkpointer,
+                 seed, params, disk_secret)
+    return _finish_scenario(cloud, injectors, result, secrets)
+
+
 # -- sweeps ----------------------------------------------------------------------
 
 
 def soak_report(seeds=DEFAULT_SEEDS, jobs=1, reuse_workers=True,
-                **scenario_kwargs):
+                fleet_profile=False, **scenario_kwargs):
     """Run every seed through the sharded runner; returns the
     :class:`~repro.runner.executor.RunReport` (per-shard wall-clock,
     utilization, diagnostic events) with results in seed order.
+
+    ``fleet_profile=True`` runs :func:`run_fleet_scenario` (the
+    event-queue storm schedule) instead of the classic op list; the two
+    submission sites stay separate so shard purity is auditable
+    statically.
 
     Every scenario is shared-nothing and fully seed-determined, so the
     merged results are byte-identical whatever ``jobs`` is — the
     ``parallel-equivalence`` CI job and
     ``tests/runner/test_parallel_equivalence.py`` hold us to that.
     """
-    units = [WorkUnit.of(seed, run_scenario, seed, **scenario_kwargs)
-             for seed in seeds]
+    if fleet_profile:
+        units = [WorkUnit.of(seed, run_fleet_scenario, seed,
+                             **scenario_kwargs) for seed in seeds]
+    else:
+        units = [WorkUnit.of(seed, run_scenario, seed, **scenario_kwargs)
+                 for seed in seeds]
     return execute(units, jobs=jobs, reuse_workers=reuse_workers)
 
 
@@ -410,7 +588,8 @@ def _write_progress(store, results, next_index, params):
 
 def resumable_soak(seeds, checkpoint_dir, every_seeds=5, every_events=0,
                    resume=False, jobs=1, sigkill_after=None,
-                   reuse_workers=True, **scenario_kwargs):
+                   reuse_workers=True, fleet_profile=False,
+                   **scenario_kwargs):
     """A seed sweep that survives being killed at any instant.
 
     Completed-seed results are checkpointed into
@@ -434,7 +613,10 @@ def resumable_soak(seeds, checkpoint_dir, every_seeds=5, every_events=0,
               "tenants": scenario_kwargs.get("tenants", 2),
               "frames": scenario_kwargs.get("frames", 1024),
               "nfaults": scenario_kwargs.get("nfaults", 4),
+              "profile": "fleet" if fleet_profile else "classic",
               "seeds": seeds}
+    if fleet_profile:
+        params["migrations"] = scenario_kwargs.get("migrations", 6)
     store = _progress_store(checkpoint_dir)
     results, start = [], 0
     manifest = store.latest()
@@ -469,7 +651,12 @@ def resumable_soak(seeds, checkpoint_dir, every_seeds=5, every_events=0,
                 kwargs["checkpoint_dir"] = \
                     unit_checkpoint_path(checkpoint_dir, seed)
                 kwargs["every_events"] = every_events
-            units.append(WorkUnit.of(seed, run_scenario, seed, **kwargs))
+            if fleet_profile:
+                units.append(WorkUnit.of(seed, run_fleet_scenario, seed,
+                                         **kwargs))
+            else:
+                units.append(WorkUnit.of(seed, run_scenario, seed,
+                                         **kwargs))
         report = execute(units, jobs=jobs, reuse_workers=reuse_workers)
         results.extend(report.values())
         index = stop
@@ -490,6 +677,15 @@ def main(argv=None):
     parser.add_argument("--hosts", type=int, default=3)
     parser.add_argument("--tenants", type=int, default=2)
     parser.add_argument("--nfaults", type=int, default=4)
+    parser.add_argument("--fleet-profile", action="store_true",
+                        help="drive each scenario off a virtual-clock "
+                             "event queue (migration storm with seeded "
+                             "same-instant races) instead of the "
+                             "classic op list")
+    parser.add_argument("--fleet-migrations", type=int, default=6,
+                        metavar="N",
+                        help="storm size for --fleet-profile "
+                             "(default %(default)s)")
     add_jobs_argument(parser)
     parser.add_argument("--bench-json", metavar="PATH", default=None,
                         help="also write wall-clock/shard counters and "
@@ -518,6 +714,10 @@ def main(argv=None):
                         help="write checkpoint size/dedup stats as JSON "
                              "(schema fidelius-checkpoint-bench/1)")
     args = parser.parse_args(argv)
+    scenario_kwargs = {"hosts": args.hosts, "tenants": args.tenants,
+                       "nfaults": args.nfaults}
+    if args.fleet_profile:
+        scenario_kwargs["migrations"] = args.fleet_migrations
     report = None
     if args.checkpoint_dir:
         results = resumable_soak(
@@ -527,12 +727,12 @@ def main(argv=None):
             resume=args.resume, jobs=args.jobs,
             reuse_workers=not args.fresh_workers,
             sigkill_after=args.sigkill_after,
-            hosts=args.hosts, tenants=args.tenants, nfaults=args.nfaults)
+            fleet_profile=args.fleet_profile, **scenario_kwargs)
     else:
         report = soak_report(range(args.seeds), jobs=args.jobs,
                              reuse_workers=not args.fresh_workers,
-                             hosts=args.hosts, tenants=args.tenants,
-                             nfaults=args.nfaults)
+                             fleet_profile=args.fleet_profile,
+                             **scenario_kwargs)
         results = report.values()
     for result in results:
         print(result.describe())

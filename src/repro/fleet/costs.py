@@ -1,0 +1,138 @@
+"""Calibrated per-op cost tables: what the faithful datapath would
+have spent.
+
+The fleet model never executes guest memory traffic; it *charges* for
+it.  The unit of charge is virtual nanoseconds of faithful-simulator
+work, calibrated from the committed ``BENCH_simulator.json``
+(:mod:`repro.eval.perfbench`, schema ``fidelius-perfbench/3``):
+
+* ``enc_rw_mix`` gives the measured cost of one encrypted line-granular
+  memory operation through the optimized
+  :class:`~repro.hw.memctrl.MemoryController`; a page re-encryption is
+  ``PAGE_SIZE / CACHE_LINE`` of those;
+* ``walker_tlb`` gives ``per_translation_us`` for an NPT walk;
+* ``guest_macro`` gives the per-round cost of a booted guest's batched
+  workload, the proxy for the fixed part of boot/launch.
+
+Everything else (SEND/RECEIVE transport framing, attestation quotes,
+key-rotation firmware calls) is expressed as documented multiples of
+those measured primitives — see ``docs/fleet.md`` for the derivation
+table.  All fields are integers so that virtual-clock arithmetic is
+exact and digests byte-stable.
+
+A :class:`CostTable` is a frozen, picklable dataclass: CLIs load it
+once (:func:`load_cost_table`) and pass it *into* sharded work units,
+so the work units themselves stay free of filesystem reads (FID013).
+"""
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.common.constants import CACHE_LINE, PAGE_SIZE
+
+#: encrypted cache-line operations per page re-encryption
+LINES_PER_PAGE = PAGE_SIZE // CACHE_LINE
+
+#: fallback primitives (ns), matching the committed BENCH_simulator.json
+#: within round-off: one encrypted line op through the optimized
+#: datapath, one NPT translation, one guest_macro round
+DEFAULT_LINE_OP_NS = 20_315
+DEFAULT_TRANSLATION_NS = 6_674
+DEFAULT_GUEST_ROUND_NS = 4_153_872
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Per-operation virtual cost, in nanoseconds of faithful work."""
+
+    #: one encrypted line-granular access (the measured primitive)
+    line_op_ns: int = DEFAULT_LINE_OP_NS
+    #: one nested-page-table translation
+    translation_ns: int = DEFAULT_TRANSLATION_NS
+    #: fixed part of booting a protected guest (measurement, LAUNCH
+    #: sequence, kernel handshake), before per-page image decryption
+    boot_fixed_ns: int = DEFAULT_GUEST_ROUND_NS
+    #: fixed part of one SEND/RECEIVE migration (policy checks, nonce
+    #: exchange, transport framing)
+    migrate_fixed_ns: int = DEFAULT_GUEST_ROUND_NS // 2
+    #: fixed part of one remote-attestation quote + verification
+    attest_ns: int = DEFAULT_GUEST_ROUND_NS // 4
+    #: fixed part of one per-guest key rotation (firmware key install,
+    #: TLB/cache shootdown), before per-page re-encryption
+    rotate_fixed_ns: int = DEFAULT_GUEST_ROUND_NS // 2
+    #: tearing one guest down (key uninstall, frame scrubbing is
+    #: charged per page)
+    shutdown_fixed_ns: int = DEFAULT_GUEST_ROUND_NS // 4
+    #: where the table came from ("default" or "bench")
+    source: str = "default"
+
+    @property
+    def page_ns(self):
+        """Re-encrypting one page: a line op per cache line, plus one
+        translation to reach it."""
+        return self.line_op_ns * LINES_PER_PAGE + self.translation_ns
+
+    def boot_ns(self, pages):
+        return self.boot_fixed_ns + pages * self.page_ns
+
+    def migrate_ns(self, pages):
+        """SEND at the source + RECEIVE at the target: each page is
+        decrypted once and re-encrypted once."""
+        return self.migrate_fixed_ns + 2 * pages * self.page_ns
+
+    def rotate_ns(self, pages):
+        return self.rotate_fixed_ns + pages * self.page_ns
+
+    def shutdown_ns(self, pages):
+        return self.shutdown_fixed_ns + pages * self.page_ns
+
+    def asdict(self):
+        return asdict(self)
+
+
+def from_bench(report):
+    """Calibrate a :class:`CostTable` from a parsed perfbench report.
+
+    Missing sections fall back to the defaults field by field, so a
+    ``--quick`` or ``--only``-restricted artifact still calibrates what
+    it can.
+    """
+    benches = report.get("benchmarks", {})
+    line_op_ns = DEFAULT_LINE_OP_NS
+    mix = benches.get("enc_rw_mix", {})
+    if mix.get("ops"):
+        line_op_ns = max(1, round(1e9 * mix["optimized_s"] / mix["ops"]))
+    translation_ns = DEFAULT_TRANSLATION_NS
+    walker = benches.get("walker_tlb", {})
+    if walker.get("per_translation_us"):
+        translation_ns = max(1, round(1e3 * walker["per_translation_us"]))
+    round_ns = DEFAULT_GUEST_ROUND_NS
+    macro = benches.get("guest_macro", {})
+    if macro.get("rounds"):
+        round_ns = max(1, round(1e9 * macro["optimized_s"]
+                                / macro["rounds"]))
+    return CostTable(
+        line_op_ns=line_op_ns,
+        translation_ns=translation_ns,
+        boot_fixed_ns=round_ns,
+        migrate_fixed_ns=round_ns // 2,
+        attest_ns=round_ns // 4,
+        rotate_fixed_ns=round_ns // 2,
+        shutdown_fixed_ns=round_ns // 4,
+        source="bench",
+    )
+
+
+def load_cost_table(path=None):
+    """The calibrated table from a ``BENCH_simulator.json`` at ``path``,
+    or the documented defaults when ``path`` is None.
+
+    Callers on the CLI side load once and hand the frozen table to the
+    model/scenario layer; sharded work units must receive it as an
+    argument rather than call this (no filesystem access inside work
+    units).
+    """
+    if path is None:
+        return CostTable()
+    with open(path) as handle:
+        return from_bench(json.load(handle))

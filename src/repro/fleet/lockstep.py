@@ -1,0 +1,186 @@
+"""The lockstep differential: fleet model vs real Cloud, move by move.
+
+The fleet model earns the right to stand in for the faithful stack by
+agreeing with it.  This module drives a small real
+:class:`~repro.cloud.Cloud` (every host a full Fidelius
+:class:`~repro.system.System`) and a :class:`~repro.fleet.model.FleetModel`
+under the ``spread`` policy through the *same* scripted campaign —
+launches, policy-chosen migrations, a tampered host that must fall to
+attestation, post-quarantine placements, shutdowns — and compares every
+placement decision and every resulting inventory event-for-event.
+
+``spread`` is the policy under test because it is definitionally the
+model-side mirror of :meth:`Cloud.pick_host`: fewest resident tenants
+wins, ties to the lowest host index.  Any divergence — a different
+placement, a different quarantine set, a different inventory — is a
+recorded mismatch, and CI fails on a non-empty list.
+
+The cloud side quarantines *through the real mechanism*: the script
+tampers a host's hypervisor text and lets remote attestation catch it
+on the next placement, while the model side declares the same host
+quarantined.  That asymmetry is the point — the model asserts what the
+faithful stack must independently discover.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.cloud import Cloud
+from repro.common.errors import ReproError
+from repro.fleet.events import FleetError
+from repro.fleet.model import FleetModel
+from repro.system import GuestOwner
+
+#: guest footprint used on both sides (real frames == modelled frames)
+GUEST_FRAMES = 48
+
+
+@dataclass
+class LockstepReport:
+    """What the differential did and where (if anywhere) it diverged."""
+
+    hosts: int
+    seed: int
+    launches: int = 0
+    migrations: int = 0
+    shutdowns: int = 0
+    quarantines: int = 0
+    mismatches: list = field(default_factory=list)
+    inventory: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return not self.mismatches
+
+    def asdict(self):
+        return {
+            "hosts": self.hosts,
+            "seed": self.seed,
+            "launches": self.launches,
+            "migrations": self.migrations,
+            "shutdowns": self.shutdowns,
+            "quarantines": self.quarantines,
+            "mismatches": list(self.mismatches),
+            "ok": self.ok,
+        }
+
+
+class _Differential:
+    """One cloud, one model, and the comparisons between them."""
+
+    def __init__(self, seed, hosts, frames):
+        self.cloud = Cloud(hosts=hosts, frames=frames, seed=seed)
+        # Generous modelled capacity: the real machines' frame budget is
+        # consumed by firmware/hypervisor structures too, so capacity
+        # must never be the model's reason to refuse what the cloud
+        # accepts at this scale.
+        self.model = FleetModel(hosts=hosts, host_frames=64 * frames,
+                                seed=seed, policy="spread")
+        self.report = LockstepReport(hosts=hosts, seed=seed)
+
+    def _mismatch(self, what, cloud_says, model_says):
+        self.report.mismatches.append(
+            "%s: cloud=%r model=%r" % (what, cloud_says, model_says))
+
+    def check_inventories(self, when):
+        cloud_inv = self.cloud.inventory()
+        model_inv = self.model.inventory()
+        if cloud_inv != model_inv:
+            self._mismatch("inventory after %s" % when, cloud_inv,
+                           model_inv)
+        cloud_q = sorted(self.cloud.quarantined)
+        model_q = sorted(self.model.quarantined)
+        if cloud_q != model_q:
+            self._mismatch("quarantine set after %s" % when, cloud_q,
+                           model_q)
+
+    def launch(self, name, owner):
+        tenant = self.cloud.launch_tenant(
+            name, owner, payload=b"LOCKSTEP|" + name.encode(),
+            guest_frames=GUEST_FRAMES)
+        guest = self.model.launch(name, GUEST_FRAMES)
+        self.report.launches += 1
+        if tenant.host_index != guest.host:
+            self._mismatch("placement of %s" % name, tenant.host_index,
+                           guest.host)
+        self.check_inventories("launch %s" % name)
+
+    def migrate(self, name):
+        try:
+            cloud_host = self.cloud.migrate_tenant(name).host_index
+        except ReproError as exc:
+            cloud_host = "refused: %s" % exc
+        try:
+            model_host = self.model.migrate(name).host
+        except FleetError as exc:
+            model_host = "refused: %s" % exc
+        self.report.migrations += 1
+        if cloud_host != model_host:
+            self._mismatch("migration of %s" % name, cloud_host,
+                           model_host)
+        self.check_inventories("migrate %s" % name)
+
+    def shutdown(self, name):
+        self.cloud.shutdown_tenant(name)
+        self.model.shutdown(name)
+        self.report.shutdowns += 1
+        self.check_inventories("shutdown %s" % name)
+
+    def tamper(self, index):
+        """Corrupt host ``index``'s hypervisor text on the cloud side;
+        declare the same host quarantined on the model side.  The cloud
+        must *discover* the quarantine via attestation on its next
+        placement — that is what the next launch/migrate checks."""
+        host = self.cloud.host(index)
+        host.machine.memory.write(host.hypervisor.text.base_va + 0x600,
+                                  b"\xCC\xCC")
+        self.model.quarantine_host(index)
+        self.report.quarantines += 1
+
+
+def run_lockstep(seed=0xC10D, hosts=3, tenants=6, churn=6, frames=4096):
+    """Drive the full differential; returns a :class:`LockstepReport`.
+
+    The campaign: launch ``tenants`` guests, run ``churn`` policy-chosen
+    migrations, tamper the host heading the placement order and verify
+    both sides route around it identically (the cloud by *discovering*
+    the tamper at its next attestation), then shut a tenant down and
+    keep churning.
+    """
+    diff = _Differential(seed, hosts, frames)
+    rng = random.Random(seed ^ 0xD1FF)
+    names = ["ls-t%03d" % i for i in range(tenants)]
+    owners = {name: GuestOwner(seed=seed + 7 * i)
+              for i, name in enumerate(names)}
+
+    for name in names:
+        diff.launch(name, owners[name])
+    for _ in range(churn):
+        diff.migrate(rng.choice(names))
+
+    # Tamper the host at the *head* of the placement order (fewest
+    # guests, ties to the lowest index).  Lazy attestation only probes
+    # candidates in preference order, so the head is the one host the
+    # very next placement is guaranteed to attest — discovery is
+    # deterministic whatever shape the churn left the loads in.
+    tampered = min(range(hosts),
+                   key=lambda i: (len(diff.model.hosts[i].guests), i))
+    diff.tamper(tampered)
+    # Next placements must route around the tampered host on both sides
+    # (this is where the cloud actually quarantines it).
+    extra = "ls-extra"
+    diff.launch(extra, GuestOwner(seed=seed + 999))
+    names.append(extra)
+    owners[extra] = None
+
+    victim = rng.choice(sorted(n for n in names
+                               if diff.model.guests[n].host != tampered))
+    diff.shutdown(victim)
+    names.remove(victim)
+    survivors = [n for n in names
+                 if diff.model.guests[n].host != tampered]
+    for _ in range(max(2, churn // 2)):
+        diff.migrate(rng.choice(survivors))
+
+    diff.report.inventory = diff.model.inventory()
+    return diff.report

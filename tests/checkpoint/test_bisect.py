@@ -13,10 +13,10 @@ from repro.checkpoint.bisect import (
 from repro.checkpoint.store import CheckpointError, CheckpointStore
 from repro.faults.soak import run_scenario
 
-# Seed 4 of the default scenario shape: four fault events, two of which
-# break launch:t0 and migrate:t1.  The migrate failure needs only the
-# first three events.
-SEED, PREDICATE = 4, "failed-op:migrate:t1"
+# Seed 4 of the default scenario shape: three fault events, two of
+# which break launch:t0 and migrate:t1.  The launch failure needs only
+# the first event, so bisection has a real sub-window to find.
+SEED, PREDICATE = 4, "failed-op:launch:t0"
 
 
 class TestBisect:

@@ -192,6 +192,144 @@ class TestFleetPerfStats:
         assert events == {"recorded": 9, "retained": 4, "dropped": 5}
 
 
+class TestLoadIndex:
+    """The sorted free-capacity index behind ``pick_host`` must mirror
+    the O(n) truth (tenant counts over non-quarantined hosts) across
+    every mutation path."""
+
+    @staticmethod
+    def _rebuilt(cloud):
+        counts = {i: 0 for i in range(len(cloud.hosts))}
+        for tenant in cloud.tenants.values():
+            counts[tenant.host_index] += 1
+        return sorted((counts[i], i) for i in range(len(cloud.hosts))
+                      if i not in cloud.quarantined)
+
+    def test_index_tracks_launch_migrate_shutdown(self):
+        cloud = Cloud(hosts=3, frames=2048, seed=0x1DE0)
+        assert cloud._load_index == self._rebuilt(cloud)
+        for i in range(3):
+            t = cloud.launch_tenant("t%d" % i, GuestOwner(seed=20 + i))
+            t.ctx.hypercall(hc.HC_SCHED_YIELD)
+            assert cloud._load_index == self._rebuilt(cloud)
+        cloud.migrate_tenant("t0")
+        assert cloud._load_index == self._rebuilt(cloud)
+        cloud.shutdown_tenant("t1")
+        assert cloud._load_index == self._rebuilt(cloud)
+
+    def test_quarantined_host_leaves_the_index(self):
+        cloud = Cloud(hosts=3, frames=2048, seed=0x1DE1)
+        host2 = cloud.host(2)
+        host2.machine.memory.write(
+            host2.hypervisor.text.base_va + 0x600, b"\xCC")
+        assert not cloud.attest_host(2)
+        assert cloud._load_index == self._rebuilt(cloud)
+        assert all(index != 2 for _load, index in cloud._load_index)
+
+    def test_lift_restores_the_index_entry(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0x1DE2)
+        cloud.quarantined.add(1)
+        cloud._index_discard(1)
+        assert cloud.lift_quarantine(1)
+        assert cloud._load_index == self._rebuilt(cloud)
+
+    def test_load_moves_while_quarantined(self):
+        # a quarantined host's tenant count still moves (shutdowns of
+        # residents), and the host re-enters the index with the right key
+        cloud = Cloud(hosts=2, frames=2048, seed=0x1DE3)
+        t = cloud.launch_tenant("t", GuestOwner(seed=9), host_index=1)
+        t.ctx.hypercall(hc.HC_SCHED_YIELD)
+        cloud.quarantined.add(1)
+        cloud._index_discard(1)
+        cloud.shutdown_tenant("t")
+        cloud.quarantined.discard(1)
+        cloud._index_add(1)
+        assert cloud._load_index == self._rebuilt(cloud)
+
+    def test_pick_host_is_least_loaded_lowest_index(self):
+        cloud = Cloud(hosts=3, frames=2048, seed=0x1DE4)
+        assert cloud.pick_host() == 0
+        t = cloud.launch_tenant("t", GuestOwner(seed=1))
+        t.ctx.hypercall(hc.HC_SCHED_YIELD)
+        assert cloud.pick_host() == 1          # 0 now carries a tenant
+        assert cloud.pick_host(exclude={1}) == 2
+
+    def test_pick_host_skips_hosts_that_fail_attestation(self):
+        cloud = Cloud(hosts=3, frames=2048, seed=0x1DE5)
+        host0 = cloud.host(0)
+        host0.machine.memory.write(
+            host0.hypervisor.text.base_va + 0x600, b"\xCC")
+        assert cloud.pick_host() == 1
+        assert 0 in cloud.quarantined          # discovered and removed
+        assert cloud._load_index == self._rebuilt(cloud)
+
+    def test_evacuate_uses_the_index(self):
+        cloud = Cloud(hosts=3, frames=2048, seed=0x1DE6)
+        for i in range(2):
+            t = cloud.launch_tenant("t%d" % i, GuestOwner(seed=30 + i),
+                                    host_index=0)
+            t.ctx.hypercall(hc.HC_SCHED_YIELD)
+        moved = cloud.evacuate(0)
+        assert sorted(moved) == ["t0", "t1"]
+        # spread, not pile-up: the drain re-picks per tenant
+        assert cloud.inventory() == {0: [], 1: ["t0"], 2: ["t1"]}
+        assert cloud._load_index == self._rebuilt(cloud)
+
+
+class TestIncrementalPerfStats:
+    def test_incremental_equals_full_rewalk(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xF03)
+        cloud.perf_stats()                     # prime the caches
+        t = cloud.launch_tenant("t", GuestOwner(seed=4), payload=b"p",
+                                guest_frames=32)
+        t.ctx.hypercall(hc.HC_SCHED_YIELD)
+        incremental = cloud.perf_stats()
+        per_host = [h.machine.perf_stats() for h in cloud.hosts]
+        for key in ("hits", "misses", "evictions", "entries", "roots"):
+            assert incremental["tlb"][key] == \
+                sum(s["tlb"][key] for s in per_host)
+        for key in per_host[0]["memctrl"]:
+            assert incremental["memctrl"][key] == \
+                sum(s["memctrl"][key] for s in per_host)
+
+    def test_quiescent_fleet_answers_from_cache(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xF04)
+        first = cloud.perf_stats()
+        probes = {i: cloud._perf_cache[i][0] for i in range(2)}
+        second = cloud.perf_stats()
+        assert second["tlb"] == first["tlb"]
+        assert second["memctrl"] == first["memctrl"]
+        # nothing moved, so no contribution was recomputed
+        assert {i: cloud._perf_cache[i][0] for i in range(2)} == probes
+
+    def test_only_the_active_host_is_rewalked(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xF05)
+        cloud.perf_stats()
+        stale_probe = cloud._perf_cache[1][0]
+        t = cloud.launch_tenant("t", GuestOwner(seed=5), host_index=0)
+        t.ctx.hypercall(hc.HC_SCHED_YIELD)
+        cloud.perf_stats()
+        assert cloud._perf_cache[1][0] == stale_probe
+        assert cloud._perf_cache[0][0] != stale_probe
+
+    def test_repeated_updates_stay_integer_exact(self):
+        cloud = Cloud(hosts=2, frames=2048, seed=0xF06)
+        for i in range(3):
+            t = cloud.launch_tenant("t%d" % i, GuestOwner(seed=40 + i))
+            t.ctx.hypercall(hc.HC_SCHED_YIELD)
+            cloud.perf_stats()                 # interleave reads
+        cloud.migrate_tenant("t0")
+        final = cloud.perf_stats()
+        per_host = [h.machine.perf_stats() for h in cloud.hosts]
+        assert final["tlb"]["hits"] == \
+            sum(s["tlb"]["hits"] for s in per_host)
+        assert final["tlb"]["root_index_entries"] == sum(
+            sum(s["tlb"]["root_index_sizes"].values()) for s in per_host)
+        for key in per_host[0]["memctrl"]:
+            assert final["memctrl"][key] == \
+                sum(s["memctrl"][key] for s in per_host)
+
+
 class TestQuarantineLiftAudit:
     def test_rejected_lift_is_recorded(self):
         cloud = Cloud(hosts=2, frames=2048, seed=0xBAD2)
